@@ -1,0 +1,73 @@
+// §3.2 contrasts three ways of using multiple TCP connections and leaves
+// "further exploration to future work":
+//   D1-style  — parallel *segment* fetches, one per connection (risks
+//               delaying the segment with the nearest deadline),
+//   D3-style  — one segment at a time, *split* into sub-ranges across
+//               connections,
+//   sequential — one connection for video, the rest idle.
+// This ablation runs all three on the same DASH service.
+#include "support.h"
+
+#include <cstdio>
+
+using namespace vodx;
+
+namespace {
+
+services::ServiceSpec strategy_spec(const char* name, bool split,
+                                    player::AvScheduling scheduling) {
+  services::ServiceSpec spec = bench::reference_player_spec();
+  spec.name = name;
+  spec.player.max_connections = 4;
+  spec.player.split_segment_downloads = split;
+  spec.player.av_scheduling = scheduling;
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("§3.2 ablation", "multi-connection download strategies");
+
+  struct Strategy {
+    const char* label;
+    services::ServiceSpec spec;
+  };
+  const Strategy strategies[] = {
+      {"sequential (1 video conn)",
+       strategy_spec("seq", false, player::AvScheduling::kSynced)},
+      {"parallel segments (D1 style)",
+       strategy_spec("par", false, player::AvScheduling::kIndependent)},
+      {"split sub-ranges (D3 style)",
+       strategy_spec("split", true, player::AvScheduling::kIndependent)},
+  };
+
+  Table table({"strategy", "median bitrate", "total stalls",
+               "median startup", "peak concurrency"});
+  for (const Strategy& s : strategies) {
+    std::vector<double> bitrates;
+    std::vector<double> startups;
+    double stalls = 0;
+    int peak_concurrency = 0;
+    for (core::SessionResult& r : bench::run_all_profiles(s.spec)) {
+      bitrates.push_back(r.qoe.average_declared_bitrate);
+      startups.push_back(r.qoe.startup_delay);
+      stalls += r.qoe.total_stall;
+      peak_concurrency =
+          std::max(peak_concurrency, r.traffic.max_concurrent_transfers());
+    }
+    table.add_row({s.label, bench::fmt_mbps(median(bitrates)) + " Mbps",
+                   bench::fmt_secs(stalls),
+                   bench::fmt_secs(median(startups)),
+                   std::to_string(peak_concurrency)});
+  }
+  table.print();
+
+  std::printf(
+      "\nReading: parallel segment fetches risk stalls when the nearest-\n"
+      "deadline segment shares the link with three future ones (§3.2's D1\n"
+      "concern); splitting keeps all bandwidth on the most urgent segment\n"
+      "at the cost of coordination; sequential wastes connections but is\n"
+      "simplest. Values above quantify those tradeoffs on this simulator.\n");
+  return 0;
+}

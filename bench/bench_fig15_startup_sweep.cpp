@@ -1,0 +1,121 @@
+// Figure 15 / §4.3: startup delay and stall ratio as a function of segment
+// duration, startup track bitrate, and startup segment count, over 50
+// one-minute slices of the 5 lowest-bandwidth profiles.
+//
+// Paper findings: the stall ratio depends on segment duration, not just
+// startup seconds (8 s of 4 s segments stalls ~0.58x as often as 8 s of 8 s
+// segments); requiring 3 startup segments cuts the stall ratio to <= 41.7%
+// of the 1-segment setting; a 1 Mbps startup track stalls far more than a
+// 0.5 Mbps one (91.1% vs 60.0% with one 4 s segment).
+#include "support.h"
+
+#include <cstdio>
+
+using namespace vodx;
+
+namespace {
+
+services::ServiceSpec sweep_spec(Seconds segment_duration, Bps startup_track,
+                                 int startup_segments) {
+  services::ServiceSpec spec = bench::reference_player_spec();
+  spec.name = format("seg%.0fs-%0.1fM-%dseg", segment_duration,
+                     startup_track / 1e6, startup_segments);
+  spec.segment_duration = segment_duration;
+  spec.audio_segment_duration = 2;
+  spec.video_ladder = {250e3, 500e3, 1e6, 2e6, 4e6};
+  spec.player.startup_bitrate = startup_track;
+  spec.player.startup_min_segments = startup_segments;
+  // Startup seconds requirement comes purely from the segment count, as in
+  // the paper's instrumented-ExoPlayer experiment.
+  spec.player.startup_buffer = segment_duration * startup_segments;
+  return spec;
+}
+
+struct SweepResult {
+  double stall_ratio = 0;
+  double mean_startup = 0;
+  int runs = 0;
+};
+
+SweepResult run_sweep(const services::ServiceSpec& spec,
+                      const std::vector<net::BandwidthTrace>& pieces) {
+  SweepResult out;
+  std::vector<double> startups;
+  int stalled = 0;
+  for (const net::BandwidthTrace& piece : pieces) {
+    core::SessionConfig config;
+    config.spec = spec;
+    config.trace = piece;
+    config.session_duration = 60;
+    config.content_duration = 600;
+    core::SessionResult r = core::run_session(config);
+    ++out.runs;
+    if (!r.events.stalls.empty()) ++stalled;
+    if (r.events.startup_delay() >= 0) {
+      startups.push_back(r.events.startup_delay());
+    } else {
+      startups.push_back(60);  // never started within the slice
+      ++stalled;               // counts as failure, like an endless stall
+    }
+  }
+  out.stall_ratio = static_cast<double>(stalled) / out.runs;
+  out.mean_startup = mean(startups);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 15 / §4.3",
+                "startup delay and stall ratio vs startup configuration");
+
+  // The paper slices its 5 lowest profiles; our profiles 4-5 average
+  // 2.2-3 Mbps and never stress a <= 1 Mbps startup track, so the
+  // equivalent stress set is the 3 lowest profiles (0.6-1.5 Mbps means).
+  const std::vector<net::BandwidthTrace> pieces = trace::startup_profiles(3);
+  std::printf("evaluation set: %zu one-minute low-bandwidth slices\n\n",
+              pieces.size());
+
+  Table table({"segment dur", "startup track", "startup segs",
+               "startup delay (mean)", "stall ratio"});
+  std::map<std::string, SweepResult> results;
+  for (double seg_dur : {2.0, 4.0, 8.0}) {
+    for (double track_mbps : {0.5, 1.0}) {
+      for (int nseg : {1, 2, 3}) {
+        services::ServiceSpec spec =
+            sweep_spec(seg_dur, track_mbps * 1e6, nseg);
+        SweepResult r = run_sweep(spec, pieces);
+        results[format("%.0f-%.1f-%d", seg_dur, track_mbps, nseg)] = r;
+        table.add_row({format("%.0f s", seg_dur),
+                       format("%.1f Mbps", track_mbps), std::to_string(nseg),
+                       bench::fmt_secs(r.mean_startup),
+                       bench::fmt_pct(r.stall_ratio)});
+      }
+    }
+  }
+  table.print();
+
+  std::printf("\n");
+  auto ratio = [&](const char* key) { return results[key].stall_ratio; };
+  bench::compare(
+      "3-seg startup stall ratio vs 1-seg (4 s, 0.5 Mbps)", "<= 41.7%",
+      ratio("4-0.5-1") > 0
+          ? bench::fmt_pct(ratio("4-0.5-3") / ratio("4-0.5-1"))
+          : "-");
+  bench::compare(
+      "same startup seconds, shorter segments stall less "
+      "(8 s buffer: 4 s x2 vs 8 s x1)",
+      "ratio 0.577",
+      ratio("8-0.5-1") > 0
+          ? bench::fmt_pct(ratio("4-0.5-2") / ratio("8-0.5-1"))
+          : "-");
+  bench::compare("1 Mbps startup track vs 0.5 Mbps (1 x 4 s segment)",
+                 "91.1% vs 60.0%",
+                 bench::fmt_pct(ratio("4-1.0-1")) + " vs " +
+                     bench::fmt_pct(ratio("4-0.5-1")));
+  bench::compare("startup delay grows with startup segment count", "yes",
+                 format("%.1fs -> %.1fs (4 s, 0.5 Mbps, 1->3 segs)",
+                        results["4-0.5-1"].mean_startup,
+                        results["4-0.5-3"].mean_startup));
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Microbenchmarks (google-benchmark): the hot paths of the toolchain —
+// manifest parsing, sidx parsing, trace generation, and a full simulated
+// session per iteration.
+#include <benchmark/benchmark.h>
+
+#include "core/session.h"
+#include "manifest/dash_mpd.h"
+#include "manifest/hls.h"
+#include "media/sidx.h"
+#include "services/content_factory.h"
+#include "trace/cellular_profiles.h"
+
+namespace {
+
+using namespace vodx;
+
+const http::OriginServer& hls_origin() {
+  static http::OriginServer origin =
+      services::make_origin(services::service("H1"), 600, 1);
+  return origin;
+}
+
+const http::OriginServer& dash_origin() {
+  static http::OriginServer origin =
+      services::make_origin(services::service("D2"), 600, 1);
+  return origin;
+}
+
+void BM_HlsMasterParse(benchmark::State& state) {
+  const std::string body =
+      hls_origin().handle({http::Method::kGet, "/master.m3u8", {}}).body;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(manifest::HlsMasterPlaylist::parse(body));
+  }
+}
+BENCHMARK(BM_HlsMasterParse);
+
+void BM_HlsMediaPlaylistParse(benchmark::State& state) {
+  const std::string body =
+      hls_origin()
+          .handle({http::Method::kGet, "/video/0/playlist.m3u8", {}})
+          .body;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(manifest::HlsMediaPlaylist::parse(body));
+  }
+}
+BENCHMARK(BM_HlsMediaPlaylistParse);
+
+void BM_MpdParse(benchmark::State& state) {
+  const std::string body =
+      dash_origin().handle({http::Method::kGet, "/manifest.mpd", {}}).body;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(manifest::DashMpd::parse(body));
+  }
+}
+BENCHMARK(BM_MpdParse);
+
+void BM_SidxRoundTrip(benchmark::State& state) {
+  const media::Track& track = dash_origin().asset().video_track(0);
+  for (auto _ : state) {
+    std::string wire = media::serialize_sidx(media::sidx_for_track(track));
+    benchmark::DoNotOptimize(media::parse_sidx(wire));
+  }
+}
+BENCHMARK(BM_SidxRoundTrip);
+
+void BM_CellularProfileGeneration(benchmark::State& state) {
+  int id = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::cellular_profile(id));
+    id = id % trace::kProfileCount + 1;
+  }
+}
+BENCHMARK(BM_CellularProfileGeneration);
+
+void BM_AssetEncoding(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        services::make_asset(services::service("D2"), 600, 7));
+  }
+}
+BENCHMARK(BM_AssetEncoding);
+
+void BM_FullSession600s(benchmark::State& state) {
+  for (auto _ : state) {
+    core::SessionConfig config;
+    config.spec = services::service("H1");
+    config.trace = trace::cellular_profile(7);
+    config.session_duration = 600;
+    benchmark::DoNotOptimize(core::run_session(config));
+  }
+}
+BENCHMARK(BM_FullSession600s)->Unit(benchmark::kMillisecond);
+
+void BM_SessionTickRate(benchmark::State& state) {
+  // Simulated seconds per wall second, as items processed.
+  for (auto _ : state) {
+    core::SessionConfig config;
+    config.spec = services::service("D2");
+    config.trace = trace::cellular_profile(10);
+    config.session_duration = 600;
+    core::run_session(config);
+  }
+  state.SetItemsProcessed(state.iterations() * 60000);  // ticks per session
+}
+BENCHMARK(BM_SessionTickRate)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

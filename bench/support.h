@@ -1,0 +1,43 @@
+// Shared plumbing for the figure/table harnesses.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/session.h"
+#include "core/sr_whatif.h"
+#include "trace/cellular_profiles.h"
+
+namespace vodx::bench {
+
+/// Prints the harness banner: which paper artefact this regenerates.
+void banner(const std::string& figure, const std::string& description);
+
+/// Prints a "paper vs measured" line for EXPERIMENTS.md-style comparison.
+void compare(const std::string& metric, const std::string& paper,
+             const std::string& measured);
+
+/// Runs one service over one cellular profile with paper defaults
+/// (10-minute session, 600 s content).
+core::SessionResult run_profile(const services::ServiceSpec& spec,
+                                int profile_id,
+                                Seconds session_duration = 600);
+
+/// Runs a service over every one of the 14 profiles.
+std::vector<core::SessionResult> run_all_profiles(
+    const services::ServiceSpec& spec, Seconds session_duration = 600);
+
+/// A generic reference player spec (the stand-in for the paper's instrumented
+/// ExoPlayer playing the BBC Testcard / Sintel streams): DASH + sidx so
+/// actual segment sizes are exposed, VBR with declared = 2x average.
+services::ServiceSpec reference_player_spec();
+
+std::string fmt_mbps(double bps);
+std::string fmt_pct(double fraction, int decimals = 1);
+std::string fmt_secs(double seconds);
+
+}  // namespace vodx::bench

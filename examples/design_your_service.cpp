@@ -1,0 +1,83 @@
+// Build a VOD service from scratch with the public API and evaluate it the
+// way the paper evaluates the commercial ones — then apply the paper's best
+// practices one by one and watch the QoE move.
+//
+//   ./design_your_service
+#include <cstdio>
+
+#include "core/session.h"
+#include "trace/cellular_profiles.h"
+
+using namespace vodx;
+
+namespace {
+
+void report(const char* label, const services::ServiceSpec& spec) {
+  double stall_total = 0;
+  double startup_total = 0;
+  double bitrate_weighted = 0;
+  double displayed = 0;
+  for (int profile : {2, 4, 6, 8}) {
+    core::SessionConfig config;
+    config.spec = spec;
+    config.trace = trace::cellular_profile(profile);
+    config.session_duration = 600;
+    config.content_duration = 600;
+    core::SessionResult r = core::run_session(config);
+    stall_total += r.qoe.total_stall;
+    startup_total += r.qoe.startup_delay;
+    bitrate_weighted += r.qoe.average_declared_bitrate * r.qoe.displayed_time;
+    displayed += r.qoe.displayed_time;
+  }
+  std::printf("%-44s stalls %6.1f s   startup %5.1f s   avg bitrate %.2f M\n",
+              label, stall_total, startup_total / 4,
+              displayed > 0 ? bitrate_weighted / displayed / 1e6 : 0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("designing a service, applying the paper's best practices:\n\n");
+
+  // A deliberately mistake-ridden first draft: high lowest track, startup
+  // from a single long segment at a high bitrate, resume threshold near
+  // zero, non-persistent connections.
+  services::ServiceSpec draft;
+  draft.name = "draft";
+  draft.protocol = manifest::Protocol::kHls;
+  draft.video_ladder = {700e3, 1.3e6, 2.4e6, 4.4e6};
+  draft.segment_duration = 8;
+  draft.audio_segment_duration = 8;
+  draft.peak_to_average = 1.8;
+  draft.player.persistent_connections = false;
+  draft.player.startup_buffer = 8;   // one 8 s segment
+  draft.player.startup_bitrate = 1.3e6;
+  draft.player.pausing_threshold = 30;
+  draft.player.resuming_threshold = 4;
+  report("draft (all the Table-2 mistakes)", draft);
+
+  services::ServiceSpec fix = draft;
+  fix.video_ladder = {250e3, 470e3, 900e3, 1.7e6, 3.2e6};
+  report("+ low bottom track (<= 192 kbps advice)", fix);
+
+  fix.player.resuming_threshold = 20;
+  report("+ resume threshold raised to 20 s", fix);
+
+  fix.player.startup_bitrate = 470e3;
+  fix.player.startup_min_segments = 2;
+  fix.player.startup_buffer = 16;
+  report("+ low startup track, 2-segment startup", fix);
+
+  fix.segment_duration = 4;
+  fix.audio_segment_duration = 4;
+  fix.player.startup_buffer = 8;
+  report("+ 4 s segments (same 8 s / 2-segment startup)", fix);
+
+  fix.player.persistent_connections = true;
+  report("+ persistent TCP connections", fix);
+
+  std::printf(
+      "\nEach line re-runs the service over four cellular profiles; compare\n"
+      "stall seconds and startup delay as the §3-§4 best practices land.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// The paper's methodology as a tool: point it at a service and it dissects
+// the design black-box — exactly the Table-1 columns, plus the Fig.-12
+// declared-vs-actual probe when the service speaks DASH.
+//
+//   ./dissect_service [service]
+//   ./dissect_service D3
+#include <cstdio>
+
+#include "core/blackbox.h"
+#include "core/design_inference.h"
+
+using namespace vodx;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "D2";
+  const services::ServiceSpec& spec = services::service(name);
+
+  std::printf("dissecting %s (%s) — black-box, %s manifests\n\n", name.c_str(),
+              to_string(spec.protocol),
+              spec.encrypt_manifest ? "ENCRYPTED" : "cleartext");
+
+  core::InferredDesign d = core::infer_design(spec);
+  std::printf("server design\n");
+  std::printf("  segment duration        %.0f s\n", d.segment_duration);
+  std::printf("  separate audio track    %s\n", d.separate_audio ? "yes" : "no");
+  std::printf("transport\n");
+  std::printf("  max concurrent TCP      %d\n", d.max_tcp);
+  std::printf("  persistent connections  %s\n", d.persistent_tcp ? "yes" : "no");
+  std::printf("startup\n");
+  std::printf("  startup buffer          %.0f s (%d segment%s)\n",
+              d.startup_buffer, d.startup_segments,
+              d.startup_segments == 1 ? "" : "s");
+  std::printf("  startup track           %.2f Mbps\n", d.startup_bitrate / 1e6);
+  std::printf("download control\n");
+  std::printf("  pausing threshold       ~%.0f s\n", d.pausing_threshold);
+  std::printf("  resuming threshold      ~%.0f s\n", d.resuming_threshold);
+  std::printf("adaptation\n");
+  std::printf("  stable at constant bw   %s\n", d.stable ? "yes" : "NO");
+  std::printf("  aggressiveness          %s\n",
+              d.aggressive ? "selects at/above link rate"
+                           : "conservative (<= 0.75x)");
+  if (d.decrease_buffer >= 0 && d.pausing_threshold > 60) {
+    std::printf("  down-switch behaviour   %s (buffer ~%.0f s at switch)\n",
+                d.immediate_downswitch ? "immediate, ignores buffer"
+                                       : "spends buffer first",
+                d.decrease_buffer);
+  }
+
+  if (spec.protocol == manifest::Protocol::kDash && !spec.encrypt_manifest) {
+    std::printf("\nFig.-12 manifest probe (declared vs actual bitrate):\n");
+    core::DeclaredVsActualProbe probe = core::probe_declared_vs_actual(spec);
+    std::printf("  variant 1 selected      %.2f Mbps declared\n",
+                probe.selected_declared_variant1 / 1e6);
+    std::printf("  variant 2 selected      %.2f Mbps declared\n",
+                probe.selected_declared_variant2 / 1e6);
+    std::printf("  reads actual bitrates?  %s\n",
+                probe.declared_only ? "NO — declared only" : "yes");
+    std::printf("  utilisation @ 2 Mbps    %.1f%%\n",
+                probe.bandwidth_utilization * 100);
+  }
+  return 0;
+}

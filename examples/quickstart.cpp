@@ -1,0 +1,67 @@
+// Quickstart: stream one of the catalogued services over a cellular
+// bandwidth profile and print the QoE report — both what the black-box
+// methodology infers from traffic + UI, and the player's ground truth.
+//
+//   ./quickstart [service] [profile]
+//   ./quickstart D2 5
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/session.h"
+#include "trace/cellular_profiles.h"
+
+using namespace vodx;
+
+int main(int argc, char** argv) {
+  const std::string service_name = argc > 1 ? argv[1] : "H1";
+  const int profile_id = argc > 2 ? std::atoi(argv[2]) : 7;
+
+  // 1. Pick a service (protocol + server settings + client player config).
+  const services::ServiceSpec& spec = services::service(service_name);
+
+  // 2. Configure the session: service, bandwidth trace, durations.
+  core::SessionConfig config;
+  config.spec = spec;
+  config.trace = trace::cellular_profile(profile_id);
+  config.session_duration = 600;  // the paper runs 10-minute sessions
+  config.content_duration = 600;
+
+  // 3. Run. This builds the whole pipeline of Figure 2: origin server,
+  //    man-in-the-middle proxy, simulated cellular link, player, UI monitor.
+  core::SessionResult result = core::run_session(config);
+
+  std::printf("service %s over %s (mean %.2f Mbps)\n\n", spec.name.c_str(),
+              config.trace.name().c_str(), config.trace.mean() / 1e6);
+
+  auto row = [](const char* metric, double inferred, double truth,
+                const char* unit) {
+    std::printf("  %-28s %10.2f %-6s (ground truth %.2f)\n", metric, inferred,
+                unit, truth);
+  };
+  std::printf("QoE, inferred from traffic + seekbar alone:\n");
+  row("startup delay", result.qoe.startup_delay,
+      result.ground_truth.startup_delay, "s");
+  row("total stall time", result.qoe.total_stall,
+      result.ground_truth.total_stall, "s");
+  row("average declared bitrate", result.qoe.average_declared_bitrate / 1e6,
+      result.ground_truth.average_declared_bitrate / 1e6, "Mbps");
+  row("track switches", result.qoe.switch_count,
+      result.ground_truth.switch_count, "");
+  std::printf("  %-28s %10.1f MB\n", "data usage",
+              static_cast<double>(result.qoe.total_bytes) / 1e6);
+  std::printf("  %-28s %10.1f MB\n", "wasted (replaced/aborted)",
+              static_cast<double>(result.qoe.wasted_bytes) / 1e6);
+
+  std::printf("\ndisplayed time by resolution:\n");
+  for (const auto& [height, seconds] : result.qoe.time_by_height) {
+    std::printf("  %4dp  %6.1f s\n", height, seconds);
+  }
+
+  std::printf("\ninferred buffer occupancy (every 60 s):\n");
+  for (std::size_t i = 0; i < result.buffer.size(); i += 60) {
+    std::printf("  t=%3.0fs  video %5.1f s   audio %5.1f s\n",
+                result.buffer[i].wall, result.buffer[i].video_buffer,
+                result.buffer[i].audio_buffer);
+  }
+  return 0;
+}

@@ -1,0 +1,15 @@
+#include "common/error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vodx::detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::fprintf(stderr, "vodx invariant violated at %s:%d: (%s) %s\n", file,
+               line, expr, msg.c_str());
+  std::abort();
+}
+
+}  // namespace vodx::detail

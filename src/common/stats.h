@@ -1,0 +1,34 @@
+// Descriptive statistics used by the QoE analysis and bench harnesses.
+#pragma once
+
+#include <vector>
+
+namespace vodx {
+
+double mean(const std::vector<double>& xs);
+double median(std::vector<double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Empty input returns 0.
+double percentile(std::vector<double> xs, double p);
+
+double stddev(const std::vector<double>& xs);
+double min_of(const std::vector<double>& xs);
+double max_of(const std::vector<double>& xs);
+
+/// Running mean/min/max accumulator for streaming measurements.
+class Accumulator {
+ public:
+  void add(double x);
+  int count() const { return count_; }
+  double mean() const { return count_ ? sum_ / count_ : 0.0; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  int count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace vodx

@@ -1,0 +1,102 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace vodx {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> split_lines(std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t pos = text.find('\n', start);
+    if (pos == std::string_view::npos) {
+      if (start < text.size()) out.emplace_back(text.substr(start));
+      break;
+    }
+    std::string_view line = text.substr(start, pos - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    out.emplace_back(line);
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front())))
+    text.remove_prefix(1);
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back())))
+    text.remove_suffix(1);
+  return text;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::int64_t parse_int(std::string_view text) {
+  text = trim(text);
+  std::int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    throw ParseError("expected integer, got '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+double parse_double(std::string_view text) {
+  text = trim(text);
+  // std::from_chars for double is not universally available; strtod on a
+  // NUL-terminated copy is fine for short manifest fields.
+  std::string copy(text);
+  char* end = nullptr;
+  double value = std::strtod(copy.c_str(), &end);
+  if (copy.empty() || end != copy.c_str() + copy.size()) {
+    throw ParseError("expected number, got '" + copy + "'");
+  }
+  return value;
+}
+
+std::string format(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args2;
+  va_copy(args2, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out(needed > 0 ? static_cast<std::size_t>(needed) : 0, '\0');
+  if (needed > 0) std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+  va_end(args2);
+  return out;
+}
+
+std::string format_bps(double bps) {
+  if (bps >= 1e6) return format("%.2f Mbps", bps / 1e6);
+  if (bps >= 1e3) return format("%.0f kbps", bps / 1e3);
+  return format("%.0f bps", bps);
+}
+
+}  // namespace vodx

@@ -1,0 +1,28 @@
+// ASCII table renderer for the bench harnesses: prints the same rows/series
+// the paper's tables and figures report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vodx {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a header separator.
+  std::string render() const;
+
+  /// Convenience: render straight to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vodx

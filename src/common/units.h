@@ -1,0 +1,35 @@
+// Strongly-named scalar units used across the codebase.
+//
+// We deliberately use plain doubles/int64s with unit-suffixed names instead of
+// wrapper types: the simulator does heavy arithmetic on these values and the
+// naming convention (seconds / bits-per-second / bytes) has proven sufficient
+// to avoid unit bugs while keeping call sites readable.
+#pragma once
+
+#include <cstdint>
+
+namespace vodx {
+
+/// Simulation time and durations, in seconds.
+using Seconds = double;
+
+/// Network and media rates, in bits per second.
+using Bps = double;
+
+/// Payload sizes, in bytes. Signed on purpose (Core Guidelines ES.102).
+using Bytes = std::int64_t;
+
+constexpr Bps kKbps = 1e3;
+constexpr Bps kMbps = 1e6;
+
+/// Converts a size transferred over a duration into a rate.
+constexpr Bps rate_of(Bytes bytes, Seconds duration) {
+  return duration > 0 ? static_cast<double>(bytes) * 8.0 / duration : 0.0;
+}
+
+/// Bytes needed to carry `duration` seconds of media at `rate`.
+constexpr Bytes bytes_for(Bps rate, Seconds duration) {
+  return static_cast<Bytes>(rate * duration / 8.0);
+}
+
+}  // namespace vodx

@@ -1,0 +1,58 @@
+#include "core/buffer_inference.h"
+
+#include <algorithm>
+
+namespace vodx::core {
+
+Seconds download_progress(const AnalyzedTraffic& traffic,
+                          media::ContentType type, Seconds wall) {
+  const auto& ladder = type == media::ContentType::kVideo
+                           ? traffic.video_tracks
+                           : traffic.audio_tracks;
+  if (ladder.empty()) return 0;
+  const AnalyzedTrack& reference = ladder.front();
+  const int segment_count =
+      static_cast<int>(reference.segment_durations.size());
+
+  // completion time per index = earliest completed download of any rendition.
+  std::vector<Seconds> completed(static_cast<std::size_t>(segment_count), -1);
+  for (const SegmentDownload& d : traffic.downloads) {
+    if (d.type != type || d.aborted || d.completed_at < 0) continue;
+    if (d.index < 0 || d.index >= segment_count) continue;
+    Seconds& slot = completed[static_cast<std::size_t>(d.index)];
+    if (slot < 0 || d.completed_at < slot) slot = d.completed_at;
+  }
+
+  Seconds progress = 0;
+  for (int i = 0; i < segment_count; ++i) {
+    const Seconds done = completed[static_cast<std::size_t>(i)];
+    if (done < 0 || done > wall) break;  // contiguity ends here
+    progress += reference.segment_durations[static_cast<std::size_t>(i)];
+  }
+  return progress;
+}
+
+std::vector<BufferSample> infer_buffer(const AnalyzedTraffic& traffic,
+                                       const UiInference& ui,
+                                       Seconds session_end, Seconds step) {
+  std::vector<BufferSample> out;
+  const bool separate_audio = !traffic.audio_tracks.empty();
+  for (Seconds t = 0; t <= session_end + 1e-9; t += step) {
+    BufferSample sample;
+    sample.wall = t;
+    const Seconds position = ui.position_at(t);
+    sample.video_buffer = std::max(
+        0.0, download_progress(traffic, media::ContentType::kVideo, t) -
+                 position);
+    sample.audio_buffer =
+        separate_audio
+            ? std::max(0.0, download_progress(
+                                traffic, media::ContentType::kAudio, t) -
+                                position)
+            : sample.video_buffer;
+    out.push_back(sample);
+  }
+  return out;
+}
+
+}  // namespace vodx::core

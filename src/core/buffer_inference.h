@@ -1,0 +1,34 @@
+// Buffer inference (§2.5).
+//
+// "At any time, the difference between the downloading progress and playing
+// progress should be the buffer occupancy." Downloading progress comes from
+// the traffic analyzer (contiguous media seconds fully downloaded), playing
+// progress from the UI monitor. Neither source looks inside the player.
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+#include "core/traffic_analyzer.h"
+#include "core/ui_monitor.h"
+
+namespace vodx::core {
+
+struct BufferSample {
+  Seconds wall = 0;
+  Seconds video_buffer = 0;
+  Seconds audio_buffer = 0;  ///< == video when audio is muxed
+};
+
+/// Samples the inferred buffer at `step` intervals over the session.
+std::vector<BufferSample> infer_buffer(const AnalyzedTraffic& traffic,
+                                       const UiInference& ui,
+                                       Seconds session_end,
+                                       Seconds step = 1.0);
+
+/// Contiguous media seconds of `type` fully downloaded by `wall`, counting a
+/// segment index as available once any rendition of it has completed.
+Seconds download_progress(const AnalyzedTraffic& traffic,
+                          media::ContentType type, Seconds wall);
+
+}  // namespace vodx::core

@@ -1,0 +1,79 @@
+#include "core/design_inference.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vodx::core {
+
+InferredDesign infer_design(const services::ServiceSpec& spec) {
+  InferredDesign out;
+  out.service = spec.name;
+
+  // One plain session at comfortable bandwidth covers the passive columns:
+  // segment duration, audio separation, connection count and persistence.
+  {
+    SessionConfig config;
+    config.spec = spec;
+    config.trace = net::BandwidthTrace::constant(10 * kMbps, 300);
+    config.session_duration = 300;
+    config.content_duration = 600;
+    SessionResult result = run_session(config);
+    if (!result.traffic.video_tracks.empty()) {
+      // Use a track that was actually downloaded (durations known).
+      for (const AnalyzedTrack& t : result.traffic.video_tracks) {
+        if (!t.segment_durations.empty()) {
+          out.segment_duration = t.nominal_segment_duration();
+          break;
+        }
+      }
+    }
+    out.separate_audio = !result.traffic.audio_tracks.empty();
+    out.max_tcp = result.traffic.max_concurrent_transfers();
+    out.persistent_tcp = !result.traffic.non_persistent_connections();
+  }
+
+  const EncodingProbe encoding = probe_encoding(spec);
+  out.cbr = encoding.looks_cbr();
+  out.declared_policy = encoding.inferred_policy();
+
+  const StartupProbe startup = probe_startup(spec);
+  out.startup_segments = startup.min_segments;
+  out.startup_buffer = startup.startup_buffer;
+  out.startup_bitrate = startup.startup_bitrate;
+
+  const ThresholdProbe thresholds = probe_thresholds(spec);
+  out.pausing_threshold = thresholds.pausing_threshold;
+  out.resuming_threshold = thresholds.resuming_threshold;
+
+  // Stability and aggressiveness over a Fig.-9-style bandwidth sweep. A
+  // single operating point is misleading — the selected-track staircase
+  // means declared/bandwidth depends on where the point falls between two
+  // rungs — so take the max ratio over several points.
+  const Bps ladder_low = spec.video_ladder.front();
+  const Bps ladder_high = spec.video_ladder.back();
+  out.stable = true;
+  double max_ratio = 0;
+  const int sweep_points = 6;
+  for (int i = 0; i < sweep_points; ++i) {
+    const double frac = static_cast<double>(i) / (sweep_points - 1);
+    const Bps bw = ladder_low * 1.4 *
+                   std::pow(ladder_high * 0.9 / (ladder_low * 1.4), frac);
+    const SteadyStateProbe steady = probe_steady_state(spec, bw);
+    out.stable = out.stable && steady.converged;
+    max_ratio = std::max(max_ratio, steady.declared_over_bandwidth);
+  }
+  out.aggressive = max_ratio >= 0.80;
+
+  const StepProbe step = probe_step_response(spec);
+  if (step.switched_down) {
+    out.decrease_buffer = step.buffer_at_downswitch;
+    // "Immediate" means the player abandoned most of its headroom: it
+    // switched while the buffer still held the bulk of its pausing level.
+    out.immediate_downswitch =
+        out.pausing_threshold > 0 &&
+        step.buffer_at_downswitch > 0.55 * out.pausing_threshold;
+  }
+  return out;
+}
+
+}  // namespace vodx::core

@@ -1,0 +1,51 @@
+// Table-1 reconstruction: run the full black-box battery against a service
+// and assemble every design-choice column the paper reports.
+//
+// Because our services are PlayerConfig instances with known ground truth,
+// this is where the methodology gets *validated*, not just demonstrated:
+// bench_table1 prints inferred vs. actual side by side.
+#pragma once
+
+#include <string>
+
+#include "core/blackbox.h"
+
+namespace vodx::core {
+
+struct InferredDesign {
+  std::string service;
+
+  // Server.
+  Seconds segment_duration = 0;
+  bool separate_audio = false;
+
+  // Transport.
+  int max_tcp = 0;
+  bool persistent_tcp = true;
+
+  // Startup.
+  Seconds startup_buffer = 0;
+  int startup_segments = 0;
+  Bps startup_bitrate = 0;
+
+  // Download control.
+  Seconds pausing_threshold = 0;
+  Seconds resuming_threshold = 0;
+
+  // Encoding (§3.1).
+  bool cbr = false;
+  media::DeclaredPolicy declared_policy = media::DeclaredPolicy::kPeak;
+
+  // Adaptation.
+  bool stable = true;
+  bool aggressive = false;
+  /// Buffer level at which the player switched down after a bandwidth drop;
+  /// < 0 when it never switched down in the probe.
+  Seconds decrease_buffer = -1;
+  bool immediate_downswitch = false;
+};
+
+/// Runs the probes (a few tens of simulated sessions) and fills the row.
+InferredDesign infer_design(const services::ServiceSpec& spec);
+
+}  // namespace vodx::core

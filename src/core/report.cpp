@@ -1,0 +1,36 @@
+#include "core/report.h"
+
+#include "common/strings.h"
+#include "core/qoe.h"
+
+namespace vodx::core {
+
+std::string qoe_csv_header() {
+  return "label,startup_delay_s,stall_count,stall_time_s,"
+         "avg_declared_bitrate_bps,low_quality_fraction,switches,"
+         "nonconsecutive_switches,media_bytes,total_bytes,wasted_bytes,"
+         "qoe_score\n";
+}
+
+std::string qoe_csv_row(const std::string& label,
+                        const SessionResult& result) {
+  const QoeReport& q = result.qoe;
+  return format("%s,%.2f,%d,%.2f,%.0f,%.4f,%d,%d,%lld,%lld,%lld,%.3f\n",
+                label.c_str(), q.startup_delay, q.stall_count, q.total_stall,
+                q.average_declared_bitrate, q.low_quality_fraction,
+                q.switch_count, q.nonconsecutive_switch_count,
+                static_cast<long long>(q.media_bytes),
+                static_cast<long long>(q.total_bytes),
+                static_cast<long long>(q.wasted_bytes),
+                qoe_score(q, result.session_end));
+}
+
+std::string buffer_csv(const SessionResult& result) {
+  std::string out = "wall_s,video_buffer_s,audio_buffer_s\n";
+  for (const BufferSample& s : result.buffer) {
+    out += format("%.0f,%.2f,%.2f\n", s.wall, s.video_buffer, s.audio_buffer);
+  }
+  return out;
+}
+
+}  // namespace vodx::core

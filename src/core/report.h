@@ -1,0 +1,19 @@
+// Machine-readable exports of session results, for spreadsheets/plotters.
+#pragma once
+
+#include <string>
+
+#include "core/session.h"
+
+namespace vodx::core {
+
+/// One-line CSV header matching qoe_csv_row().
+std::string qoe_csv_header();
+
+/// Flattens a session's QoE report into one CSV row.
+std::string qoe_csv_row(const std::string& label, const SessionResult& result);
+
+/// Buffer-occupancy timeline as CSV (wall,video_buffer,audio_buffer).
+std::string buffer_csv(const SessionResult& result);
+
+}  // namespace vodx::core

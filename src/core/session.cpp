@@ -1,0 +1,109 @@
+#include "core/session.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/link.h"
+#include "net/simulator.h"
+#include "services/content_factory.h"
+
+namespace vodx::core {
+
+QoeReport qoe_from_events(const player::PlayerEvents& events,
+                          const AnalyzedTraffic& traffic, Seconds session_end,
+                          const QoeOptions& options) {
+  QoeReport report;
+  report.startup_delay = events.startup_delay();
+  report.total_stall = events.total_stall_time(session_end);
+  report.stall_count = static_cast<int>(events.stalls.size());
+  report.total_bytes = traffic.total_payload_bytes;
+  for (const SegmentDownload& d : traffic.downloads) {
+    report.media_bytes += d.bytes;
+  }
+
+  // Displayed time per event: until the next display event (or session end).
+  double bitrate_weighted = 0;
+  for (std::size_t i = 0; i < events.displayed.size(); ++i) {
+    const player::DisplayEvent& e = events.displayed[i];
+    // Wall time is interrupted by stalls; displayed *media* seconds are the
+    // position delta to the next event.
+    const Seconds next_position = i + 1 < events.displayed.size()
+                                      ? events.displayed[i + 1].position
+                                      : e.position + e.duration;
+    const Seconds shown = std::max(0.0, next_position - e.position);
+    if (shown <= 0) continue;
+    DisplayedSegment d;
+    d.index = e.index;
+    d.level = e.level;
+    d.declared_bitrate = e.declared_bitrate;
+    d.resolution = e.resolution;
+    d.seconds_shown = shown;
+    d.play_wall = e.wall_time;
+    report.displayed.push_back(d);
+    report.displayed_time += shown;
+    bitrate_weighted += e.declared_bitrate * shown;
+    report.time_by_height[e.resolution.height] += shown;
+  }
+  if (report.displayed_time > 0) {
+    report.average_declared_bitrate = bitrate_weighted / report.displayed_time;
+  }
+  report.low_quality_fraction =
+      report.fraction_at_or_below(options.low_quality_max_height);
+  for (std::size_t i = 1; i < report.displayed.size(); ++i) {
+    const int delta =
+        std::abs(report.displayed[i].level - report.displayed[i - 1].level);
+    if (delta > 0) ++report.switch_count;
+    if (delta > 1) ++report.nonconsecutive_switch_count;
+  }
+  for (const player::ReplacementEvent& r : events.replacements) {
+    report.wasted_bytes += r.old_bytes;
+  }
+  return report;
+}
+
+SessionResult run_session(const SessionConfig& config) {
+  net::Simulator sim(config.tick);
+  net::Link link(sim, config.trace, config.rtt);
+
+  http::OriginServer origin = services::make_origin(
+      config.spec, config.content_duration, config.content_seed);
+  http::Proxy proxy(origin);
+  if (config.manifest_transform) {
+    proxy.set_manifest_transform(config.manifest_transform);
+  }
+  if (config.reject_hook) proxy.set_reject_hook(config.reject_hook);
+  if (config.reject_hook_factory) {
+    proxy.set_reject_hook(config.reject_hook_factory(proxy));
+  }
+
+  player::PlayerConfig player_config = config.spec.player;
+  player_config.tcp.rtt = config.rtt;
+
+  player::Player player(sim, link, proxy, config.spec.protocol, player_config);
+  UiMonitor ui_monitor;
+  player.set_seekbar_callback([&ui_monitor](Seconds wall, int progress) {
+    ui_monitor.on_progress(wall, progress);
+  });
+
+  player.start(origin.manifest_url());
+  sim.run_until(config.session_duration);
+
+  SessionResult result;
+  result.session_end = sim.now();
+  result.events = player.events();
+  result.final_state = player.state();
+  result.final_position = player.position();
+
+  result.traffic = analyze_traffic(proxy.log());
+  result.ui = ui_monitor.infer(result.events.session_start);
+  result.qoe =
+      compute_qoe(result.traffic, result.ui, result.session_end,
+                  config.qoe_options);
+  result.buffer = infer_buffer(result.traffic, result.ui, result.session_end);
+  result.ground_truth = qoe_from_events(result.events, result.traffic,
+                                        result.session_end,
+                                        config.qoe_options);
+  return result;
+}
+
+}  // namespace vodx::core

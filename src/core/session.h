@@ -1,0 +1,69 @@
+// Session runner: one experiment = one service streamed over one bandwidth
+// trace through the instrumented proxy (Figure 2's whole pipeline).
+//
+// Wires simulator + link + origin + proxy + player + UI monitor, runs for
+// the session duration, then executes the full methodology (traffic
+// analysis, UI inference, buffer inference, QoE) and also extracts the
+// player's ground truth so experiments can validate the inference.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/buffer_inference.h"
+#include "core/qoe.h"
+#include "core/traffic_analyzer.h"
+#include "core/ui_monitor.h"
+#include "http/proxy.h"
+#include "net/bandwidth_trace.h"
+#include "player/player.h"
+#include "services/service_catalog.h"
+
+namespace vodx::core {
+
+struct SessionConfig {
+  services::ServiceSpec spec;
+  net::BandwidthTrace trace;
+  Seconds content_duration = 600;
+  Seconds session_duration = 600;  ///< the paper runs 10-minute sessions
+  Seconds tick = 0.01;
+  Seconds rtt = 0.07;
+  std::uint64_t content_seed = 42;
+
+  // Black-box hooks.
+  http::Proxy::ManifestTransform manifest_transform;
+  http::Proxy::RejectHook reject_hook;
+  /// Like reject_hook but constructed against the live proxy, so the hook
+  /// can consult the traffic observed so far (e.g. SegmentClassifier).
+  std::function<http::Proxy::RejectHook(http::Proxy&)> reject_hook_factory;
+
+  QoeOptions qoe_options;
+};
+
+struct SessionResult {
+  // Methodology outputs (what the paper's toolchain would produce).
+  AnalyzedTraffic traffic;
+  UiInference ui;
+  QoeReport qoe;
+  std::vector<BufferSample> buffer;
+
+  // Ground truth (unavailable to the paper; used here for validation).
+  player::PlayerEvents events;
+  player::PlayerState final_state = player::PlayerState::kIdle;
+  Seconds final_position = 0;
+  QoeReport ground_truth;
+
+  Seconds session_end = 0;
+};
+
+/// Ground-truth QoE computed from player events + the wire log (validation
+/// reference for compute_qoe()).
+QoeReport qoe_from_events(const player::PlayerEvents& events,
+                          const AnalyzedTraffic& traffic, Seconds session_end,
+                          const QoeOptions& options = {});
+
+SessionResult run_session(const SessionConfig& config);
+
+}  // namespace vodx::core

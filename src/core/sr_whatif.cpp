@@ -1,0 +1,135 @@
+#include "core/sr_whatif.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/stats.h"
+
+namespace vodx::core {
+
+SrAnalysis analyze_sr(const SessionResult& session, int low_height) {
+  SrAnalysis out;
+  const AnalyzedTraffic& traffic = session.traffic;
+
+  // Completed video downloads per index, in completion order.
+  std::map<int, std::vector<const SegmentDownload*>> by_index;
+  for (const SegmentDownload& d : traffic.downloads) {
+    if (d.type != media::ContentType::kVideo) continue;
+    if (d.aborted) {
+      out.wasted_bytes += d.bytes;
+      continue;
+    }
+    by_index[d.index].push_back(&d);
+  }
+  for (auto& [index, list] : by_index) {
+    std::sort(list.begin(), list.end(),
+              [](const SegmentDownload* a, const SegmentDownload* b) {
+                return a->completed_at < b->completed_at;
+              });
+  }
+
+  // Replacement quality accounting: each redownload vs what it replaced.
+  int lower = 0;
+  int equal = 0;
+  std::vector<const SegmentDownload*> replacements;
+  for (const auto& [index, list] : by_index) {
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      ++out.replacement_downloads;
+      replacements.push_back(list[i]);
+      if (list[i]->level < list[i - 1]->level) ++lower;
+      if (list[i]->level == list[i - 1]->level) ++equal;
+      out.wasted_bytes += list[i - 1]->bytes;  // the discarded rendition
+    }
+  }
+  out.sr_observed = out.replacement_downloads > 0;
+  if (out.replacement_downloads > 0) {
+    out.replacements_lower =
+        static_cast<double>(lower) / out.replacement_downloads;
+    out.replacements_equal =
+        static_cast<double>(equal) / out.replacement_downloads;
+  }
+
+  // Cascade run lengths: replacements at consecutive indexes, issued in one
+  // time-contiguous burst.
+  if (!replacements.empty()) {
+    std::sort(replacements.begin(), replacements.end(),
+              [](const SegmentDownload* a, const SegmentDownload* b) {
+                return a->requested_at < b->requested_at;
+              });
+    std::vector<double> runs;
+    int run = 1;
+    for (std::size_t i = 1; i < replacements.size(); ++i) {
+      const bool contiguous =
+          replacements[i]->index == replacements[i - 1]->index + 1 &&
+          replacements[i]->requested_at -
+                  replacements[i - 1]->requested_at <
+              60;
+      if (contiguous) {
+        ++run;
+      } else {
+        runs.push_back(run);
+        run = 1;
+      }
+    }
+    runs.push_back(run);
+    out.p90_cascade_length = static_cast<int>(percentile(runs, 90));
+  }
+
+  // With-SR quality: the session's own QoE (last download wins).
+  out.avg_bitrate_with = session.qoe.average_declared_bitrate;
+  out.low_quality_fraction_with = session.qoe.fraction_at_or_below(low_height);
+
+  // No-SR baseline: first download per index wins. Weight by the same
+  // displayed windows as the real session.
+  double bitrate_weighted = 0;
+  Seconds displayed_time = 0;
+  Seconds low_time = 0;
+  for (const DisplayedSegment& shown : session.qoe.displayed) {
+    const auto it = by_index.find(shown.index);
+    if (it == by_index.end() || it->second.empty()) continue;
+    const SegmentDownload* first = it->second.front();
+    bitrate_weighted += first->declared_bitrate * shown.seconds_shown;
+    displayed_time += shown.seconds_shown;
+    if (first->resolution.height <= low_height) {
+      low_time += shown.seconds_shown;
+    }
+  }
+  if (displayed_time > 0) {
+    out.avg_bitrate_without = bitrate_weighted / displayed_time;
+    out.low_quality_fraction_without = low_time / displayed_time;
+  }
+  if (out.avg_bitrate_without > 0) {
+    out.bitrate_change =
+        (out.avg_bitrate_with - out.avg_bitrate_without) /
+        out.avg_bitrate_without;
+  }
+
+  // Data usage: all media bytes vs first-download-only bytes.
+  for (const SegmentDownload& d : traffic.downloads) {
+    out.media_bytes_with += d.bytes;
+  }
+  out.media_bytes_without = out.media_bytes_with;
+  for (const auto& [index, list] : by_index) {
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      out.media_bytes_without -= list[i]->bytes;
+    }
+  }
+  // Aborted transfers would not have happened either.
+  for (const SegmentDownload& d : traffic.downloads) {
+    if (d.aborted && d.type == media::ContentType::kVideo) {
+      out.media_bytes_without -= d.bytes;
+    }
+  }
+  if (out.media_bytes_without > 0) {
+    out.data_increase =
+        static_cast<double>(out.media_bytes_with - out.media_bytes_without) /
+        static_cast<double>(out.media_bytes_without);
+  }
+  if (out.media_bytes_with > 0) {
+    out.wasted_fraction = static_cast<double>(out.wasted_bytes) /
+                          static_cast<double>(out.media_bytes_with);
+  }
+  return out;
+}
+
+}  // namespace vodx::core

@@ -1,0 +1,43 @@
+// Segment Replacement what-if analysis (§4.1.1).
+//
+// From a session's wire trace alone, quantify what SR bought and what it
+// cost: emulate the no-SR baseline by keeping only the *first* download of
+// every index, then compare displayed quality and data usage against the
+// last-download-wins reality.
+#pragma once
+
+#include "core/session.h"
+
+namespace vodx::core {
+
+struct SrAnalysis {
+  bool sr_observed = false;
+  int replacement_downloads = 0;
+
+  /// Fractions of replacements whose new rendition was worse / identical in
+  /// level to the one it replaced (the §4.1.1 21.31% / 6.50% finding).
+  double replacements_lower = 0;
+  double replacements_equal = 0;
+
+  /// 90th percentile of contiguous replaced-segment run lengths.
+  int p90_cascade_length = 0;
+
+  // With-SR vs no-SR (first-download baseline) comparison.
+  Bytes media_bytes_with = 0;
+  Bytes media_bytes_without = 0;
+  double data_increase = 0;  ///< (with - without) / without
+
+  Bps avg_bitrate_with = 0;
+  Bps avg_bitrate_without = 0;
+  double bitrate_change = 0;  ///< relative
+
+  double low_quality_fraction_with = 0;   ///< height <= threshold
+  double low_quality_fraction_without = 0;
+
+  Bytes wasted_bytes = 0;      ///< discarded downloads + aborted transfers
+  double wasted_fraction = 0;  ///< of all media bytes
+};
+
+SrAnalysis analyze_sr(const SessionResult& session, int low_height = 480);
+
+}  // namespace vodx::core

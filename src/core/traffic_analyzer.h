@@ -1,0 +1,117 @@
+// Traffic analyzer (§2.3).
+//
+// Input: the proxy's raw TrafficLog. Output: per-track metadata and every
+// media segment download with its track level, index, duration, bytes and
+// timing. The analyzer is deliberately *protocol-generic* — it recognises
+// HLS, DASH and SmoothStreaming by content, parses the same manifests the
+// client received, and maps requests to segments:
+//
+//   HLS    segment URL -> (variant, index) via the media playlists
+//   DASH   (URL, byte range) -> segment via MPD SegmentList ranges, or via
+//          sidx boxes observed on the wire; sub-range requests (the D3 split
+//          download) are grouped back into their segment
+//   SS     fragment URL -> (quality level, chunk) by expanding the manifest's
+//          URL template exactly as a client would
+//
+// When the manifest is application-layer encrypted (the D3 case), the
+// analyzer falls back to the sidx boxes alone and, following the paper's
+// footnote 4, uses each track's peak actual segment bitrate as its declared
+// bitrate.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "http/traffic_log.h"
+#include "manifest/presentation.h"
+#include "media/types.h"
+
+namespace vodx::core {
+
+struct AnalyzedTrack {
+  media::ContentType type = media::ContentType::kVideo;
+  int level = 0;  ///< position in the ascending declared-bitrate ladder
+  Bps declared_bitrate = 0;
+  media::Resolution resolution;
+  std::vector<Seconds> segment_durations;
+  /// Exact sizes when the protocol exposes them (DASH); empty otherwise.
+  std::vector<Bytes> segment_sizes;
+
+  Seconds duration() const;
+  Seconds segment_start(int index) const;
+  /// Median segment duration — the "segment duration" of Table 1.
+  Seconds nominal_segment_duration() const;
+};
+
+struct SegmentDownload {
+  media::ContentType type = media::ContentType::kVideo;
+  int level = 0;
+  int index = 0;
+  Bps declared_bitrate = 0;
+  media::Resolution resolution;
+  Seconds duration = 0;       ///< media seconds
+  Bytes bytes = 0;            ///< payload bytes received
+  Seconds requested_at = 0;
+  Seconds completed_at = -1;  ///< -1 if aborted
+  bool aborted = false;
+  std::string connection;
+  int connection_use = 0;
+};
+
+struct AnalyzedTraffic {
+  manifest::Protocol protocol = manifest::Protocol::kHls;
+  bool manifest_encrypted = false;
+  std::vector<AnalyzedTrack> video_tracks;  ///< ascending declared bitrate
+  std::vector<AnalyzedTrack> audio_tracks;
+  std::vector<SegmentDownload> downloads;   ///< by request time
+  Bytes total_payload_bytes = 0;            ///< everything, manifests included
+
+  const AnalyzedTrack& video_track(int level) const;
+  /// Raw wire-level media transfer intervals (sub-range requests separate),
+  /// for connection-concurrency analysis.
+  std::vector<std::pair<Seconds, Seconds>> media_transfer_intervals;
+  /// Maximum number of simultaneously open transfers (Table 1 "Max #TCP").
+  int max_concurrent_transfers() const;
+  /// True when no connection carried more than one request (§3.2).
+  bool non_persistent_connections() const;
+};
+
+/// Analyzes a completed session's log. Throws ParseError if no manifest can
+/// be located.
+AnalyzedTraffic analyze_traffic(const http::TrafficLog& log);
+
+/// A segment's identity within the ladder.
+struct SegmentRef {
+  media::ContentType type = media::ContentType::kVideo;
+  int level = 0;
+  int index = 0;
+};
+
+/// Live request classifier for black-box experiments running *on* the proxy
+/// (e.g. "reject every video segment request after the first n", §3.3.1).
+/// It builds its URL/range -> segment maps lazily from the manifests and
+/// sidx boxes already observed in the traffic log — the same vantage point
+/// the paper's proxy has.
+class SegmentClassifier {
+ public:
+  explicit SegmentClassifier(const http::TrafficLog& log);
+  ~SegmentClassifier();
+
+  SegmentClassifier(const SegmentClassifier&) = delete;
+  SegmentClassifier& operator=(const SegmentClassifier&) = delete;
+
+  /// Classifies a request; nullopt when it is not a media segment (or the
+  /// manifest describing it has not crossed the wire yet).
+  std::optional<SegmentRef> classify(
+      const std::string& url,
+      const std::optional<manifest::ByteRange>& range);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace vodx::core

@@ -1,0 +1,62 @@
+#include "core/ui_monitor.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace vodx::core {
+
+void UiMonitor::on_progress(Seconds wall, int progress) {
+  samples_.push_back({wall, progress});
+}
+
+Seconds UiInference::position_at(Seconds wall) const {
+  if (samples.empty()) return 0;
+  auto it = std::upper_bound(
+      samples.begin(), samples.end(), wall,
+      [](Seconds value, const ProgressSample& s) { return value < s.wall; });
+  if (it == samples.begin()) return 0;
+  return static_cast<Seconds>(std::prev(it)->progress);
+}
+
+UiInference UiMonitor::infer(Seconds session_start) const {
+  UiInference out;
+  out.samples = samples_;
+
+  // Startup: the progress first reaching 1 means one second of video has
+  // rendered, so playback began ~1 s earlier.
+  Seconds playback_began = -1;
+  for (const ProgressSample& s : samples_) {
+    if (s.progress >= 1) {
+      playback_began = s.wall - static_cast<Seconds>(s.progress);
+      break;
+    }
+  }
+  if (playback_began < 0) return out;  // never started
+  out.startup_delay = playback_began - session_start;
+
+  // Stalls: while playing, progress advances one per 1 Hz sample. A run of
+  // repeated values of length k means ~k-1 seconds without rendering.
+  bool in_stall = false;
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    const ProgressSample& prev = samples_[i - 1];
+    const ProgressSample& cur = samples_[i];
+    // Stall detection only makes sense once rendering has visibly begun
+    // (progress >= 1); earlier repeats are just the startup phase.
+    if (prev.progress < 1) continue;
+    if (cur.progress == prev.progress) {
+      if (!in_stall) {
+        out.stalls.push_back({prev.wall, cur.wall});
+        in_stall = true;
+      } else {
+        out.stalls.back().end = cur.wall;
+      }
+    } else {
+      in_stall = false;
+    }
+  }
+  for (const InferredStall& s : out.stalls) out.total_stall += s.duration();
+  return out;
+}
+
+}  // namespace vodx::core

@@ -1,0 +1,53 @@
+// UI monitor (§2.4).
+//
+// The paper hooks ProgressBar.setProgress via Xposed and receives the
+// playback position at >= 1 s granularity. Here the hook is the player's
+// seekbar callback — the same information at the same resolution. From that
+// single integer time series the monitor infers startup delay and stall
+// spans, without touching player internals.
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+
+namespace vodx::core {
+
+struct ProgressSample {
+  Seconds wall = 0;
+  int progress = 0;  ///< seconds of playback position, floor()ed
+};
+
+struct InferredStall {
+  Seconds start = 0;
+  Seconds end = 0;
+  Seconds duration() const { return end - start; }
+};
+
+struct UiInference {
+  /// -1 when playback never started.
+  Seconds startup_delay = -1;
+  std::vector<InferredStall> stalls;
+  Seconds total_stall = 0;
+  /// Playback position at a wall time, interpolated from the samples.
+  /// (Exposed for buffer inference.)
+  std::vector<ProgressSample> samples;
+
+  Seconds position_at(Seconds wall) const;
+};
+
+class UiMonitor {
+ public:
+  /// Hook this to Player::set_seekbar_callback.
+  void on_progress(Seconds wall, int progress);
+
+  /// Runs the inference over everything observed so far.
+  UiInference infer(Seconds session_start) const;
+
+  const std::vector<ProgressSample>& samples() const { return samples_; }
+
+ private:
+  std::vector<ProgressSample> samples_;
+};
+
+}  // namespace vodx::core

@@ -1,0 +1,114 @@
+#include "http/http_client.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace vodx::http {
+
+HttpClient::HttpClient(net::Simulator& sim, net::Link& link, Proxy& proxy,
+                       Options options)
+    : sim_(sim), link_(link), proxy_(proxy), options_(options) {
+  VODX_ASSERT(options_.max_connections > 0, "need at least one connection");
+}
+
+HttpClient::~HttpClient() {
+  for (auto& [id, pending] : in_flight_) {
+    proxy_.log().abort(id, pending.connection->transfer_delivered());
+    pending.connection->abort_transfer();
+  }
+  for (auto& connection : connections_) link_.detach(connection.get());
+}
+
+int HttpClient::free_slots() const {
+  int busy = 0;
+  for (const auto& connection : connections_) {
+    if (connection->busy()) ++busy;
+  }
+  const int open_slots = static_cast<int>(connections_.size()) - busy;
+  const int unopened =
+      options_.max_connections - static_cast<int>(connections_.size());
+  return open_slots + unopened;
+}
+
+net::TcpConnection* HttpClient::acquire_connection() {
+  for (auto& connection : connections_) {
+    if (!connection->busy()) return connection.get();
+  }
+  if (static_cast<int>(connections_.size()) < options_.max_connections) {
+    auto connection = std::make_unique<net::TcpConnection>(
+        options_.tcp, format("conn%zu", connections_.size()));
+    link_.attach(connection.get());
+    connections_.push_back(std::move(connection));
+    return connections_.back().get();
+  }
+  return nullptr;
+}
+
+int HttpClient::fetch(const Request& request, ResponseFn on_done) {
+  net::TcpConnection* connection = acquire_connection();
+  if (connection == nullptr) return -1;
+
+  ConnectionUsage& usage = usage_[connection];
+  if (!connection->connected()) {
+    ++usage.generation;
+    usage.requests_on_generation = 0;
+  }
+  const std::string wire_name =
+      format("%s.%d", connection->label().c_str(), usage.generation);
+
+  Response response = proxy_.resolve(request);
+  const int id = proxy_.log().open(request.method, request.url, request.range,
+                                   sim_.now(), response, wire_name,
+                                   usage.requests_on_generation);
+  ++usage.requests_on_generation;
+  Pending pending;
+  pending.connection = connection;
+  pending.response = std::move(response);
+  pending.on_done = std::move(on_done);
+  in_flight_.emplace(id, std::move(pending));
+
+  connection->start_transfer(sim_.now(), in_flight_.at(id).response.wire_size(),
+                             [this, id] { finish(id); });
+  return id;
+}
+
+void HttpClient::finish(int transfer_id) {
+  auto it = in_flight_.find(transfer_id);
+  VODX_ASSERT(it != in_flight_.end(), "completion for unknown transfer");
+  // Move out before invoking: the callback may start new fetches.
+  Response response = std::move(it->second.response);
+  ResponseFn on_done = std::move(it->second.on_done);
+  proxy_.log().complete(transfer_id, sim_.now(), response.payload_size);
+  in_flight_.erase(it);
+  if (on_done) on_done(response);
+}
+
+void HttpClient::abort(int transfer_id) {
+  auto it = in_flight_.find(transfer_id);
+  if (it == in_flight_.end()) return;
+  net::TcpConnection* connection = it->second.connection;
+  // Subtract header overhead so the log charges only payload bytes.
+  const Bytes received = std::max<Bytes>(
+      0, connection->transfer_delivered() - kHttpHeaderOverhead);
+  proxy_.log().abort(transfer_id, received);
+  connection->abort_transfer();
+  in_flight_.erase(it);
+}
+
+Bytes HttpClient::total_delivered() const {
+  Bytes total = 0;
+  for (const auto& connection : connections_) {
+    total += connection->lifetime_delivered();
+  }
+  return total;
+}
+
+Bytes HttpClient::bytes_in_flight(int transfer_id) const {
+  auto it = in_flight_.find(transfer_id);
+  if (it == in_flight_.end()) return 0;
+  return it->second.connection->transfer_delivered();
+}
+
+}  // namespace vodx::http

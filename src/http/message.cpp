@@ -1,0 +1,31 @@
+#include "http/message.h"
+
+namespace vodx::http {
+
+Response make_ok(std::string content_type, std::string body) {
+  Response r;
+  r.status = 200;
+  r.content_type = std::move(content_type);
+  r.payload_size = static_cast<Bytes>(body.size());
+  r.body = std::move(body);
+  return r;
+}
+
+Response make_media(std::string content_type, Bytes payload_size) {
+  Response r;
+  r.status = 200;
+  r.content_type = std::move(content_type);
+  r.payload_size = payload_size;
+  return r;
+}
+
+Response make_error(int status, const std::string& reason) {
+  Response r;
+  r.status = status;
+  r.content_type = "text/plain";
+  r.body = reason;
+  r.payload_size = static_cast<Bytes>(reason.size());
+  return r;
+}
+
+}  // namespace vodx::http

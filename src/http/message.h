@@ -1,0 +1,56 @@
+// HTTP request/response model for the simulated client-server path.
+//
+// Bodies are real for structured content (manifests, sidx boxes) so the
+// client and the man-in-the-middle traffic analyzer genuinely parse what went
+// over the wire; media payloads carry only their size (their bytes would be
+// meaningless here), which is all the transfer simulation needs.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/units.h"
+#include "manifest/presentation.h"
+
+namespace vodx::http {
+
+enum class Method { kGet, kHead };
+
+inline const char* to_string(Method m) {
+  return m == Method::kGet ? "GET" : "HEAD";
+}
+
+struct Request {
+  Method method = Method::kGet;
+  std::string url;
+  std::optional<manifest::ByteRange> range;
+};
+
+struct Response {
+  int status = 200;
+  std::string content_type;
+  /// Structured payloads only (manifest text, sidx bytes); empty for media.
+  std::string body;
+  /// Size of the full response payload; equals body.size() when body is set.
+  Bytes payload_size = 0;
+  /// For HEAD responses: the size a GET would have returned.
+  Bytes head_content_length = 0;
+
+  bool ok() const { return status >= 200 && status < 300; }
+
+  /// Bytes that actually travel on the wire for this response.
+  Bytes wire_size() const;
+};
+
+/// Fixed per-message overhead (status line + headers).
+constexpr Bytes kHttpHeaderOverhead = 320;
+
+inline Bytes Response::wire_size() const {
+  return kHttpHeaderOverhead + payload_size;
+}
+
+Response make_ok(std::string content_type, std::string body);
+Response make_media(std::string content_type, Bytes payload_size);
+Response make_error(int status, const std::string& reason);
+
+}  // namespace vodx::http

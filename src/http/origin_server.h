@@ -1,0 +1,78 @@
+// Simulated VOD origin.
+//
+// Hosts one asset under one HAS protocol, generating real manifest bytes:
+//
+//   HLS    /master.m3u8, /video/<k>/playlist.m3u8, /video/<k>/seg<i>.ts
+//   DASH   /manifest.mpd, /video/<k>/media.mp4 (+ /audio/<l>/media.mp4),
+//          served by byte range; in kSidx mode the media file begins with a
+//          genuine sidx box and the MPD only carries SegmentBase@indexRange
+//   SS     /manifest.ism, /QualityLevels(<bitrate>)/Fragments(<type>=<ticks>)
+//
+// Supports GET (with ranges on DASH media files) and HEAD — the paper's
+// methodology HEADs HLS/SS segments to learn their sizes (§3.1).
+//
+// The D3-style application-layer manifest encryption is modelled by an XOR
+// scramble: worthless as cryptography, but it gives the man-in-the-middle
+// exactly the paper's situation — an opaque manifest it cannot read while the
+// client (which has the app's key) can.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "http/message.h"
+#include "manifest/dash_mpd.h"
+#include "media/video_asset.h"
+
+namespace vodx::http {
+
+struct OriginConfig {
+  manifest::Protocol protocol = manifest::Protocol::kHls;
+  manifest::DashIndexMode dash_index = manifest::DashIndexMode::kSidx;
+  /// Application-layer encrypt the manifest (the D3 behaviour, §2.3 fn 4).
+  bool encrypt_manifest = false;
+  /// Emit AVERAGE-BANDWIDTH in HLS master playlists (newer HLS, §4.2).
+  bool hls_average_bandwidth = false;
+  /// HLS v4 byte-range mode: each track is one media file and segments are
+  /// EXT-X-BYTERANGE sub-ranges, which exposes exact sizes to the client —
+  /// the direction §4.2 says HLS is moving in. (None of the 12 studied
+  /// services used it, so it defaults off.)
+  bool hls_byterange = false;
+};
+
+/// XOR-scramble stand-in for app-layer manifest encryption.
+std::string scramble_manifest(const std::string& plain);
+std::string unscramble_manifest(const std::string& blob);
+bool is_scrambled(std::string_view blob);
+
+class OriginServer {
+ public:
+  OriginServer(media::VideoAsset asset, OriginConfig config);
+
+  Response handle(const Request& request) const;
+
+  /// URL of the entry-point manifest.
+  std::string manifest_url() const;
+
+  const media::VideoAsset& asset() const { return asset_; }
+  const OriginConfig& config() const { return config_; }
+
+ private:
+  struct MediaFile {
+    Bytes total_size = 0;
+    std::string index_blob;  ///< sidx bytes at the file head (may be empty)
+  };
+
+  void build_hls();
+  void build_dash();
+  void build_smooth();
+  Response serve_media_file(const MediaFile& file, const Request& request) const;
+
+  media::VideoAsset asset_;
+  OriginConfig config_;
+  std::map<std::string, Response> text_resources_;   ///< manifests, playlists
+  std::map<std::string, Bytes> media_segments_;      ///< whole-file segments
+  std::map<std::string, MediaFile> media_files_;     ///< range-served files
+};
+
+}  // namespace vodx::http

@@ -1,0 +1,30 @@
+#include "http/proxy.h"
+
+namespace vodx::http {
+
+bool Proxy::is_manifest_content(const std::string& content_type) {
+  return content_type == "application/vnd.apple.mpegurl" ||
+         content_type == "application/dash+xml" ||
+         content_type == "text/xml";
+}
+
+Response Proxy::resolve(const Request& request) const {
+  if (reject_hook_ && reject_hook_(request)) {
+    return make_error(403, "rejected by proxy");
+  }
+  if (fault_hook_) {
+    if (const int status = fault_hook_(request); status != 0) {
+      return make_error(status, "injected fault");
+    }
+  }
+  Response response = origin_->handle(request);
+  if (manifest_transform_ && response.ok() &&
+      is_manifest_content(response.content_type)) {
+    std::string rewritten = manifest_transform_(request.url, response.body);
+    response.payload_size = static_cast<Bytes>(rewritten.size());
+    response.body = std::move(rewritten);
+  }
+  return response;
+}
+
+}  // namespace vodx::http

@@ -1,0 +1,243 @@
+#include "manifest/dash_mpd.h"
+
+#include <cctype>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "manifest/xml.h"
+
+namespace vodx::manifest {
+
+namespace {
+
+constexpr std::uint32_t kTimescale = 1000;
+
+/// Run-length encodes durations into SegmentTimeline S@d/@r elements.
+void serialize_timeline(XmlNode& parent, const std::vector<Seconds>& durations) {
+  XmlNode& timeline = parent.add_child("SegmentTimeline");
+  std::size_t i = 0;
+  while (i < durations.size()) {
+    auto ticks = static_cast<long long>(
+        std::llround(durations[i] * kTimescale));
+    std::size_t j = i + 1;
+    while (j < durations.size() &&
+           std::llround(durations[j] * kTimescale) == ticks) {
+      ++j;
+    }
+    XmlNode& s = timeline.add_child("S");
+    s.set_attr("d", std::to_string(ticks));
+    if (j - i > 1) s.set_attr("r", std::to_string(j - i - 1));
+    i = j;
+  }
+}
+
+std::vector<Seconds> parse_timeline(const XmlNode& parent,
+                                    std::uint32_t timescale) {
+  const XmlNode* timeline = parent.child("SegmentTimeline");
+  if (timeline == nullptr) {
+    throw ParseError("<" + parent.name() + "> needs SegmentTimeline");
+  }
+  std::vector<Seconds> durations;
+  for (const XmlNode* s : timeline->children_named("S")) {
+    Seconds d = static_cast<double>(parse_int(s->required_attr("d"))) /
+                timescale;
+    std::int64_t repeat = parse_int(s->attr("r").value_or("0"));
+    for (std::int64_t k = 0; k <= repeat; ++k) durations.push_back(d);
+  }
+  return durations;
+}
+
+void serialize_segment_list(XmlNode& parent,
+                            const std::vector<DashSegmentRef>& segments) {
+  XmlNode& list = parent.add_child("SegmentList");
+  list.set_attr("timescale", std::to_string(kTimescale));
+  std::vector<Seconds> durations;
+  for (const DashSegmentRef& seg : segments) durations.push_back(seg.duration);
+  serialize_timeline(list, durations);
+  for (const DashSegmentRef& seg : segments) {
+    XmlNode& url = list.add_child("SegmentURL");
+    url.set_attr("mediaRange", seg.media_range.to_string());
+  }
+}
+
+void serialize_segment_template(XmlNode& parent,
+                                const DashRepresentation& rep) {
+  XmlNode& tmpl = parent.add_child("SegmentTemplate");
+  tmpl.set_attr("timescale", std::to_string(kTimescale));
+  tmpl.set_attr("media", rep.media_template);
+  tmpl.set_attr("startNumber", std::to_string(rep.start_number));
+  serialize_timeline(tmpl, rep.template_durations);
+}
+
+std::vector<DashSegmentRef> parse_segment_list(const XmlNode& list) {
+  const std::uint32_t timescale = static_cast<std::uint32_t>(
+      parse_int(list.attr("timescale").value_or("1")));
+  std::vector<Seconds> durations = parse_timeline(list, timescale);
+  std::vector<DashSegmentRef> segments;
+  std::size_t i = 0;
+  for (const XmlNode* url : list.children_named("SegmentURL")) {
+    if (i >= durations.size()) {
+      throw ParseError("more SegmentURLs than timeline entries");
+    }
+    DashSegmentRef ref;
+    ref.duration = durations[i++];
+    ref.media_range = ByteRange::parse(url->required_attr("mediaRange"));
+    segments.push_back(ref);
+  }
+  if (i != durations.size()) {
+    throw ParseError("timeline entries do not match SegmentURLs");
+  }
+  return segments;
+}
+
+}  // namespace
+
+std::string DashRepresentation::template_url(int index) const {
+  VODX_ASSERT(!media_template.empty(), "representation has no template");
+  const std::string number = std::to_string(start_number + index);
+  std::string out = media_template;
+  std::size_t pos = 0;
+  while ((pos = out.find("$Number$", pos)) != std::string::npos) {
+    out.replace(pos, 8, number);
+    pos += number.size();
+  }
+  return out;
+}
+
+std::string iso8601_duration(Seconds seconds) {
+  VODX_ASSERT(seconds >= 0, "negative duration");
+  long long whole = static_cast<long long>(seconds);
+  double frac = seconds - static_cast<double>(whole);
+  long long hours = whole / 3600;
+  long long minutes = (whole % 3600) / 60;
+  double secs = static_cast<double>(whole % 60) + frac;
+  std::string out = "PT";
+  if (hours > 0) out += format("%lldH", hours);
+  if (minutes > 0) out += format("%lldM", minutes);
+  out += format("%.3fS", secs);
+  return out;
+}
+
+Seconds parse_iso8601_duration(std::string_view text) {
+  if (!starts_with(text, "PT")) {
+    throw ParseError("duration must start with PT: " + std::string(text));
+  }
+  text.remove_prefix(2);
+  Seconds total = 0;
+  std::string number;
+  for (char c : text) {
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      number += c;
+    } else {
+      if (number.empty()) throw ParseError("malformed ISO 8601 duration");
+      double value = parse_double(number);
+      switch (c) {
+        case 'H': total += value * 3600; break;
+        case 'M': total += value * 60; break;
+        case 'S': total += value; break;
+        default:
+          throw ParseError("unknown duration designator");
+      }
+      number.clear();
+    }
+  }
+  if (!number.empty()) throw ParseError("trailing digits in duration");
+  return total;
+}
+
+std::string DashMpd::serialize() const {
+  XmlNode root("MPD");
+  root.set_attr("xmlns", "urn:mpeg:dash:schema:mpd:2011");
+  root.set_attr("type", "static");
+  root.set_attr("mediaPresentationDuration",
+                iso8601_duration(media_presentation_duration));
+  root.set_attr("profiles", "urn:mpeg:dash:profile:isoff-on-demand:2011");
+  XmlNode& period = root.add_child("Period");
+  for (const DashAdaptationSet& set : adaptation_sets) {
+    XmlNode& set_node = period.add_child("AdaptationSet");
+    const bool video = set.content_type == media::ContentType::kVideo;
+    set_node.set_attr("contentType", video ? "video" : "audio");
+    set_node.set_attr("mimeType", video ? "video/mp4" : "audio/mp4");
+    for (const DashRepresentation& rep : set.representations) {
+      XmlNode& rep_node = set_node.add_child("Representation");
+      rep_node.set_attr("id", rep.id);
+      rep_node.set_attr(
+          "bandwidth",
+          std::to_string(static_cast<long long>(std::llround(rep.bandwidth))));
+      if (rep.resolution.width > 0) {
+        rep_node.set_attr("width", std::to_string(rep.resolution.width));
+        rep_node.set_attr("height", std::to_string(rep.resolution.height));
+      }
+      if (!rep.base_url.empty()) {
+        rep_node.add_child("BaseURL").set_text(rep.base_url);
+      }
+      if (rep.index_range) {
+        XmlNode& base = rep_node.add_child("SegmentBase");
+        base.set_attr("indexRange", rep.index_range->to_string());
+      } else if (!rep.media_template.empty()) {
+        serialize_segment_template(rep_node, rep);
+      } else {
+        serialize_segment_list(rep_node, rep.segments);
+      }
+    }
+  }
+  return serialize_document(root);
+}
+
+DashMpd DashMpd::parse(std::string_view text) {
+  std::unique_ptr<XmlNode> root = parse_xml(text);
+  if (root->name() != "MPD") throw ParseError("root element must be MPD");
+  DashMpd mpd;
+  mpd.media_presentation_duration =
+      parse_iso8601_duration(root->required_attr("mediaPresentationDuration"));
+  const XmlNode* period = root->child("Period");
+  if (period == nullptr) throw ParseError("MPD needs a Period");
+  for (const XmlNode* set_node : period->children_named("AdaptationSet")) {
+    DashAdaptationSet set;
+    set.content_type = set_node->attr("contentType").value_or("video") == "audio"
+                           ? media::ContentType::kAudio
+                           : media::ContentType::kVideo;
+    for (const XmlNode* rep_node : set_node->children_named("Representation")) {
+      DashRepresentation rep;
+      rep.id = rep_node->required_attr("id");
+      rep.bandwidth = static_cast<Bps>(parse_int(rep_node->required_attr("bandwidth")));
+      if (auto w = rep_node->attr("width")) {
+        rep.resolution.width = static_cast<int>(parse_int(*w));
+        rep.resolution.height =
+            static_cast<int>(parse_int(rep_node->required_attr("height")));
+      }
+      if (const XmlNode* base_url = rep_node->child("BaseURL")) {
+        rep.base_url = base_url->text();
+      }
+      if (const XmlNode* segment_base = rep_node->child("SegmentBase")) {
+        if (rep.base_url.empty()) {
+          throw ParseError("SegmentBase needs a BaseURL");
+        }
+        rep.index_range =
+            ByteRange::parse(segment_base->required_attr("indexRange"));
+      } else if (const XmlNode* list = rep_node->child("SegmentList")) {
+        if (rep.base_url.empty()) {
+          throw ParseError("SegmentList needs a BaseURL");
+        }
+        rep.segments = parse_segment_list(*list);
+      } else if (const XmlNode* tmpl = rep_node->child("SegmentTemplate")) {
+        rep.media_template = tmpl->required_attr("media");
+        rep.start_number = static_cast<int>(
+            parse_int(tmpl->attr("startNumber").value_or("1")));
+        const auto timescale = static_cast<std::uint32_t>(
+            parse_int(tmpl->attr("timescale").value_or("1")));
+        rep.template_durations = parse_timeline(*tmpl, timescale);
+      } else {
+        throw ParseError(
+            "Representation needs SegmentBase, SegmentList or "
+            "SegmentTemplate");
+      }
+      set.representations.push_back(std::move(rep));
+    }
+    mpd.adaptation_sets.push_back(std::move(set));
+  }
+  return mpd;
+}
+
+}  // namespace vodx::manifest

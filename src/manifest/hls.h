@@ -1,0 +1,48 @@
+// HTTP Live Streaming playlists (RFC 8216 subset).
+//
+// Master playlist: EXT-X-STREAM-INF variants with BANDWIDTH (the declared
+// bitrate — HLS requires the peak), optional AVERAGE-BANDWIDTH and
+// RESOLUTION. Media playlist: EXTINF segment durations and URIs, with
+// optional EXT-X-BYTERANGE (HLS v4+). Both directions: generation on the
+// origin, parsing in the client and in the traffic analyzer.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "manifest/presentation.h"
+#include "media/types.h"
+
+namespace vodx::manifest {
+
+struct HlsVariant {
+  Bps bandwidth = 0;  ///< required; peak bits per second
+  std::optional<Bps> average_bandwidth;
+  media::Resolution resolution;
+  std::string uri;  ///< media playlist, relative to the master
+};
+
+struct HlsMasterPlaylist {
+  std::vector<HlsVariant> variants;
+
+  std::string serialize() const;
+  static HlsMasterPlaylist parse(std::string_view text);
+};
+
+struct HlsMediaSegment {
+  Seconds duration = 0;
+  std::string uri;
+  std::optional<ByteRange> byterange;
+};
+
+struct HlsMediaPlaylist {
+  Seconds target_duration = 0;
+  std::vector<HlsMediaSegment> segments;
+
+  std::string serialize() const;
+  static HlsMediaPlaylist parse(std::string_view text);
+};
+
+}  // namespace vodx::manifest

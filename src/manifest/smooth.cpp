@@ -1,0 +1,120 @@
+#include "manifest/smooth.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "manifest/xml.h"
+
+namespace vodx::manifest {
+
+namespace {
+
+std::string replace_all_occurrences(std::string text, std::string_view from,
+                                    std::string_view to) {
+  std::size_t pos = 0;
+  while ((pos = text.find(from, pos)) != std::string::npos) {
+    text.replace(pos, from.size(), to);
+    pos += to.size();
+  }
+  return text;
+}
+
+}  // namespace
+
+std::string SmoothStreamIndex::fragment_url(Bps bitrate,
+                                            std::uint64_t start_ticks) const {
+  std::string url = replace_all_occurrences(
+      url_template, "{bitrate}",
+      std::to_string(static_cast<long long>(std::llround(bitrate))));
+  return replace_all_occurrences(url, "{start time}",
+                                 std::to_string(start_ticks));
+}
+
+std::uint64_t SmoothStreamIndex::chunk_start_ticks(int index) const {
+  VODX_ASSERT(index >= 0 &&
+                  index < static_cast<int>(chunk_durations.size()),
+              "chunk index out of range");
+  double start = 0;
+  for (int i = 0; i < index; ++i) {
+    start += chunk_durations[static_cast<std::size_t>(i)];
+  }
+  return static_cast<std::uint64_t>(
+      std::llround(start * static_cast<double>(kSmoothTimescale)));
+}
+
+std::string SmoothManifest::serialize() const {
+  XmlNode root("SmoothStreamingMedia");
+  root.set_attr("MajorVersion", "2");
+  root.set_attr("MinorVersion", "0");
+  root.set_attr("TimeScale", std::to_string(kSmoothTimescale));
+  root.set_attr("Duration",
+                std::to_string(static_cast<std::uint64_t>(std::llround(
+                    duration * static_cast<double>(kSmoothTimescale)))));
+  for (const SmoothStreamIndex& stream : stream_indexes) {
+    XmlNode& index = root.add_child("StreamIndex");
+    const bool video = stream.type == media::ContentType::kVideo;
+    index.set_attr("Type", video ? "video" : "audio");
+    index.set_attr("QualityLevels",
+                   std::to_string(stream.quality_levels.size()));
+    index.set_attr("Chunks", std::to_string(stream.chunk_durations.size()));
+    index.set_attr("Url", stream.url_template);
+    int level = 0;
+    for (const SmoothQualityLevel& q : stream.quality_levels) {
+      XmlNode& quality = index.add_child("QualityLevel");
+      quality.set_attr("Index", std::to_string(level++));
+      quality.set_attr(
+          "Bitrate",
+          std::to_string(static_cast<long long>(std::llround(q.bitrate))));
+      if (q.resolution.width > 0) {
+        quality.set_attr("MaxWidth", std::to_string(q.resolution.width));
+        quality.set_attr("MaxHeight", std::to_string(q.resolution.height));
+      }
+    }
+    for (Seconds d : stream.chunk_durations) {
+      XmlNode& chunk = index.add_child("c");
+      chunk.set_attr("d", std::to_string(static_cast<std::uint64_t>(std::llround(
+                              d * static_cast<double>(kSmoothTimescale)))));
+    }
+  }
+  return serialize_document(root);
+}
+
+SmoothManifest SmoothManifest::parse(std::string_view text) {
+  std::unique_ptr<XmlNode> root = parse_xml(text);
+  if (root->name() != "SmoothStreamingMedia") {
+    throw ParseError("root must be SmoothStreamingMedia");
+  }
+  const double timescale = static_cast<double>(
+      parse_int(root->attr("TimeScale").value_or("10000000")));
+  SmoothManifest manifest;
+  manifest.duration =
+      static_cast<double>(parse_int(root->required_attr("Duration"))) /
+      timescale;
+  for (const XmlNode* index : root->children_named("StreamIndex")) {
+    SmoothStreamIndex stream;
+    stream.type = index->required_attr("Type") == "audio"
+                      ? media::ContentType::kAudio
+                      : media::ContentType::kVideo;
+    stream.url_template = index->required_attr("Url");
+    for (const XmlNode* quality : index->children_named("QualityLevel")) {
+      SmoothQualityLevel q;
+      q.bitrate = static_cast<Bps>(parse_int(quality->required_attr("Bitrate")));
+      if (auto w = quality->attr("MaxWidth")) {
+        q.resolution.width = static_cast<int>(parse_int(*w));
+        q.resolution.height =
+            static_cast<int>(parse_int(quality->required_attr("MaxHeight")));
+      }
+      stream.quality_levels.push_back(q);
+    }
+    for (const XmlNode* chunk : index->children_named("c")) {
+      stream.chunk_durations.push_back(
+          static_cast<double>(parse_int(chunk->required_attr("d"))) /
+          timescale);
+    }
+    manifest.stream_indexes.push_back(std::move(stream));
+  }
+  return manifest;
+}
+
+}  // namespace vodx::manifest

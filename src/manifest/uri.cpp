@@ -1,0 +1,37 @@
+#include "manifest/uri.h"
+
+#include <vector>
+
+#include "common/strings.h"
+
+namespace vodx::manifest {
+
+std::string uri_directory(std::string_view url) {
+  std::size_t slash = url.rfind('/');
+  if (slash == std::string_view::npos) return "/";
+  return std::string(url.substr(0, slash + 1));
+}
+
+std::string uri_resolve(std::string_view base_url, std::string_view reference) {
+  std::string joined;
+  if (!reference.empty() && reference.front() == '/') {
+    joined = std::string(reference);
+  } else {
+    joined = uri_directory(base_url) + std::string(reference);
+  }
+  // Normalise "." and "..".
+  std::vector<std::string> parts;
+  for (const std::string& part : split(joined, '/')) {
+    if (part.empty() || part == ".") continue;
+    if (part == "..") {
+      if (!parts.empty()) parts.pop_back();
+      continue;
+    }
+    parts.push_back(part);
+  }
+  std::string out;
+  for (const std::string& part : parts) out += "/" + part;
+  return out.empty() ? "/" : out;
+}
+
+}  // namespace vodx::manifest

@@ -1,0 +1,253 @@
+#include "manifest/xml.h"
+
+#include <cctype>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace vodx::manifest {
+
+void XmlNode::set_attr(const std::string& key, const std::string& value) {
+  for (auto& [k, v] : attrs_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  attrs_.emplace_back(key, value);
+}
+
+std::optional<std::string> XmlNode::attr(const std::string& key) const {
+  for (const auto& [k, v] : attrs_) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+std::string XmlNode::required_attr(const std::string& key) const {
+  auto value = attr(key);
+  if (!value) {
+    throw ParseError("<" + name_ + "> missing attribute '" + key + "'");
+  }
+  return *value;
+}
+
+XmlNode& XmlNode::add_child(std::string name) {
+  children_.push_back(std::make_unique<XmlNode>(std::move(name)));
+  return *children_.back();
+}
+
+void XmlNode::adopt_child(std::unique_ptr<XmlNode> child) {
+  children_.push_back(std::move(child));
+}
+
+const XmlNode* XmlNode::child(std::string_view name) const {
+  for (const auto& c : children_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::children_named(
+    std::string_view name) const {
+  std::vector<const XmlNode*> out;
+  for (const auto& c : children_) {
+    if (c->name() == name) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::string xml_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string XmlNode::serialize(int indent) const {
+  std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  std::string out = pad + "<" + name_;
+  for (const auto& [k, v] : attrs_) {
+    out += " " + k + "=\"" + xml_escape(v) + "\"";
+  }
+  if (children_.empty() && text_.empty()) {
+    out += "/>\n";
+    return out;
+  }
+  out += ">";
+  if (!text_.empty()) out += xml_escape(text_);
+  if (!children_.empty()) {
+    out += "\n";
+    for (const auto& c : children_) out += c->serialize(indent + 1);
+    out += pad;
+  }
+  out += "</" + name_ + ">\n";
+  return out;
+}
+
+std::string serialize_document(const XmlNode& root) {
+  return "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n" + root.serialize();
+}
+
+namespace {
+
+class XmlParser {
+ public:
+  explicit XmlParser(std::string_view text) : text_(text) {}
+
+  std::unique_ptr<XmlNode> parse() {
+    skip_misc();
+    auto root = parse_element();
+    skip_misc();
+    if (pos_ != text_.size()) throw ParseError("trailing content after root");
+    return root;
+  }
+
+ private:
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  /// Skips whitespace, XML declarations and comments.
+  void skip_misc() {
+    while (true) {
+      skip_whitespace();
+      if (lookahead("<?")) {
+        std::size_t end = text_.find("?>", pos_);
+        if (end == std::string_view::npos) throw ParseError("unterminated <?");
+        pos_ = end + 2;
+      } else if (lookahead("<!--")) {
+        std::size_t end = text_.find("-->", pos_);
+        if (end == std::string_view::npos)
+          throw ParseError("unterminated comment");
+        pos_ = end + 3;
+      } else {
+        return;
+      }
+    }
+  }
+
+  bool lookahead(std::string_view prefix) const {
+    return text_.substr(pos_, prefix.size()) == prefix;
+  }
+
+  void expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      throw ParseError(std::string("expected '") + c + "' in XML");
+    }
+    ++pos_;
+  }
+
+  std::string parse_name() {
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == ':' || text_[pos_] == '_' || text_[pos_] == '-' ||
+            text_[pos_] == '.')) {
+      ++pos_;
+    }
+    if (pos_ == start) throw ParseError("expected XML name");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::string unescape(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size();) {
+      if (raw[i] != '&') {
+        out += raw[i++];
+        continue;
+      }
+      std::size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) throw ParseError("bad entity");
+      std::string_view entity = raw.substr(i + 1, semi - i - 1);
+      if (entity == "amp") out += '&';
+      else if (entity == "lt") out += '<';
+      else if (entity == "gt") out += '>';
+      else if (entity == "quot") out += '"';
+      else if (entity == "apos") out += '\'';
+      else throw ParseError("unknown entity &" + std::string(entity) + ";");
+      i = semi + 1;
+    }
+    return out;
+  }
+
+  std::unique_ptr<XmlNode> parse_element() {
+    expect('<');
+    auto node = std::make_unique<XmlNode>(parse_name());
+    // Attributes.
+    while (true) {
+      skip_whitespace();
+      if (lookahead("/>")) {
+        pos_ += 2;
+        return node;
+      }
+      if (lookahead(">")) {
+        ++pos_;
+        break;
+      }
+      std::string key = parse_name();
+      skip_whitespace();
+      expect('=');
+      skip_whitespace();
+      expect('"');
+      std::size_t end = text_.find('"', pos_);
+      if (end == std::string_view::npos)
+        throw ParseError("unterminated attribute value");
+      node->set_attr(key, unescape(text_.substr(pos_, end - pos_)));
+      pos_ = end + 1;
+    }
+    // Content: text and child elements until the closing tag.
+    std::string text;
+    while (true) {
+      if (pos_ >= text_.size()) throw ParseError("unexpected end of XML");
+      if (lookahead("</")) {
+        pos_ += 2;
+        std::string closing = parse_name();
+        if (closing != node->name()) {
+          throw ParseError("mismatched </" + closing + "> for <" +
+                           node->name() + ">");
+        }
+        skip_whitespace();
+        expect('>');
+        node->set_text(unescape(trim(text)));
+        return node;
+      }
+      if (lookahead("<!--")) {
+        std::size_t end = text_.find("-->", pos_);
+        if (end == std::string_view::npos)
+          throw ParseError("unterminated comment");
+        pos_ = end + 3;
+        continue;
+      }
+      if (lookahead("<")) {
+        node->adopt_child(parse_element());
+        continue;
+      }
+      text += text_[pos_++];
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<XmlNode> parse_xml(std::string_view text) {
+  return XmlParser(text).parse();
+}
+
+}  // namespace vodx::manifest

@@ -1,0 +1,62 @@
+// Minimal XML document model, writer and parser.
+//
+// Covers the subset DASH MPDs and SmoothStreaming manifests need: nested
+// elements, attributes, text nodes, self-closing tags, XML declarations and
+// comments. No namespace resolution (names are kept verbatim) and only the
+// five predefined entities.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vodx::manifest {
+
+class XmlNode {
+ public:
+  explicit XmlNode(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Attributes preserve insertion order (stable serialisation).
+  void set_attr(const std::string& key, const std::string& value);
+  std::optional<std::string> attr(const std::string& key) const;
+
+  /// Attribute that must exist; throws ParseError otherwise.
+  std::string required_attr(const std::string& key) const;
+
+  XmlNode& add_child(std::string name);
+  void adopt_child(std::unique_ptr<XmlNode> child);
+  const std::vector<std::unique_ptr<XmlNode>>& children() const {
+    return children_;
+  }
+
+  /// First child with the given element name, or nullptr.
+  const XmlNode* child(std::string_view name) const;
+  /// All children with the given element name.
+  std::vector<const XmlNode*> children_named(std::string_view name) const;
+
+  void set_text(std::string text) { text_ = std::move(text); }
+  const std::string& text() const { return text_; }
+
+  /// Serialises this node (and subtree) with 2-space indentation.
+  std::string serialize(int indent = 0) const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> attrs_;
+  std::vector<std::unique_ptr<XmlNode>> children_;
+  std::string text_;
+};
+
+/// Serialises with an XML declaration prepended.
+std::string serialize_document(const XmlNode& root);
+
+/// Parses a document; throws ParseError on malformed input.
+std::unique_ptr<XmlNode> parse_xml(std::string_view text);
+
+std::string xml_escape(std::string_view text);
+
+}  // namespace vodx::manifest

@@ -1,0 +1,133 @@
+#include "media/sidx.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vodx::media {
+
+namespace {
+
+constexpr std::uint32_t kFullBoxHeader = 12;  // size + fourcc + version/flags
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v >> 8));
+  out.push_back(static_cast<char>(v & 0xFF));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v >> 24));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>(v & 0xFF));
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  std::uint16_t u16() { return static_cast<std::uint16_t>(byte() << 8 | byte()); }
+
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = v << 8 | byte();
+    return v;
+  }
+
+  std::string fourcc() {
+    std::string out;
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(byte()));
+    return out;
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::uint8_t byte() {
+    if (pos_ >= data_.size()) throw ParseError("sidx truncated");
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::uint32_t SidxBox::box_size() const {
+  // FullBox header + reference_ID + timescale + EPT + first_offset +
+  // reserved/reference_count + 12 bytes per reference (version 0).
+  return kFullBoxHeader + 4 + 4 + 4 + 4 + 4 +
+         12 * static_cast<std::uint32_t>(references.size());
+}
+
+SidxBox sidx_for_track(const Track& track, std::uint32_t timescale) {
+  VODX_ASSERT(timescale > 0, "timescale must be positive");
+  SidxBox box;
+  box.timescale = timescale;
+  box.references.reserve(track.segments().size());
+  for (const Segment& s : track.segments()) {
+    SidxReference ref;
+    ref.referenced_size = static_cast<std::uint32_t>(s.size);
+    ref.subsegment_duration = static_cast<std::uint32_t>(
+        std::llround(s.duration * static_cast<double>(timescale)));
+    box.references.push_back(ref);
+  }
+  return box;
+}
+
+std::string serialize_sidx(const SidxBox& box) {
+  std::string out;
+  out.reserve(box.box_size());
+  put_u32(out, box.box_size());
+  out += "sidx";
+  put_u32(out, 0);  // version 0, flags 0
+  put_u32(out, box.reference_id);
+  put_u32(out, box.timescale);
+  put_u32(out, static_cast<std::uint32_t>(box.earliest_presentation_time));
+  put_u32(out, static_cast<std::uint32_t>(box.first_offset));
+  put_u16(out, 0);  // reserved
+  put_u16(out, static_cast<std::uint16_t>(box.references.size()));
+  for (const SidxReference& ref : box.references) {
+    VODX_ASSERT((ref.referenced_size & 0x80000000U) == 0,
+                "referenced_size exceeds 31 bits");
+    put_u32(out, ref.referenced_size);  // reference_type bit = 0 (media)
+    put_u32(out, ref.subsegment_duration);
+    put_u32(out, 0x90000000U);  // starts_with_SAP=1, SAP_type=1, delta=0
+  }
+  return out;
+}
+
+SidxBox parse_sidx(std::string_view data) {
+  Reader r(data);
+  const std::uint32_t size = r.u32();
+  if (size > data.size()) throw ParseError("sidx box size exceeds buffer");
+  if (r.fourcc() != "sidx") throw ParseError("not a sidx box");
+  const std::uint32_t version_flags = r.u32();
+  const std::uint8_t version = static_cast<std::uint8_t>(version_flags >> 24);
+  if (version != 0) throw ParseError("only sidx version 0 supported");
+
+  SidxBox box;
+  box.reference_id = r.u32();
+  box.timescale = r.u32();
+  if (box.timescale == 0) throw ParseError("sidx timescale is zero");
+  box.earliest_presentation_time = r.u32();
+  box.first_offset = r.u32();
+  r.u16();  // reserved
+  const std::uint16_t count = r.u16();
+  box.references.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    SidxReference ref;
+    const std::uint32_t type_size = r.u32();
+    if (type_size & 0x80000000U) {
+      throw ParseError("nested sidx references not supported");
+    }
+    ref.referenced_size = type_size;
+    ref.subsegment_duration = r.u32();
+    r.u32();  // SAP info
+    box.references.push_back(ref);
+  }
+  return box;
+}
+
+}  // namespace vodx::media

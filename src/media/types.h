@@ -1,0 +1,42 @@
+// Basic media vocabulary shared by the encoder, manifests and player.
+#pragma once
+
+#include <string>
+
+namespace vodx::media {
+
+enum class ContentType { kVideo, kAudio };
+
+inline const char* to_string(ContentType type) {
+  return type == ContentType::kVideo ? "video" : "audio";
+}
+
+/// Standard resolution rungs, used to bucket quality in Fig. 11/13 style
+/// "time below 360p/480p" metrics.
+struct Resolution {
+  int width = 0;
+  int height = 0;
+
+  bool operator==(const Resolution&) const = default;
+  std::string label() const { return std::to_string(height) + "p"; }
+};
+
+constexpr Resolution k240p{426, 240};
+constexpr Resolution k360p{640, 360};
+constexpr Resolution k480p{854, 480};
+constexpr Resolution k720p{1280, 720};
+constexpr Resolution k1080p{1920, 1080};
+
+/// The conventional resolution for a given video bitrate; used when a service
+/// spec gives only the bitrate ladder.
+Resolution typical_resolution_for(double bps);
+
+inline Resolution typical_resolution_for(double bps) {
+  if (bps < 400e3) return k240p;
+  if (bps < 900e3) return k360p;
+  if (bps < 1.8e6) return k480p;
+  if (bps < 3.5e6) return k720p;
+  return k1080p;
+}
+
+}  // namespace vodx::media

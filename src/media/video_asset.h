@@ -1,0 +1,43 @@
+// A complete piece of content as hosted by an origin: the video track ladder
+// and, for services that encode audio separately (§3.1), the audio tracks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "media/track.h"
+
+namespace vodx::media {
+
+class VideoAsset {
+ public:
+  VideoAsset(std::string name, std::vector<Track> video_tracks,
+             std::vector<Track> audio_tracks = {});
+
+  const std::string& name() const { return name_; }
+
+  /// Video tracks in ascending declared-bitrate order.
+  const std::vector<Track>& video_tracks() const { return video_tracks_; }
+  const std::vector<Track>& audio_tracks() const { return audio_tracks_; }
+
+  bool separate_audio() const { return !audio_tracks_.empty(); }
+
+  const Track& video_track(int level) const;
+  const Track& audio_track(int level) const;
+  int video_track_count() const { return static_cast<int>(video_tracks_.size()); }
+
+  /// Level (index into video_tracks) of a track id; -1 if unknown.
+  int video_level_of(const std::string& track_id) const;
+
+  Seconds duration() const { return video_tracks_.front().duration(); }
+  Bps lowest_declared_bitrate() const;
+  Bps highest_declared_bitrate() const;
+
+ private:
+  std::string name_;
+  std::vector<Track> video_tracks_;
+  std::vector<Track> audio_tracks_;
+};
+
+}  // namespace vodx::media

@@ -1,0 +1,65 @@
+// Time-varying bottleneck bandwidth, the simulated analogue of the paper's
+// `tc`-based network emulator fed with recorded cellular throughput traces.
+//
+// A trace is piecewise-constant: sample i holds from its start time until the
+// next sample's start. Queries beyond the end wrap around (the paper replays
+// 10-minute traces for arbitrarily long sessions the same way).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace vodx::net {
+
+class BandwidthTrace {
+ public:
+  struct Sample {
+    Seconds start = 0;
+    Bps bandwidth = 0;
+  };
+
+  /// A flat profile at `bandwidth` for `duration` seconds.
+  static BandwidthTrace constant(Bps bandwidth, Seconds duration);
+
+  /// A step profile: `before` until `step_at`, then `after` until `duration`.
+  static BandwidthTrace step(Bps before, Bps after, Seconds step_at,
+                             Seconds duration);
+
+  /// Builds from explicit samples; they must be time-ordered and non-negative.
+  static BandwidthTrace from_samples(std::vector<Sample> samples,
+                                     Seconds duration);
+
+  /// One sample per second, in the order given (the format the paper's trace
+  /// collection produces: throughput recorded every second).
+  static BandwidthTrace per_second(const std::vector<Bps>& samples);
+
+  /// Bandwidth at absolute time t; t past the end wraps around.
+  Bps at(Seconds t) const;
+
+  /// Average bandwidth over one full trace length.
+  Bps mean() const;
+
+  Bps peak() const;
+
+  /// Integral of bandwidth (bits) over [t0, t1), honouring wrap-around.
+  double bits_between(Seconds t0, Seconds t1) const;
+
+  /// Extracts [start, start + length) as a standalone trace.
+  BandwidthTrace slice(Seconds start, Seconds length) const;
+
+  Seconds duration() const { return duration_; }
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  /// Optional label used by bench output ("Profile 3", "step 4->1 Mbps").
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+ private:
+  std::vector<Sample> samples_;
+  Seconds duration_ = 0;
+  std::string name_;
+};
+
+}  // namespace vodx::net

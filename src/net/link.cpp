@@ -1,0 +1,94 @@
+#include "net/link.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace vodx::net {
+
+namespace {
+
+/// Max-min fair allocation of `capacity` across `demands`. Returns per-flow
+/// grants; flows with zero demand get zero.
+std::vector<Bps> max_min_allocate(const std::vector<Bps>& demands,
+                                  Bps capacity) {
+  std::vector<Bps> alloc(demands.size(), 0.0);
+  std::vector<std::size_t> active;
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    if (demands[i] > 0) active.push_back(i);
+  }
+  Bps remaining = capacity;
+  while (!active.empty() && remaining > 0) {
+    Bps share = remaining / static_cast<double>(active.size());
+    bool progressed = false;
+    for (auto it = active.begin(); it != active.end();) {
+      if (demands[*it] <= share) {
+        alloc[*it] = demands[*it];
+        remaining -= demands[*it];
+        it = active.erase(it);
+        progressed = true;
+      } else {
+        ++it;
+      }
+    }
+    if (!progressed) {
+      // Every remaining flow wants more than an equal share: split evenly.
+      for (std::size_t i : active) alloc[i] = share;
+      remaining = 0;
+      break;
+    }
+  }
+  return alloc;
+}
+
+}  // namespace
+
+Link::Link(Simulator& sim, BandwidthTrace trace, Seconds rtt)
+    : sim_(sim), trace_(std::move(trace)), rtt_(rtt) {
+  sim_.on_tick([this](Seconds dt) { tick(dt); });
+}
+
+void Link::attach(TcpConnection* connection) {
+  VODX_ASSERT(connection != nullptr, "null connection");
+  VODX_ASSERT(std::find(connections_.begin(), connections_.end(), connection) ==
+                  connections_.end(),
+              "connection attached twice");
+  connections_.push_back(connection);
+}
+
+void Link::detach(TcpConnection* connection) {
+  auto it = std::find(connections_.begin(), connections_.end(), connection);
+  if (it == connections_.end()) return;
+  delivered_by_detached_ += connection->lifetime_delivered();
+  connections_.erase(it);
+}
+
+Bytes Link::total_delivered() const {
+  Bytes total = delivered_by_detached_;
+  for (const TcpConnection* c : connections_) total += c->lifetime_delivered();
+  return total;
+}
+
+void Link::tick(Seconds dt) {
+  // Snapshot: completion callbacks inside advance() may attach/detach
+  // connections; newly attached ones start participating next tick.
+  std::vector<TcpConnection*> snapshot = connections_;
+  std::vector<Bps> demands(snapshot.size());
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    demands[i] = snapshot[i]->demand();
+  }
+  const Bps capacity = trace_.at(sim_.now());
+  std::vector<Bps> grants = max_min_allocate(demands, capacity);
+
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    // A callback earlier in this loop may have detached this connection.
+    if (std::find(connections_.begin(), connections_.end(), snapshot[i]) ==
+        connections_.end()) {
+      continue;
+    }
+    const bool saturated = grants[i] + 1e-6 < demands[i];
+    snapshot[i]->advance(sim_.now(), dt, grants[i], saturated);
+  }
+}
+
+}  // namespace vodx::net

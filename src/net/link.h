@@ -1,0 +1,50 @@
+// Shared bottleneck link.
+//
+// Models the cellular last hop the paper emulates with `tc`: a single
+// bottleneck whose capacity follows a BandwidthTrace, shared max-min fairly
+// by all attached TCP connections with demand. Per-connection rates are
+// additionally capped by each connection's own cwnd/RTT (handled inside
+// TcpConnection::advance).
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+#include "net/bandwidth_trace.h"
+#include "net/simulator.h"
+#include "net/tcp_connection.h"
+
+namespace vodx::net {
+
+class Link {
+ public:
+  /// Registers itself as a tick handler of `sim`. The link must outlive the
+  /// simulator run.
+  Link(Simulator& sim, BandwidthTrace trace, Seconds rtt = 0.07);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  void attach(TcpConnection* connection);
+  void detach(TcpConnection* connection);
+
+  const BandwidthTrace& trace() const { return trace_; }
+  Seconds rtt() const { return rtt_; }
+
+  /// Capacity at current simulated time.
+  Bps capacity_now() const { return trace_.at(sim_.now()); }
+
+  /// Total payload bytes the link has carried (for conservation checks).
+  Bytes total_delivered() const;
+
+ private:
+  void tick(Seconds dt);
+
+  Simulator& sim_;
+  BandwidthTrace trace_;
+  Seconds rtt_;
+  std::vector<TcpConnection*> connections_;
+  Bytes delivered_by_detached_ = 0;
+};
+
+}  // namespace vodx::net

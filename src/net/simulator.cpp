@@ -1,0 +1,47 @@
+#include "net/simulator.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace vodx::net {
+
+Simulator::Simulator(Seconds tick) : tick_(tick) {
+  VODX_ASSERT(tick > 0, "tick must be positive");
+}
+
+std::uint64_t Simulator::schedule(Seconds delay, std::function<void()> fn) {
+  VODX_ASSERT(delay >= 0, "cannot schedule in the past");
+  std::uint64_t id = next_id_++;
+  events_.push(Event{now_ + delay, id, std::move(fn)});
+  return id;
+}
+
+void Simulator::cancel(std::uint64_t id) { cancelled_.push_back(id); }
+
+void Simulator::on_tick(std::function<void(Seconds)> fn) {
+  tick_handlers_.push_back(std::move(fn));
+}
+
+void Simulator::fire_due_events() {
+  while (!events_.empty() && events_.top().due <= now_ + 1e-12) {
+    Event ev = events_.top();
+    events_.pop();
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    ev.fn();
+  }
+}
+
+void Simulator::run_until(Seconds end) {
+  while (now_ + tick_ <= end + 1e-12) {
+    now_ += tick_;
+    fire_due_events();
+    for (auto& handler : tick_handlers_) handler(tick_);
+  }
+}
+
+}  // namespace vodx::net

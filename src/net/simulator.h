@@ -1,0 +1,66 @@
+// Hybrid discrete-event / fixed-tick simulator.
+//
+// Time advances in fixed ticks (default 10 ms). Fluid components (the link,
+// TCP transfers) register tick handlers; control-plane actions (player
+// timers, deferred callbacks) use one-shot scheduled events. Events due at or
+// before a tick boundary fire, in timestamp order, before that tick's
+// handlers run.
+//
+// Nothing in the simulator consults the wall clock; runs are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+namespace vodx::net {
+
+class Simulator {
+ public:
+  explicit Simulator(Seconds tick = 0.01);
+
+  Seconds now() const { return now_; }
+  Seconds tick_duration() const { return tick_; }
+
+  /// Schedules a one-shot callback `delay` seconds from now (>= 0). Returns an
+  /// id usable with `cancel`.
+  std::uint64_t schedule(Seconds delay, std::function<void()> fn);
+
+  /// Cancels a pending event; cancelling an already-fired id is a no-op.
+  void cancel(std::uint64_t id);
+
+  /// Registers a handler invoked every tick with the tick duration.
+  /// Handlers run in registration order and live for the simulator's life.
+  void on_tick(std::function<void(Seconds dt)> fn);
+
+  /// Runs until simulated time reaches `end` (inclusive of events due then).
+  void run_until(Seconds end);
+
+  /// Convenience: run for `duration` more simulated seconds.
+  void run_for(Seconds duration) { run_until(now_ + duration); }
+
+ private:
+  struct Event {
+    Seconds due;
+    std::uint64_t id;
+    std::function<void()> fn;
+    bool operator>(const Event& other) const {
+      if (due != other.due) return due > other.due;
+      return id > other.id;  // FIFO among same-time events
+    }
+  };
+
+  void fire_due_events();
+
+  Seconds tick_;
+  Seconds now_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::vector<std::uint64_t> cancelled_;
+  std::vector<std::function<void(Seconds)>> tick_handlers_;
+};
+
+}  // namespace vodx::net

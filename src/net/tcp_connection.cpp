@@ -1,0 +1,126 @@
+#include "net/tcp_connection.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+
+namespace vodx::net {
+
+TcpConnection::TcpConnection(TcpConfig config, std::string label)
+    : config_(config),
+      label_(std::move(label)),
+      cwnd_(config.initial_cwnd),
+      ssthresh_(std::numeric_limits<double>::infinity()) {
+  VODX_ASSERT(config_.rtt > 0, "rtt must be positive");
+  VODX_ASSERT(config_.initial_cwnd > 0, "initial cwnd must be positive");
+}
+
+void TcpConnection::start_transfer(Seconds now, Bytes bytes,
+                                   CompletionFn on_complete) {
+  VODX_ASSERT(!busy(), "transfer already in flight on " + label_);
+  VODX_ASSERT(bytes > 0, "transfer needs payload");
+  transfer_size_ = bytes;
+  transfer_remaining_ = static_cast<double>(bytes);
+  transfer_delivered_ = 0;
+  on_complete_ = std::move(on_complete);
+
+  if (phase_ == Phase::kClosed) {
+    cwnd_ = config_.initial_cwnd;
+    ssthresh_ = std::numeric_limits<double>::infinity();
+    phase_ = Phase::kHandshake;
+    wait_remaining_ = config_.rtt * config_.handshake_rtts;
+    return;
+  }
+
+  // Reusing a persistent connection after a long idle period restarts slow
+  // start (the congestion state is stale).
+  if (config_.idle_slow_start_restart &&
+      now - idle_since_ > config_.idle_restart_after) {
+    cwnd_ = config_.initial_cwnd;
+    ssthresh_ = std::numeric_limits<double>::infinity();
+  }
+  phase_ = Phase::kRequestWait;
+  wait_remaining_ = config_.rtt;
+}
+
+void TcpConnection::abort_transfer() {
+  if (!busy()) return;
+  transfer_size_ = 0;
+  transfer_remaining_ = 0;
+  on_complete_ = nullptr;
+  phase_ = Phase::kClosed;
+}
+
+Bps TcpConnection::demand() const {
+  if (phase_ != Phase::kStreaming) return 0;
+  return static_cast<double>(cwnd_) * 8.0 / config_.rtt;
+}
+
+void TcpConnection::enter_streaming() {
+  phase_ = Phase::kStreaming;
+  wait_remaining_ = 0;
+}
+
+void TcpConnection::grow_cwnd(Bytes acked, Bps granted, bool saturated) {
+  const double bdp_cap =
+      config_.queue_headroom * granted * config_.rtt / 8.0;
+  if (saturated && static_cast<double>(cwnd_) > bdp_cap) {
+    // Stand-in for loss-based backoff: the pipe (plus queue headroom) is
+    // full, so clamp to the achievable window and leave slow start.
+    cwnd_ = std::max(config_.initial_cwnd, static_cast<Bytes>(bdp_cap));
+    ssthresh_ = static_cast<double>(cwnd_);
+    return;
+  }
+  if (static_cast<double>(cwnd_) < ssthresh_) {
+    cwnd_ += acked;  // slow start: doubles per RTT
+  } else if (cwnd_ > 0) {
+    cwnd_ += std::max<Bytes>(
+        1, config_.mss * acked / cwnd_);  // congestion avoidance
+  }
+}
+
+void TcpConnection::advance(Seconds now, Seconds dt, Bps granted,
+                            bool saturated) {
+  last_granted_ = granted;
+  switch (phase_) {
+    case Phase::kClosed:
+    case Phase::kIdle:
+      return;
+    case Phase::kHandshake:
+      wait_remaining_ -= dt;
+      if (wait_remaining_ <= 1e-12) {
+        phase_ = Phase::kRequestWait;
+        wait_remaining_ += config_.rtt;
+      }
+      return;
+    case Phase::kRequestWait:
+      wait_remaining_ -= dt;
+      if (wait_remaining_ <= 1e-12) enter_streaming();
+      return;
+    case Phase::kStreaming: {
+      double delivered = granted * dt / 8.0;
+      delivered = std::min(delivered, transfer_remaining_);
+      transfer_remaining_ -= delivered;
+      Bytes whole =
+          transfer_size_ - static_cast<Bytes>(transfer_remaining_ + 0.5);
+      Bytes newly = whole - transfer_delivered_;
+      transfer_delivered_ = whole;
+      lifetime_delivered_ += newly;
+      grow_cwnd(static_cast<Bytes>(delivered + 0.5), granted, saturated);
+      if (transfer_remaining_ <= 1e-9) {
+        transfer_delivered_ = transfer_size_;
+        phase_ = config_.persistent ? Phase::kIdle : Phase::kClosed;
+        idle_since_ = now;
+        // Move the callback out first: it may immediately start a new
+        // transfer on this same connection.
+        CompletionFn done = std::move(on_complete_);
+        on_complete_ = nullptr;
+        if (done) done();
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace vodx::net

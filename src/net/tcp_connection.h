@@ -1,0 +1,106 @@
+// Fluid-approximation TCP connection.
+//
+// We do not simulate packets. A connection is a rate-limited pipe whose cap
+// is cwnd/RTT; the Link grants each active connection a max-min fair share of
+// the bottleneck every tick. The model keeps the TCP behaviours that the
+// paper's findings hinge on:
+//
+//  * connection setup costs a handshake RTT, and every request costs one RTT
+//    before the first response byte (so non-persistent connections pay
+//    handshake + slow-start per segment, §3.2),
+//  * slow start doubles cwnd per RTT until the bottleneck saturates,
+//  * on saturation cwnd is clamped to a small multiple of the fair-share BDP
+//    (standing in for loss-based backoff) and grows linearly afterwards,
+//  * a long idle period restarts slow start (RFC 2861 behaviour), which is
+//    what makes on-off buffer-driven downloading re-pay the ramp-up.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/units.h"
+
+namespace vodx::net {
+
+struct TcpConfig {
+  Seconds rtt = 0.07;            ///< round-trip time to the origin
+  Bytes mss = 1460;              ///< segment size for CA growth
+  Bytes initial_cwnd = 14600;    ///< RFC 6928 IW10
+  double queue_headroom = 1.5;   ///< cwnd cap = headroom * fair-share BDP
+  bool persistent = true;        ///< reuse the connection across requests
+  bool idle_slow_start_restart = true;
+  Seconds idle_restart_after = 0.5;
+  double handshake_rtts = 1.0;   ///< 1 for TCP, 3 for TCP+TLS1.2
+};
+
+/// Observer for byte-level accounting (traffic logging, waste analysis).
+class TcpConnection {
+ public:
+  using CompletionFn = std::function<void()>;
+
+  TcpConnection(TcpConfig config, std::string label);
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  /// Starts fetching `bytes` of response payload. If the connection is
+  /// closed a handshake is performed first; every request then waits one RTT
+  /// for the first byte. `on_complete` fires (synchronously, inside the
+  /// link's tick) once the final byte arrives. Must not be busy.
+  void start_transfer(Seconds now, Bytes bytes, CompletionFn on_complete);
+
+  /// Abandons the in-flight transfer without firing its callback. Bytes
+  /// already delivered stay counted in lifetime_delivered(). The connection
+  /// is closed: a real client cannot cleanly reuse a connection with an
+  /// abandoned response in flight.
+  void abort_transfer();
+
+  bool busy() const { return phase_ != Phase::kClosed && phase_ != Phase::kIdle; }
+  bool connected() const { return phase_ != Phase::kClosed; }
+
+  /// Bytes of the current transfer delivered so far.
+  Bytes transfer_delivered() const { return transfer_delivered_; }
+  Bytes transfer_size() const { return transfer_size_; }
+
+  /// Total payload bytes delivered over the connection's lifetime.
+  Bytes lifetime_delivered() const { return lifetime_delivered_; }
+
+  /// Rate granted on the most recent tick (for instrumentation).
+  Bps last_granted() const { return last_granted_; }
+
+  Bytes cwnd() const { return cwnd_; }
+  const TcpConfig& config() const { return config_; }
+  const std::string& label() const { return label_; }
+
+  // --- Link-facing interface -------------------------------------------
+
+  /// Bandwidth this connection could consume this tick (0 unless streaming).
+  Bps demand() const;
+
+  /// Advances the connection by dt with the granted rate. `saturated` is true
+  /// when the link could not satisfy this connection's full demand.
+  void advance(Seconds now, Seconds dt, Bps granted, bool saturated);
+
+ private:
+  enum class Phase { kClosed, kHandshake, kRequestWait, kStreaming, kIdle };
+
+  void enter_streaming();
+  void grow_cwnd(Bytes acked, Bps granted, bool saturated);
+
+  TcpConfig config_;
+  std::string label_;
+  Phase phase_ = Phase::kClosed;
+  Seconds wait_remaining_ = 0;
+  Bytes transfer_size_ = 0;
+  double transfer_remaining_ = 0;  // fractional bytes for fluid accuracy
+  Bytes transfer_delivered_ = 0;
+  Bytes lifetime_delivered_ = 0;
+  Bytes cwnd_ = 0;
+  double ssthresh_ = 0;
+  Seconds idle_since_ = 0;
+  Bps last_granted_ = 0;
+  CompletionFn on_complete_;
+};
+
+}  // namespace vodx::net

@@ -1,0 +1,40 @@
+// Throughput estimation from completed segment downloads.
+//
+// Aggregate sliding-window estimate: total bytes over total transfer time of
+// the most recent downloads (the ExoPlayer BandwidthMeter idea). Aggregating
+// makes single out-of-line downloads — one slow-started transfer after an
+// idle pause, one tiny segment — count in proportion to the time they
+// actually occupied, which a per-download EWMA gets badly wrong.
+#pragma once
+
+#include <deque>
+
+#include "common/units.h"
+
+namespace vodx::player {
+
+class BandwidthEstimator {
+ public:
+  /// `alpha` kept for configuration compatibility: it scales the window as
+  /// roughly 2/alpha samples (alpha 0.3 -> ~7 downloads).
+  explicit BandwidthEstimator(double alpha = 0.3);
+
+  /// Feeds one download: payload bytes over transfer duration.
+  void add_download(Bytes bytes, Seconds duration);
+
+  Bps estimate() const { return estimate_; }
+  int sample_count() const { return samples_; }
+
+ private:
+  struct Sample {
+    Bytes bytes;
+    Seconds duration;
+  };
+
+  std::size_t window_;
+  std::deque<Sample> samples_window_;
+  Bps estimate_ = 0;
+  int samples_ = 0;
+};
+
+}  // namespace vodx::player

@@ -1,0 +1,121 @@
+#include "player/buffer.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace vodx::player {
+
+void PlaybackBuffer::append(BufferedSegment segment) {
+  VODX_ASSERT(segment.index > consumed_up_to_,
+              "appending a segment already consumed");
+  auto it = std::lower_bound(segments_.begin(), segments_.end(), segment.index,
+                             [](const BufferedSegment& s, int index) {
+                               return s.index < index;
+                             });
+  VODX_ASSERT(it == segments_.end() || it->index != segment.index,
+              "segment index already buffered; use replace()");
+  segments_.insert(it, std::move(segment));
+}
+
+BufferedSegment PlaybackBuffer::replace(BufferedSegment segment) {
+  VODX_ASSERT(allow_mid_replacement_,
+              "this buffer design cannot discard a segment in the middle");
+  auto it = std::find_if(segments_.begin(), segments_.end(),
+                         [&](const BufferedSegment& s) {
+                           return s.index == segment.index;
+                         });
+  VODX_ASSERT(it != segments_.end(), "replacing a segment not in the buffer");
+  BufferedSegment old = *it;
+  *it = std::move(segment);
+  return old;
+}
+
+std::vector<BufferedSegment> PlaybackBuffer::discard_from(int from_index) {
+  std::vector<BufferedSegment> discarded;
+  auto it = std::lower_bound(segments_.begin(), segments_.end(), from_index,
+                             [](const BufferedSegment& s, int index) {
+                               return s.index < index;
+                             });
+  discarded.assign(it, segments_.end());
+  segments_.erase(it, segments_.end());
+  return discarded;
+}
+
+void PlaybackBuffer::consume_until(Seconds position) {
+  while (!segments_.empty() &&
+         segments_.front().start + segments_.front().duration <=
+             position + 1e-9) {
+    consumed_up_to_ = std::max(consumed_up_to_, segments_.front().index);
+    segments_.pop_front();
+  }
+}
+
+void PlaybackBuffer::reset() {
+  segments_.clear();
+  consumed_up_to_ = -1;
+}
+
+Seconds PlaybackBuffer::contiguous_end(Seconds position) const {
+  Seconds end = position;
+  int expected_index = -1;
+  for (const BufferedSegment& s : segments_) {
+    if (s.start + s.duration <= position + 1e-9) continue;  // already behind
+    if (s.start > end + 1e-9) break;                        // gap in time
+    if (expected_index >= 0 && s.index != expected_index) break;  // index gap
+    end = s.start + s.duration;
+    expected_index = s.index + 1;
+  }
+  return std::max(end, position);
+}
+
+int PlaybackBuffer::last_contiguous_index(Seconds position) const {
+  int last = -1;
+  int expected_index = -1;
+  Seconds end = position;
+  for (const BufferedSegment& s : segments_) {
+    if (s.start + s.duration <= position + 1e-9) continue;
+    if (s.start > end + 1e-9) break;
+    if (expected_index >= 0 && s.index != expected_index) break;
+    end = s.start + s.duration;
+    expected_index = s.index + 1;
+    last = s.index;
+  }
+  return last;
+}
+
+int PlaybackBuffer::contiguous_count(Seconds position) const {
+  int count = 0;
+  int expected_index = -1;
+  Seconds end = position;
+  for (const BufferedSegment& s : segments_) {
+    if (s.start + s.duration <= position + 1e-9) continue;
+    if (s.start > end + 1e-9) break;
+    if (expected_index >= 0 && s.index != expected_index) break;
+    end = s.start + s.duration;
+    expected_index = s.index + 1;
+    ++count;
+  }
+  return count;
+}
+
+const BufferedSegment* PlaybackBuffer::find(int index) const {
+  auto it = std::lower_bound(segments_.begin(), segments_.end(), index,
+                             [](const BufferedSegment& s, int i) {
+                               return s.index < i;
+                             });
+  if (it == segments_.end() || it->index != index) return nullptr;
+  return &*it;
+}
+
+const BufferedSegment* PlaybackBuffer::at_position(Seconds position) const {
+  for (const BufferedSegment& s : segments_) {
+    if (s.start <= position + 1e-9 &&
+        position < s.start + s.duration - 1e-9) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace vodx::player

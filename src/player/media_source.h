@@ -1,0 +1,62 @@
+// Client-side manifest resolution.
+//
+// Drives the HTTP fetches a real player performs before it can stream:
+//
+//   HLS    master playlist, then every variant's media playlist
+//   DASH   the MPD, then (SegmentBase mode) each representation's sidx —
+//          mandatory, since byte ranges are unknown without it
+//   SS     the single manifest
+//
+// The result is a protocol-neutral Presentation. For the D3-style service
+// the MPD arrives application-layer encrypted; the client holds the app key
+// (can_descramble) while the man-in-the-middle does not.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "http/http_client.h"
+#include "manifest/presentation.h"
+
+namespace vodx::player {
+
+class MediaSource {
+ public:
+  struct Options {
+    manifest::Protocol protocol = manifest::Protocol::kHls;
+    bool can_descramble = false;
+  };
+
+  MediaSource(http::HttpClient& client, Options options);
+
+  using ReadyFn = std::function<void(manifest::Presentation)>;
+  using ErrorFn = std::function<void(const std::string&)>;
+
+  /// Starts resolution; exactly one of the callbacks fires eventually.
+  void resolve(const std::string& manifest_url, ReadyFn on_ready,
+               ErrorFn on_error);
+
+ private:
+  using Handler = std::function<void(const http::Response&)>;
+
+  void enqueue(http::Request request, Handler handler);
+  void pump();
+  void fail(const std::string& reason);
+  void finish();
+
+  void handle_hls_master(const std::string& url, const http::Response& resp);
+  void handle_dash_mpd(const std::string& url, const http::Response& resp);
+  void handle_smooth(const std::string& url, const http::Response& resp);
+
+  http::HttpClient& client_;
+  Options options_;
+  std::deque<std::pair<http::Request, Handler>> queue_;
+  bool in_flight_ = false;
+  bool failed_ = false;
+  manifest::Presentation presentation_;
+  ReadyFn on_ready_;
+  ErrorFn on_error_;
+};
+
+}  // namespace vodx::player

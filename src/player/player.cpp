@@ -1,0 +1,630 @@
+#include "player/player.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vodx::player {
+
+namespace {
+constexpr double kEps = 1e-9;
+constexpr int kVideoPipe = 0;
+constexpr int kAudioPipe = 1;
+}  // namespace
+
+const char* to_string(PlayerState state) {
+  switch (state) {
+    case PlayerState::kIdle: return "idle";
+    case PlayerState::kResolving: return "resolving";
+    case PlayerState::kStartup: return "startup";
+    case PlayerState::kPlaying: return "playing";
+    case PlayerState::kRebuffering: return "rebuffering";
+    case PlayerState::kEnded: return "ended";
+    case PlayerState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+Seconds PlayerEvents::total_stall_time(Seconds session_end) const {
+  Seconds total = 0;
+  for (const StallEvent& s : stalls) total += s.duration(session_end);
+  return total;
+}
+
+Player::Player(net::Simulator& sim, net::Link& link, http::Proxy& proxy,
+               manifest::Protocol protocol, PlayerConfig config)
+    : sim_(sim),
+      config_(std::move(config)),
+      protocol_(protocol),
+      estimator_(config_.estimator_alpha),
+      video_buffer_(/*allow_mid_replacement=*/true),
+      audio_buffer_(/*allow_mid_replacement=*/true) {
+  http::HttpClient::Options options;
+  options.max_connections = config_.max_connections;
+  options.tcp = config_.tcp;
+  options.tcp.persistent = config_.persistent_connections;
+  client_ = std::make_unique<http::HttpClient>(sim_, link, proxy, options);
+  media_source_ = std::make_unique<MediaSource>(
+      *client_, MediaSource::Options{protocol, /*can_descramble=*/true});
+  abr_ = make_abr(config_);
+  if (config_.sr != SrPolicy::kNone && config_.sr != SrPolicy::kPerSegment) {
+    VODX_ASSERT(config_.max_connections == 1 || config_.av_scheduling ==
+                                                    AvScheduling::kSynced,
+                "cascade SR requires a single sequential video pipeline");
+  }
+  sim_.on_tick([this](Seconds dt) { tick(dt); });
+}
+
+Player::~Player() = default;
+
+void Player::start(const std::string& manifest_url) {
+  VODX_ASSERT(state_ == PlayerState::kIdle, "player already started");
+  state_ = PlayerState::kResolving;
+  events_.session_start = sim_.now();
+  next_seekbar_at_ = sim_.now() + 1.0;
+  media_source_->resolve(
+      manifest_url,
+      [this](manifest::Presentation p) { on_manifest_ready(std::move(p)); },
+      [this](const std::string& reason) { on_manifest_error(reason); });
+}
+
+void Player::pause() { user_paused_ = true; }
+
+void Player::resume() { user_paused_ = false; }
+
+void Player::seek(Seconds target) {
+  if (state_ != PlayerState::kStartup && state_ != PlayerState::kPlaying &&
+      state_ != PlayerState::kRebuffering) {
+    return;  // nothing to seek in
+  }
+  target = std::clamp(target, 0.0, presentation_.duration() - 0.5);
+  events_.seeks.push_back(SeekEvent{sim_.now(), position_, target});
+
+  // Abort everything in flight: the deadline structure just changed.
+  for (auto& [key, info] : fetches_) {
+    for (int id : info.transfer_ids) client_->abort(id);
+  }
+  fetches_.clear();
+  retries_[kVideoPipe].clear();
+  retries_[kAudioPipe].clear();
+  in_flight_count_[kVideoPipe] = 0;
+  in_flight_count_[kAudioPipe] = 0;
+
+  // Keep a forward-contiguous buffer if it already covers the target;
+  // otherwise flush and refetch from the segment containing it.
+  auto retarget = [&](PlaybackBuffer& buffer,
+                      const manifest::ClientTrack& track, int pipe) {
+    if (buffer.at_position(target) != nullptr && target >= position_) {
+      buffer.consume_until(target);
+      next_index_[pipe] =
+          std::min(buffer.last_contiguous_index(target) + 1,
+                   static_cast<int>(track.segments.size()));
+      if (next_index_[pipe] <= 0) {
+        next_index_[pipe] = track.segment_index_at(target);
+      }
+      return;
+    }
+    buffer.reset();
+    next_index_[pipe] = track.segment_index_at(target);
+  };
+  retarget(video_buffer_, video_track(0), kVideoPipe);
+  if (presentation_.separate_audio()) {
+    retarget(audio_buffer_, audio_track(), kAudioPipe);
+  }
+  paused_[kVideoPipe] = false;
+  paused_[kAudioPipe] = false;
+
+  position_ = target;
+  last_display_index_ = -1;
+  if (state_ == PlayerState::kPlaying) {
+    // The interruption is user-visible; account it like a stall until the
+    // rebuffer condition holds again.
+    state_ = PlayerState::kRebuffering;
+    events_.stalls.push_back(StallEvent{sim_.now(), -1});
+  }
+  schedule_downloads();
+}
+
+void Player::on_manifest_ready(manifest::Presentation presentation) {
+  presentation_ = std::move(presentation);
+  if (presentation_.video.empty()) {
+    on_manifest_error("presentation has no video tracks");
+    return;
+  }
+  // Resolve the configured startup bitrate to the nearest ladder rung.
+  double best_gap = -1;
+  for (int level = 0; level < static_cast<int>(presentation_.video.size());
+       ++level) {
+    const double gap =
+        std::abs(presentation_.video[static_cast<std::size_t>(level)]
+                     .declared_bitrate -
+                 config_.startup_bitrate);
+    if (best_gap < 0 || gap < best_gap) {
+      best_gap = gap;
+      startup_level_ = level;
+    }
+  }
+  while (config_.max_height_cap > 0 && startup_level_ > 0 &&
+         presentation_.video[static_cast<std::size_t>(startup_level_)]
+                 .resolution.height > config_.max_height_cap) {
+    --startup_level_;
+  }
+  last_selected_level_ = startup_level_;
+  state_ = PlayerState::kStartup;
+  schedule_downloads();
+}
+
+void Player::on_manifest_error(const std::string& reason) {
+  state_ = PlayerState::kFailed;
+  events_.failure = reason;
+}
+
+const manifest::ClientTrack& Player::video_track(int level) const {
+  VODX_ASSERT(level >= 0 &&
+                  level < static_cast<int>(presentation_.video.size()),
+              "video level out of range");
+  return presentation_.video[static_cast<std::size_t>(level)];
+}
+
+const manifest::ClientTrack& Player::audio_track() const {
+  VODX_ASSERT(!presentation_.audio.empty(), "no audio tracks");
+  return presentation_.audio.front();
+}
+
+Seconds Player::playable_end() const {
+  Seconds end = video_buffer_.contiguous_end(position_);
+  if (presentation_.separate_audio()) {
+    end = std::min(end, audio_buffer_.contiguous_end(position_));
+  }
+  return end;
+}
+
+void Player::tick(Seconds dt) {
+  switch (state_) {
+    case PlayerState::kIdle:
+    case PlayerState::kResolving:
+    case PlayerState::kEnded:
+    case PlayerState::kFailed:
+      return;
+    case PlayerState::kStartup:
+    case PlayerState::kPlaying:
+    case PlayerState::kRebuffering:
+      break;
+  }
+  // Meter "busy" time as ticks in which payload actually flowed; pure
+  // protocol waits (handshakes, request RTTs) would bias the rate estimate
+  // by an amount that varies with segment size.
+  const Bytes flowed = client_->total_delivered();
+  if (flowed != meter_last_seen_) {
+    meter_busy_time_ += dt;
+    meter_last_seen_ = flowed;
+  }
+  if (state_ == PlayerState::kPlaying && !user_paused_) advance_playback(dt);
+  update_state();
+  schedule_downloads();
+  emit_seekbar();
+}
+
+void Player::advance_playback(Seconds dt) {
+  const Seconds limit = std::min(playable_end(), presentation_.duration());
+  record_display_if_new();
+  position_ = std::min(position_ + dt, limit);
+  record_display_if_new();
+  video_buffer_.consume_until(position_);
+  if (presentation_.separate_audio()) audio_buffer_.consume_until(position_);
+}
+
+void Player::record_display_if_new() {
+  const BufferedSegment* current = video_buffer_.at_position(position_);
+  if (current == nullptr || current->index == last_display_index_) return;
+  DisplayEvent event;
+  event.wall_time = sim_.now();
+  event.position = position_;
+  event.index = current->index;
+  event.level = current->level;
+  event.declared_bitrate = current->declared_bitrate;
+  event.resolution = current->resolution;
+  event.duration = current->duration;
+  events_.displayed.push_back(event);
+  last_display_index_ = current->index;
+}
+
+void Player::update_state() {
+  const Seconds duration = presentation_.duration();
+  const Seconds ahead = playable_end() - position_;
+  const bool content_exhausted = playable_end() >= duration - kEps;
+
+  if (state_ == PlayerState::kStartup) {
+    const bool enough_seconds = ahead >= config_.startup_buffer - kEps;
+    const bool enough_segments =
+        video_buffer_.contiguous_count(position_) >=
+        config_.startup_min_segments;
+    if ((enough_seconds && enough_segments) || content_exhausted) {
+      state_ = PlayerState::kPlaying;
+      events_.playback_started = sim_.now();
+      record_display_if_new();
+    }
+    return;
+  }
+  if (state_ == PlayerState::kPlaying) {
+    if (position_ >= duration - 1e-6) {
+      state_ = PlayerState::kEnded;
+      // Final progress update: the UI shows the end position.
+      if (seekbar_) seekbar_(sim_.now(), static_cast<int>(position_ + kEps));
+      return;
+    }
+    if (ahead <= kEps) {
+      state_ = PlayerState::kRebuffering;
+      events_.stalls.push_back(StallEvent{sim_.now(), -1});
+    }
+    return;
+  }
+  if (state_ == PlayerState::kRebuffering) {
+    const Seconds needed =
+        std::min(config_.rebuffer_duration, duration - position_);
+    const bool enough_segments =
+        video_buffer_.contiguous_count(position_) >=
+        config_.rebuffer_min_segments;
+    if ((ahead >= needed - kEps && enough_segments) || content_exhausted) {
+      state_ = PlayerState::kPlaying;
+      events_.stalls.back().end = sim_.now();
+    }
+  }
+}
+
+void Player::emit_seekbar() {
+  if (!seekbar_) return;
+  while (sim_.now() + kEps >= next_seekbar_at_) {
+    seekbar_(sim_.now(), static_cast<int>(position_ + kEps));
+    next_seekbar_at_ += 1.0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Download scheduling
+// ---------------------------------------------------------------------------
+
+void Player::schedule_downloads() {
+  if (state_ != PlayerState::kStartup && state_ != PlayerState::kPlaying &&
+      state_ != PlayerState::kRebuffering) {
+    return;
+  }
+
+  // Update pause/resume latches (§3.3.2 download control).
+  auto update_latch = [&](int pipe) {
+    const Seconds buffered = buffer_of(pipe).buffered_ahead(position_);
+    if (buffered >= config_.pausing_threshold) paused_[pipe] = true;
+    if (buffered <= config_.resuming_threshold) paused_[pipe] = false;
+  };
+  update_latch(kVideoPipe);
+  if (presentation_.separate_audio()) update_latch(kAudioPipe);
+
+  // Keep issuing while connections are available and some pipeline wants one.
+  while (client_->can_fetch()) {
+    bool issued = false;
+    if (presentation_.separate_audio() &&
+        config_.av_scheduling == AvScheduling::kSynced) {
+      // Fetch for whichever content type is further behind, and never let
+      // either run more than a small window ahead of the other — that is
+      // the whole point of synchronised A/V scheduling (§3.2).
+      constexpr Seconds kAvSyncWindow = 10;
+      const Seconds video_end = video_buffer_.contiguous_end(position_);
+      const Seconds audio_end = audio_buffer_.contiguous_end(position_);
+      const bool audio_allowed = audio_end <= video_end + kAvSyncWindow;
+      const bool video_allowed = video_end <= audio_end + kAvSyncWindow;
+      if (audio_end <= video_end) {
+        issued = (audio_allowed && try_issue_audio_fetch()) ||
+                 (video_allowed && try_issue_video_fetch());
+      } else {
+        issued = (video_allowed && try_issue_video_fetch()) ||
+                 (audio_allowed && try_issue_audio_fetch());
+      }
+    } else if (presentation_.separate_audio()) {
+      // Independent pipelines: audio gets one dedicated connection, video
+      // greedily uses the rest (the D1 arrangement, §3.2).
+      issued = try_issue_audio_fetch();
+      if (client_->can_fetch()) issued = try_issue_video_fetch() || issued;
+    } else {
+      issued = try_issue_video_fetch();
+    }
+    if (!issued) break;
+  }
+}
+
+bool Player::try_issue_audio_fetch() {
+  if (!presentation_.separate_audio() || paused_[kAudioPipe]) return false;
+  bool retry_blocked = false;
+  if (service_retries(kAudioPipe, 1, &retry_blocked)) return true;
+  if (retry_blocked) return false;
+  if (in_flight_count_[kAudioPipe] >= 1) return false;
+  const manifest::ClientTrack& track = audio_track();
+  if (next_index_[kAudioPipe] >= static_cast<int>(track.segments.size())) {
+    return false;
+  }
+  issue_segment_fetch(kAudioPipe, next_index_[kAudioPipe], 0,
+                      /*replacement=*/false);
+  ++next_index_[kAudioPipe];
+  return true;
+}
+
+bool Player::try_issue_video_fetch() {
+  int parallelism = 1;
+  if (config_.av_scheduling == AvScheduling::kIndependent) {
+    parallelism = std::max(
+        1, config_.max_connections - (presentation_.separate_audio() ? 1 : 0));
+  }
+  if (config_.split_segment_downloads) parallelism = 1;
+  bool retry_blocked = false;
+  if (service_retries(kVideoPipe, parallelism, &retry_blocked)) return true;
+  if (retry_blocked) return false;
+  if (in_flight_count_[kVideoPipe] >= parallelism) return false;
+
+  const int segment_count =
+      static_cast<int>(video_track(0).segments.size());
+  const bool future_available =
+      !paused_[kVideoPipe] && next_index_[kVideoPipe] < segment_count;
+
+  // Improved SR runs while future fetching is paused (§4.1.3): the
+  // bandwidth would otherwise go unused.
+  if (!future_available) {
+    if (config_.sr == SrPolicy::kPerSegment &&
+        in_flight_count_[kVideoPipe] == 0 &&
+        video_buffer_.buffered_ahead(position_) > config_.sr_min_buffer) {
+      const int target = select_video_level_for(
+          std::min(next_index_[kVideoPipe], segment_count - 1));
+      if (auto candidate = per_segment_sr_candidate(target)) {
+        issue_segment_fetch(kVideoPipe, *candidate, target,
+                            /*replacement=*/true);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const int level = select_video_level_for(next_index_[kVideoPipe]);
+  maybe_trigger_cascade_sr(level);
+  last_selected_level_ = level;
+  issue_segment_fetch(kVideoPipe, next_index_[kVideoPipe], level,
+                      /*replacement=*/false);
+  ++next_index_[kVideoPipe];
+  return true;
+}
+
+int Player::select_video_level_for(int next_index) {
+  AbrContext context;
+  context.presentation = &presentation_;
+  context.bandwidth_estimate = estimator_.estimate();
+  context.estimator_samples = estimator_.sample_count();
+  context.buffer = video_buffer_.buffered_ahead(position_);
+  context.buffer_delta = context.buffer - last_decision_buffer_;
+  context.last_level = last_selected_level_;
+  context.next_index = next_index;
+  context.startup_level = startup_level_;
+  last_decision_buffer_ = context.buffer;
+  int level = std::clamp(abr_->select_video_level(context), 0,
+                         static_cast<int>(presentation_.video.size()) - 1);
+  // Data-saver cap: never exceed the configured resolution.
+  while (config_.max_height_cap > 0 && level > 0 &&
+         video_track(level).resolution.height > config_.max_height_cap) {
+    --level;
+  }
+  return level;
+}
+
+void Player::maybe_trigger_cascade_sr(int target_level) {
+  if (config_.sr != SrPolicy::kCascadeNaive &&
+      config_.sr != SrPolicy::kCascadeExoV1) {
+    return;
+  }
+  const int previous = last_selected_level_;
+  if (target_level <= previous) return;
+  if (video_buffer_.buffered_ahead(position_) <= config_.sr_min_buffer) return;
+
+  const BufferedSegment* playing = video_buffer_.at_position(position_);
+  const int playing_index = playing != nullptr ? playing->index : -1;
+  int cascade_from = -1;
+  for (const BufferedSegment& s : video_buffer_.segments()) {
+    if (s.index <= playing_index) continue;
+    const bool match = config_.sr == SrPolicy::kCascadeExoV1
+                           ? s.level < previous
+                           : s.level != target_level;
+    if (match) {
+      cascade_from = s.index;
+      break;
+    }
+  }
+  if (cascade_from < 0) return;
+  // Suffix discard: the deque design cannot drop a single mid-buffer
+  // segment, so everything from the match onward is thrown away (§4.1.2).
+  for (const BufferedSegment& s : video_buffer_.discard_from(cascade_from)) {
+    ReplacementEvent event;
+    event.wall_time = sim_.now();
+    event.index = s.index;
+    event.old_level = s.level;
+    event.new_level = -1;  // refetch level decided per segment later
+    event.old_bytes = s.size;
+    events_.replacements.push_back(event);
+  }
+  next_index_[kVideoPipe] = cascade_from;
+}
+
+std::optional<int> Player::per_segment_sr_candidate(int target_level) const {
+  const BufferedSegment* playing = video_buffer_.at_position(position_);
+  const int playing_index = playing != nullptr ? playing->index : -1;
+  for (const BufferedSegment& s : video_buffer_.segments()) {
+    if (s.index <= playing_index) continue;
+    if (s.level >= target_level) continue;  // only ever upgrade
+    if (config_.sr_max_height > 0 &&
+        s.resolution.height > config_.sr_max_height) {
+      continue;  // data-saver mode: leave decent segments alone
+    }
+    return s.index;
+  }
+  return std::nullopt;
+}
+
+bool Player::service_retries(int pipeline, int parallelism, bool* blocked) {
+  *blocked = false;
+  auto& queue = retries_[pipeline];
+  if (queue.empty()) return false;
+  *blocked = true;  // never fetch ahead past a hole that a retry will fill
+  if (sim_.now() < queue.front().eligible_at ||
+      in_flight_count_[pipeline] >= parallelism || !client_->can_fetch()) {
+    return false;
+  }
+  const FetchInfo retry = queue.front().info;
+  queue.pop_front();
+  issue_segment_fetch(pipeline, retry.index, retry.level, retry.replacement,
+                      retry.attempt);
+  return true;
+}
+
+void Player::issue_segment_fetch(int pipeline, int index, int level,
+                                 bool replacement, int attempt) {
+  const manifest::ClientTrack& track =
+      pipeline == kVideoPipe ? video_track(level) : audio_track();
+  VODX_ASSERT(index >= 0 && index < static_cast<int>(track.segments.size()),
+              "segment index out of range");
+  const manifest::ClientSegment& segment =
+      track.segments[static_cast<std::size_t>(index)];
+
+  const int key = next_fetch_key_++;
+  FetchInfo info;
+  info.pipeline = pipeline;
+  info.index = index;
+  info.level = level;
+  info.replacement = replacement;
+  info.issued_at = sim_.now();
+  info.attempt = attempt;
+
+  // D3-style split download: one segment as parallel sub-range requests.
+  int parts = 1;
+  if (pipeline == kVideoPipe && config_.split_segment_downloads &&
+      segment.ref.range && config_.max_connections > 1) {
+    parts = std::min(config_.max_connections, client_->free_slots());
+    parts = std::max(parts, 1);
+  }
+  info.subrequests_remaining = parts;
+  fetches_[key] = info;
+  ++in_flight_count_[pipeline];
+
+  auto deliver = [this, key](const http::Response& response) {
+    on_segment_done(key, response);
+  };
+
+  if (parts == 1) {
+    http::Request request{http::Method::kGet, segment.ref.url,
+                          segment.ref.range};
+    const int id = client_->fetch(request, deliver);
+    VODX_ASSERT(id >= 0, "scheduler issued fetch without a free connection");
+    fetches_[key].transfer_ids.push_back(id);
+    return;
+  }
+  const manifest::ByteRange range = *segment.ref.range;
+  const Bytes total = range.length();
+  Bytes offset = range.first;
+  for (int part = 0; part < parts; ++part) {
+    const Bytes share = total / parts + (part < total % parts ? 1 : 0);
+    http::Request request{http::Method::kGet, segment.ref.url,
+                          manifest::ByteRange{offset, offset + share - 1}};
+    offset += share;
+    const int id = client_->fetch(request, deliver);
+    VODX_ASSERT(id >= 0, "split fetch without a free connection");
+    fetches_[key].transfer_ids.push_back(id);
+  }
+}
+
+void Player::on_segment_done(int fetch_key, const http::Response& response) {
+  auto it = fetches_.find(fetch_key);
+  VODX_ASSERT(it != fetches_.end(), "completion for unknown fetch");
+  FetchInfo& info = it->second;
+  if (!response.ok()) {
+    info.failed = true;
+  } else {
+    info.accumulated_bytes += response.payload_size;
+  }
+  if (--info.subrequests_remaining > 0) return;
+  FetchInfo done = info;
+  fetches_.erase(it);
+  --in_flight_count_[done.pipeline];
+  if (done.failed) {
+    // Transient failures get retried with linear backoff; replacement
+    // downloads are opportunistic and are simply dropped. Once the retry
+    // budget is exhausted the pipeline stops advancing — no further
+    // content will arrive (which is exactly what the black-box startup
+    // probe needs to observe).
+    if (!done.replacement && done.attempt + 1 < config_.fetch_retries) {
+      FetchInfo retry = done;
+      retry.transfer_ids.clear();
+      retry.accumulated_bytes = 0;
+      retry.subrequests_remaining = 0;
+      ++retry.attempt;
+      retries_[done.pipeline].push_back(
+          {retry, sim_.now() + config_.retry_backoff * retry.attempt});
+      return;
+    }
+    next_index_[done.pipeline] =
+        static_cast<int>((done.pipeline == kVideoPipe ? video_track(0)
+                                                      : audio_track())
+                             .segments.size());
+    return;
+  }
+  complete_segment(done);
+}
+
+void Player::complete_segment(FetchInfo info) {
+  const manifest::ClientTrack& track = info.pipeline == kVideoPipe
+                                           ? video_track(info.level)
+                                           : audio_track();
+  const manifest::ClientSegment& segment =
+      track.segments[static_cast<std::size_t>(info.index)];
+
+  if (info.pipeline == kVideoPipe) {
+    // Player-wide bandwidth metering (the ExoPlayer BandwidthMeter idea):
+    // all bytes the client received since the previous video completion,
+    // over the time at least one transfer was active. This naturally
+    // accounts for parallel segment downloads and for audio sharing the
+    // pipe — a per-download rate would see only a fraction of the link.
+    const Bytes delivered = client_->total_delivered();
+    if (meter_busy_time_ > 1e-3) {
+      estimator_.add_download(delivered - meter_bytes_anchor_,
+                              meter_busy_time_);
+    }
+    meter_bytes_anchor_ = delivered;
+    meter_busy_time_ = 0;
+  }
+
+  BufferedSegment buffered;
+  buffered.type = track.type;
+  buffered.index = info.index;
+  buffered.level = info.level;
+  buffered.declared_bitrate = track.declared_bitrate;
+  buffered.resolution = track.resolution;
+  buffered.start = track.segment_start(info.index);
+  buffered.duration = segment.duration;
+  buffered.size = info.accumulated_bytes;
+  buffered.downloaded_at = sim_.now();
+
+  PlaybackBuffer& buffer = buffer_of(info.pipeline);
+  if (info.replacement) {
+    // Playback may have passed this segment while the replacement was in
+    // flight; in that case the download is pure waste.
+    if (buffer.find(info.index) != nullptr &&
+        buffered.start >= position_ - kEps) {
+      BufferedSegment old = buffer.replace(std::move(buffered));
+      ReplacementEvent event;
+      event.wall_time = sim_.now();
+      event.index = info.index;
+      event.old_level = old.level;
+      event.new_level = info.level;
+      event.old_bytes = old.size;
+      events_.replacements.push_back(event);
+    }
+    return;
+  }
+  buffer.append(std::move(buffered));
+  schedule_downloads();
+}
+
+}  // namespace vodx::player

@@ -1,0 +1,230 @@
+// The HAS player engine.
+//
+// One Player instance is "an app": it resolves manifests over the simulated
+// network, runs startup logic, drives audio/video download pipelines with
+// pause/resume thresholds, adapts tracks with a pluggable ABR, optionally
+// performs Segment Replacement, renders (advances a playback clock and
+// consumes the buffer), and reports progress through a 1 Hz seekbar callback
+// — the same channel the paper's UI monitor hooks (§2.4).
+//
+// Every behaviour is controlled by PlayerConfig; the 12 studied services are
+// configurations of this one engine.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "http/http_client.h"
+#include "manifest/presentation.h"
+#include "player/abr.h"
+#include "player/bandwidth_estimator.h"
+#include "player/buffer.h"
+#include "player/config.h"
+#include "player/media_source.h"
+
+namespace vodx::player {
+
+enum class PlayerState {
+  kIdle,
+  kResolving,    ///< fetching manifests
+  kStartup,      ///< filling the startup buffer
+  kPlaying,
+  kRebuffering,  ///< stalled mid-session
+  kEnded,
+  kFailed,
+};
+
+const char* to_string(PlayerState state);
+
+/// Ground-truth QoE events, used to validate the black-box methodology.
+struct StallEvent {
+  Seconds start = 0;
+  Seconds end = -1;  ///< -1 while ongoing
+  Seconds duration(Seconds session_end) const {
+    return (end >= 0 ? end : session_end) - start;
+  }
+};
+
+struct DisplayEvent {
+  Seconds wall_time = 0;  ///< when this segment started rendering
+  Seconds position = 0;
+  int index = 0;
+  int level = 0;
+  Bps declared_bitrate = 0;
+  media::Resolution resolution;
+  Seconds duration = 0;
+};
+
+struct SeekEvent {
+  Seconds wall_time = 0;
+  Seconds from = 0;
+  Seconds to = 0;
+};
+
+struct ReplacementEvent {
+  Seconds wall_time = 0;
+  int index = 0;
+  int old_level = 0;
+  int new_level = 0;
+  Bytes old_bytes = 0;  ///< wasted by the discard
+};
+
+struct PlayerEvents {
+  Seconds session_start = 0;
+  Seconds playback_started = -1;
+  std::vector<StallEvent> stalls;
+  std::vector<DisplayEvent> displayed;
+  std::vector<ReplacementEvent> replacements;
+  std::vector<SeekEvent> seeks;
+  std::string failure;
+
+  Seconds total_stall_time(Seconds session_end) const;
+  Seconds startup_delay() const {
+    return playback_started >= 0 ? playback_started - session_start : -1;
+  }
+};
+
+class Player {
+ public:
+  Player(net::Simulator& sim, net::Link& link, http::Proxy& proxy,
+         manifest::Protocol protocol, PlayerConfig config);
+  ~Player();
+
+  Player(const Player&) = delete;
+  Player& operator=(const Player&) = delete;
+
+  /// The user presses play at the current simulated time.
+  void start(const std::string& manifest_url);
+
+  /// The user drags the seekbar to `position` (§2.4: the seekbar "allows
+  /// users to move to a new position in the video"). Content not covering
+  /// the target is flushed, in-flight fetches are aborted, and playback
+  /// re-enters buffering; the interruption is recorded as a stall.
+  void seek(Seconds position);
+
+  /// The user pauses/resumes playback. While paused the position freezes
+  /// (the seekbar keeps reporting the same value — indistinguishable from a
+  /// stall to the outside, a real limitation of UI-based inference) but
+  /// downloading continues up to the pausing threshold.
+  void pause();
+  void resume();
+  bool paused_by_user() const { return user_paused_; }
+
+  /// 1 Hz playback-progress callback (the ProgressBar.setProgress analogue).
+  using SeekbarFn = std::function<void(Seconds wall_time, int progress_sec)>;
+  void set_seekbar_callback(SeekbarFn fn) { seekbar_ = std::move(fn); }
+
+  PlayerState state() const { return state_; }
+  bool finished() const {
+    return state_ == PlayerState::kEnded || state_ == PlayerState::kFailed;
+  }
+  Seconds position() const { return position_; }
+  const PlayerEvents& events() const { return events_; }
+  const manifest::Presentation& presentation() const { return presentation_; }
+  const PlayerConfig& config() const { return config_; }
+
+  Seconds video_buffered() const {
+    return video_buffer_.buffered_ahead(position_);
+  }
+  Seconds audio_buffered() const {
+    return audio_buffer_.buffered_ahead(position_);
+  }
+  const PlaybackBuffer& video_buffer() const { return video_buffer_; }
+
+  /// Next video index the downloader will fetch (for experiments).
+  int next_video_index() const { return next_index_[0]; }
+  Bps bandwidth_estimate() const { return estimator_.estimate(); }
+
+ private:
+  struct Pipeline;  // per-content-type download state
+
+  struct FetchInfo {
+    int pipeline = 0;  ///< 0 = video, 1 = audio
+    int index = 0;
+    int level = 0;
+    bool replacement = false;
+    bool failed = false;
+    // Split downloads: ids of sibling sub-requests still outstanding.
+    int subrequests_remaining = 0;
+    std::vector<int> transfer_ids;
+    Bytes accumulated_bytes = 0;
+    Seconds issued_at = 0;
+    int attempt = 0;
+  };
+
+  struct PendingRetry {
+    FetchInfo info;
+    Seconds eligible_at = 0;
+  };
+
+  void tick(Seconds dt);
+  void on_manifest_ready(manifest::Presentation presentation);
+  void on_manifest_error(const std::string& reason);
+
+  void advance_playback(Seconds dt);
+  void update_state();
+  void emit_seekbar();
+  void record_display_if_new();
+
+  void schedule_downloads();
+  bool try_issue_video_fetch();
+  bool try_issue_audio_fetch();
+  void issue_segment_fetch(int pipeline, int index, int level,
+                           bool replacement, int attempt = 0);
+  /// Services the pipeline's retry queue; returns true if a retry was
+  /// issued or the pipeline must wait for one (blocking future fetches).
+  bool service_retries(int pipeline, int parallelism, bool* blocked);
+  void on_segment_done(int fetch_key, const http::Response& response);
+  void complete_segment(FetchInfo info);
+
+  int select_video_level_for(int next_index);
+  void maybe_trigger_cascade_sr(int target_level);
+  std::optional<int> per_segment_sr_candidate(int target_level) const;
+
+  const manifest::ClientTrack& video_track(int level) const;
+  const manifest::ClientTrack& audio_track() const;
+  PlaybackBuffer& buffer_of(int pipeline) {
+    return pipeline == 0 ? video_buffer_ : audio_buffer_;
+  }
+  Seconds playable_end() const;
+
+  net::Simulator& sim_;
+  PlayerConfig config_;
+  manifest::Protocol protocol_;
+  std::unique_ptr<http::HttpClient> client_;
+  std::unique_ptr<MediaSource> media_source_;
+  std::unique_ptr<AbrPolicy> abr_;
+  BandwidthEstimator estimator_;
+
+  PlayerState state_ = PlayerState::kIdle;
+  manifest::Presentation presentation_;
+  PlaybackBuffer video_buffer_;
+  PlaybackBuffer audio_buffer_;
+
+  Seconds position_ = 0;
+  int startup_level_ = 0;
+  int last_selected_level_ = 0;
+  Seconds last_decision_buffer_ = 0;
+  bool paused_[2] = {false, false};   ///< download control per pipeline
+  int next_index_[2] = {0, 0};        ///< next future segment per pipeline
+  int in_flight_count_[2] = {0, 0};
+  std::map<int, FetchInfo> fetches_;  ///< by fetch key
+  std::deque<PendingRetry> retries_[2];
+  int next_fetch_key_ = 0;
+  Seconds next_seekbar_at_ = 0;
+  int last_display_index_ = -1;
+  // Player-wide bandwidth meter state.
+  Bytes meter_bytes_anchor_ = 0;
+  Bytes meter_last_seen_ = 0;
+  Seconds meter_busy_time_ = 0;
+
+  bool user_paused_ = false;
+  PlayerEvents events_;
+  SeekbarFn seekbar_;
+};
+
+}  // namespace vodx::player

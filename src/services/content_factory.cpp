@@ -1,0 +1,39 @@
+#include "services/content_factory.h"
+
+#include "common/rng.h"
+#include "media/encoder.h"
+#include "media/scene.h"
+
+namespace vodx::services {
+
+media::VideoAsset make_asset(const ServiceSpec& spec, Seconds content_duration,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  Rng scene_rng = rng.fork(1);
+  Rng video_rng = rng.fork(2);
+  Rng audio_rng = rng.fork(3);
+
+  const media::SceneComplexity scenes =
+      media::SceneComplexity::generate(content_duration, scene_rng);
+  std::vector<media::Track> video = media::encode_video_ladder(
+      spec.video_ladder, content_duration, spec.segment_duration,
+      spec.encoder_config(), scenes, video_rng);
+
+  std::vector<media::Track> audio;
+  if (spec.separate_audio) {
+    audio.push_back(media::encode_audio_track(spec.audio_bitrate,
+                                              content_duration,
+                                              spec.audio_segment_duration,
+                                              audio_rng));
+  }
+  return media::VideoAsset(spec.name + "-asset", std::move(video),
+                           std::move(audio));
+}
+
+http::OriginServer make_origin(const ServiceSpec& spec,
+                               Seconds content_duration, std::uint64_t seed) {
+  return http::OriginServer(make_asset(spec, content_duration, seed),
+                            spec.origin_config());
+}
+
+}  // namespace vodx::services

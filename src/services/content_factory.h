@@ -1,0 +1,20 @@
+// Builds the server-side content (encoded asset + origin) for a service.
+#pragma once
+
+#include "http/origin_server.h"
+#include "media/video_asset.h"
+#include "services/service_catalog.h"
+
+namespace vodx::services {
+
+/// Encodes an asset for `spec`: the video ladder at the spec's segment
+/// duration and encoding, plus an audio track when the service separates
+/// audio. Deterministic in `seed`.
+media::VideoAsset make_asset(const ServiceSpec& spec, Seconds content_duration,
+                             std::uint64_t seed);
+
+/// Convenience: asset + origin in one step.
+http::OriginServer make_origin(const ServiceSpec& spec,
+                               Seconds content_duration, std::uint64_t seed);
+
+}  // namespace vodx::services

@@ -1,0 +1,308 @@
+#include "services/service_catalog.h"
+
+#include "common/error.h"
+
+namespace vodx::services {
+
+namespace {
+
+using manifest::DashIndexMode;
+using manifest::Protocol;
+using media::DeclaredPolicy;
+using media::EncodingMode;
+using player::AbrKind;
+using player::AvScheduling;
+using player::SrPolicy;
+
+std::vector<Bps> kbps(std::initializer_list<double> values) {
+  std::vector<Bps> out;
+  for (double v : values) out.push_back(v * 1e3);
+  return out;
+}
+
+/// Builds the catalog once. Values follow Table 1 column by column; ladders
+/// follow Fig. 4's ranges (lowest tracks above 500 kbps for H2/H5/S1, highest
+/// tracks between 2 and 5.5 Mbps, adjacent rungs 1.5-2x apart) and include
+/// each service's Table-1 startup bitrate as an exact rung.
+std::vector<ServiceSpec> build_catalog() {
+  std::vector<ServiceSpec> all;
+
+  auto add = [&](ServiceSpec spec) { all.push_back(std::move(spec)); };
+
+  {  // H1 — HLS, SR via the ExoPlayer-v1 cascade (§4.1).
+    ServiceSpec s;
+    s.name = "H1";
+    s.protocol = Protocol::kHls;
+    s.video_ladder = kbps({320, 630, 1100, 1900, 3200});
+    s.segment_duration = 4;
+    s.encoding = EncodingMode::kVbr;
+    s.peak_to_average = 1.6;
+    s.player.max_connections = 1;
+    s.player.persistent_connections = true;
+    s.player.startup_buffer = 8;
+    s.player.startup_bitrate = 630e3;
+    s.player.pausing_threshold = 95;
+    s.player.resuming_threshold = 85;
+    s.player.bandwidth_safety = 0.75;
+    s.player.sr = SrPolicy::kCascadeExoV1;
+    s.player.sr_min_buffer = 10;
+    add(s);
+  }
+  {  // H2 — CBR, non-persistent TCP, high lowest track, decrease-buffer 40 s.
+    ServiceSpec s;
+    s.name = "H2";
+    s.protocol = Protocol::kHls;
+    s.video_ladder = kbps({800, 1330, 2200, 3600, 5400});
+    s.segment_duration = 2;
+    s.encoding = EncodingMode::kCbr;
+    s.peak_to_average = 1.0;
+    s.player.max_connections = 1;
+    s.player.persistent_connections = false;
+    s.player.startup_buffer = 8;
+    s.player.startup_bitrate = 1330e3;
+    s.player.pausing_threshold = 90;
+    s.player.resuming_threshold = 84;
+    s.player.bandwidth_safety = 0.75;
+    s.player.decrease_buffer = 40;
+    add(s);
+  }
+  {  // H3 — CBR, non-persistent TCP, 9 s segments, startup with 1 segment.
+    ServiceSpec s;
+    s.name = "H3";
+    s.protocol = Protocol::kHls;
+    s.video_ladder = kbps({260, 520, 1050, 2000});
+    s.segment_duration = 9;
+    s.encoding = EncodingMode::kCbr;
+    s.peak_to_average = 1.0;
+    s.player.max_connections = 1;
+    s.player.persistent_connections = false;
+    s.player.startup_buffer = 9;
+    s.player.startup_bitrate = 1050e3;
+    s.player.pausing_threshold = 40;
+    s.player.resuming_threshold = 30;
+    s.player.bandwidth_safety = 0.75;
+    add(s);
+  }
+  {  // H4 — the naive SR cascade of §4.1.1, 9 s segments.
+    ServiceSpec s;
+    s.name = "H4";
+    s.protocol = Protocol::kHls;
+    s.video_ladder = kbps({240, 470, 900, 1600, 2700, 4500});
+    s.segment_duration = 9;
+    s.encoding = EncodingMode::kVbr;
+    s.peak_to_average = 1.7;
+    s.player.max_connections = 1;
+    s.player.persistent_connections = true;
+    s.player.startup_buffer = 9;
+    s.player.startup_bitrate = 470e3;
+    s.player.pausing_threshold = 155;
+    s.player.resuming_threshold = 135;
+    s.player.bandwidth_safety = 0.75;
+    s.player.sr = SrPolicy::kCascadeNaive;
+    s.player.sr_min_buffer = 10;
+    add(s);
+  }
+  {  // H5 — CBR, non-persistent TCP, highest lowest-track (stalls, §3.1).
+    ServiceSpec s;
+    s.name = "H5";
+    s.protocol = Protocol::kHls;
+    s.video_ladder = kbps({700, 1150, 1850, 3000, 5000});
+    s.segment_duration = 6;
+    s.encoding = EncodingMode::kCbr;
+    s.peak_to_average = 1.0;
+    s.player.max_connections = 1;
+    s.player.persistent_connections = false;
+    s.player.startup_buffer = 12;
+    s.player.startup_bitrate = 1850e3;
+    s.player.pausing_threshold = 30;
+    s.player.resuming_threshold = 20;
+    s.player.bandwidth_safety = 0.75;
+    add(s);
+  }
+  {  // H6 — 10 s segments, startup with a single segment.
+    ServiceSpec s;
+    s.name = "H6";
+    s.protocol = Protocol::kHls;
+    s.video_ladder = kbps({290, 500, 880, 1500, 2600, 4300});
+    s.segment_duration = 10;
+    s.encoding = EncodingMode::kVbr;
+    s.peak_to_average = 1.5;
+    s.player.max_connections = 1;
+    s.player.persistent_connections = true;
+    s.player.startup_buffer = 10;
+    s.player.startup_bitrate = 880e3;
+    s.player.pausing_threshold = 80;
+    s.player.resuming_threshold = 70;
+    s.player.bandwidth_safety = 0.75;
+    add(s);
+  }
+  {  // D1 — DASH/SegmentList, 6 connections, unsynced A/V, oscillating ABR.
+    ServiceSpec s;
+    s.name = "D1";
+    s.protocol = Protocol::kDash;
+    s.dash_index = DashIndexMode::kSegmentList;
+    s.video_ladder = kbps({230, 410, 760, 1400, 2500, 4200});
+    s.segment_duration = 5;
+    s.audio_segment_duration = 2;  // Table 1 footnote
+    s.separate_audio = true;
+    s.audio_bitrate = 128e3;  // heavier audio: starves on 1/6 of a slow link
+    s.encoding = EncodingMode::kVbr;
+    s.peak_to_average = 2.0;
+    s.player.max_connections = 6;
+    s.player.persistent_connections = true;
+    s.player.startup_buffer = 15;
+    s.player.startup_bitrate = 410e3;
+    s.player.pausing_threshold = 182;
+    s.player.resuming_threshold = 178;
+    s.player.abr = AbrKind::kOscillating;
+    s.player.av_scheduling = AvScheduling::kIndependent;
+    add(s);
+  }
+  {  // D2 — DASH/sidx; ignores actual bitrates, very conservative (§4.2).
+    ServiceSpec s;
+    s.name = "D2";
+    s.protocol = Protocol::kDash;
+    s.dash_index = DashIndexMode::kSidx;
+    s.video_ladder = kbps({160, 300, 560, 1000, 1900, 3400, 5200});
+    s.segment_duration = 5;
+    s.separate_audio = true;
+    s.encoding = EncodingMode::kVbr;
+    s.peak_to_average = 2.0;
+    s.player.max_connections = 2;
+    s.player.persistent_connections = true;
+    s.player.startup_buffer = 5;
+    s.player.startup_bitrate = 300e3;
+    s.player.pausing_threshold = 30;
+    s.player.resuming_threshold = 25;
+    s.player.bandwidth_safety = 0.5;
+    s.player.use_actual_bitrate = false;
+    add(s);
+  }
+  {  // D3 — encrypted MPD, split segment downloads, aggressive, damped.
+    ServiceSpec s;
+    s.name = "D3";
+    s.protocol = Protocol::kDash;
+    s.dash_index = DashIndexMode::kSidx;
+    s.encrypt_manifest = true;
+    s.video_ladder = kbps({210, 400, 750, 1350, 2400, 4100});
+    s.segment_duration = 2;
+    s.separate_audio = true;
+    s.encoding = EncodingMode::kVbr;
+    s.peak_to_average = 1.8;
+    s.player.max_connections = 3;
+    s.player.persistent_connections = true;
+    s.player.split_segment_downloads = true;
+    s.player.startup_buffer = 8;
+    s.player.startup_bitrate = 400e3;
+    s.player.pausing_threshold = 120;
+    s.player.resuming_threshold = 90;
+    s.player.bandwidth_safety = 1.2;  // "aggressive" in Fig. 9
+    s.player.decrease_buffer = 30;
+    s.player.av_scheduling = AvScheduling::kIndependent;
+    add(s);
+  }
+  {  // D4 — DASH/sidx, startup with a single segment, low resume threshold.
+    ServiceSpec s;
+    s.name = "D4";
+    s.protocol = Protocol::kDash;
+    s.dash_index = DashIndexMode::kSidx;
+    s.video_ladder = kbps({360, 670, 1200, 2100, 3600, 5500});
+    s.segment_duration = 6;
+    s.separate_audio = true;
+    s.encoding = EncodingMode::kVbr;
+    s.peak_to_average = 1.6;
+    s.player.max_connections = 3;
+    s.player.persistent_connections = true;
+    s.player.startup_buffer = 6;
+    s.player.startup_bitrate = 670e3;
+    s.player.pausing_threshold = 34;
+    s.player.resuming_threshold = 15;
+    s.player.bandwidth_safety = 0.75;
+    s.player.av_scheduling = AvScheduling::kIndependent;
+    add(s);
+  }
+  {  // S1 — SmoothStreaming, average-declared VBR, high lowest track,
+     //      aggressive, decrease-buffer 50 s.
+    ServiceSpec s;
+    s.name = "S1";
+    s.protocol = Protocol::kSmooth;
+    s.video_ladder = kbps({680, 1350, 2300, 3900});
+    s.segment_duration = 2;
+    s.separate_audio = true;
+    s.encoding = EncodingMode::kVbr;
+    s.declared_policy = DeclaredPolicy::kAverage;
+    s.peak_to_average = 1.4;
+    s.player.max_connections = 2;
+    s.player.persistent_connections = true;
+    s.player.startup_buffer = 16;
+    s.player.startup_bitrate = 1350e3;
+    s.player.pausing_threshold = 180;
+    s.player.resuming_threshold = 175;
+    s.player.bandwidth_safety = 1.0;  // borderline aggressive
+    s.player.decrease_buffer = 50;
+    add(s);
+  }
+  {  // S2 — SmoothStreaming; the 4 s resume threshold of Fig. 7.
+    ServiceSpec s;
+    s.name = "S2";
+    s.protocol = Protocol::kSmooth;
+    s.video_ladder = kbps({300, 470, 760, 1300, 2200, 3700});
+    s.segment_duration = 3;
+    s.audio_segment_duration = 2;  // Table 1 footnote
+    s.separate_audio = true;
+    s.encoding = EncodingMode::kVbr;
+    s.declared_policy = DeclaredPolicy::kAverage;
+    s.peak_to_average = 1.5;
+    s.player.max_connections = 2;
+    s.player.persistent_connections = true;
+    s.player.startup_buffer = 6;
+    s.player.startup_bitrate = 760e3;
+    s.player.pausing_threshold = 30;
+    s.player.resuming_threshold = 4;
+    s.player.bandwidth_safety = 0.75;
+    add(s);
+  }
+
+  for (ServiceSpec& s : all) {
+    s.player.name = s.name;
+    if (s.audio_segment_duration <= 0) {
+      s.audio_segment_duration = s.segment_duration;
+    }
+  }
+  return all;
+}
+
+}  // namespace
+
+media::EncoderConfig ServiceSpec::encoder_config() const {
+  media::EncoderConfig config;
+  config.mode = encoding;
+  config.declared_policy = declared_policy;
+  config.peak_to_average = peak_to_average;
+  config.average_policy_peak = peak_to_average;
+  return config;
+}
+
+http::OriginConfig ServiceSpec::origin_config() const {
+  http::OriginConfig config;
+  config.protocol = protocol;
+  config.dash_index = dash_index;
+  config.encrypt_manifest = encrypt_manifest;
+  config.hls_byterange = hls_byterange;
+  config.hls_average_bandwidth = hls_average_bandwidth;
+  return config;
+}
+
+const std::vector<ServiceSpec>& catalog() {
+  static const std::vector<ServiceSpec> all = build_catalog();
+  return all;
+}
+
+const ServiceSpec& service(const std::string& name) {
+  for (const ServiceSpec& s : catalog()) {
+    if (s.name == name) return s;
+  }
+  throw ConfigError("unknown service: " + name);
+}
+
+}  // namespace vodx::services

@@ -1,0 +1,51 @@
+// The 12 studied services, reconstructed from Table 1 / Figures 4-5 and the
+// per-service observations in §3-§4.
+//
+// Each ServiceSpec carries (a) server-side content parameters (protocol,
+// ladder, segment duration, encoding, declared-bitrate policy, audio
+// separation) and (b) the client PlayerConfig. These are the *ground truth*
+// the black-box methodology must recover; nothing in core/ reads them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "http/origin_server.h"
+#include "media/encoder.h"
+#include "player/config.h"
+
+namespace vodx::services {
+
+struct ServiceSpec {
+  std::string name;  ///< H1..H6, D1..D4, S1, S2
+  manifest::Protocol protocol = manifest::Protocol::kHls;
+
+  // --- Server side (§3.1) ----------------------------------------------
+  std::vector<Bps> video_ladder;  ///< declared bitrates, ascending
+  Seconds segment_duration = 4;
+  Seconds audio_segment_duration = 0;  ///< 0: same as video
+  bool separate_audio = false;
+  Bps audio_bitrate = 96e3;
+  media::EncodingMode encoding = media::EncodingMode::kVbr;
+  media::DeclaredPolicy declared_policy = media::DeclaredPolicy::kPeak;
+  double peak_to_average = 2.0;  ///< VBR declared/actual gap (Fig. 5)
+  manifest::DashIndexMode dash_index = manifest::DashIndexMode::kSidx;
+  bool encrypt_manifest = false;  ///< the D3 behaviour
+  bool hls_byterange = false;     ///< HLS v4 sub-range segments (§4.2)
+  bool hls_average_bandwidth = false;  ///< emit AVERAGE-BANDWIDTH (§4.2)
+
+  // --- Client side ------------------------------------------------------
+  player::PlayerConfig player;
+
+  media::EncoderConfig encoder_config() const;
+  http::OriginConfig origin_config() const;
+};
+
+/// All 12 services, in paper order (H1..H6, D1..D4, S1, S2).
+const std::vector<ServiceSpec>& catalog();
+
+/// Lookup by name; throws ConfigError if unknown.
+const ServiceSpec& service(const std::string& name);
+
+}  // namespace vodx::services

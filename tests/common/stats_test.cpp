@@ -1,0 +1,71 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace vodx {
+namespace {
+
+TEST(Mean, Basics) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({-5, 5}), 0.0);
+}
+
+TEST(Median, OddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> xs{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 50);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 30);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 20);
+  EXPECT_DOUBLE_EQ(percentile(xs, 90), 46);
+}
+
+TEST(Percentile, ClampsOutOfRangeP) {
+  std::vector<double> xs{1, 2};
+  EXPECT_DOUBLE_EQ(percentile(xs, -10), 1);
+  EXPECT_DOUBLE_EQ(percentile(xs, 200), 2);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7}, 50), 7);
+}
+
+TEST(Stddev, KnownValue) {
+  EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(stddev({5}), 0.0);
+}
+
+TEST(MinMax, Basics) {
+  EXPECT_DOUBLE_EQ(min_of({3, 1, 2}), 1);
+  EXPECT_DOUBLE_EQ(max_of({3, 1, 2}), 3);
+  EXPECT_DOUBLE_EQ(min_of({}), 0);
+}
+
+TEST(Accumulator, TracksRunningStats) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  acc.add(2);
+  acc.add(4);
+  acc.add(9);
+  EXPECT_EQ(acc.count(), 3);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(Accumulator, NegativeValuesSetMinMax) {
+  Accumulator acc;
+  acc.add(-3);
+  EXPECT_DOUBLE_EQ(acc.min(), -3);
+  EXPECT_DOUBLE_EQ(acc.max(), -3);
+}
+
+}  // namespace
+}  // namespace vodx

@@ -1,0 +1,169 @@
+// Black-box probes validated against the catalogue's ground truth — the
+// paper's methodology applied to services whose design we actually know.
+#include "core/blackbox.h"
+
+#include <gtest/gtest.h>
+
+#include "core/design_inference.h"
+#include "services/content_factory.h"
+
+namespace vodx::core {
+namespace {
+
+class StartupProbeTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(StartupProbeTest, RecoversStartupDesign) {
+  const services::ServiceSpec& spec = services::service(GetParam());
+  StartupProbe probe = probe_startup(spec);
+  ASSERT_TRUE(probe.playback_achievable);
+  // The startup buffer in seconds is recovered exactly (it is a whole
+  // number of segments by construction).
+  EXPECT_NEAR(probe.startup_buffer, probe.min_segments * spec.segment_duration,
+              0.01);
+  EXPECT_GE(probe.startup_buffer, spec.player.startup_buffer - 0.01);
+  EXPECT_LT(probe.startup_buffer,
+            spec.player.startup_buffer + spec.segment_duration + 0.01);
+  // Startup bitrate: the probe reads the first segment's declared bitrate.
+  EXPECT_NEAR(probe.startup_bitrate, spec.player.startup_bitrate,
+              0.01 * spec.player.startup_bitrate);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Services, StartupProbeTest,
+    ::testing::Values("H1", "H2", "H3", "H4", "H6", "D2", "D4", "S2"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+class ThresholdProbeTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ThresholdProbeTest, RecoversPauseResumeThresholds) {
+  const services::ServiceSpec& spec = services::service(GetParam());
+  ThresholdProbe probe = probe_thresholds(spec);
+  ASSERT_GT(probe.pause_cycles, 0);
+  // Tolerance: one segment of overshoot per parallel connection plus the
+  // 1 s buffer-inference granularity.
+  const double slack =
+      spec.segment_duration * spec.player.max_connections + 3.0;
+  EXPECT_NEAR(probe.pausing_threshold, spec.player.pausing_threshold, slack);
+  EXPECT_NEAR(probe.resuming_threshold, spec.player.resuming_threshold,
+              slack);
+  EXPECT_GT(probe.pausing_threshold, probe.resuming_threshold);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Services, ThresholdProbeTest,
+    ::testing::Values("H1", "H3", "H5", "D2", "D4", "S1", "S2"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+TEST(SteadyState, OnlyD1IsUnstable) {
+  for (const char* name : {"H1", "D1", "D2", "S2"}) {
+    const services::ServiceSpec& spec = services::service(name);
+    const Bps bw = 0.6 * spec.video_ladder.back();
+    SteadyStateProbe probe = probe_steady_state(spec, bw);
+    if (std::string(name) == "D1") {
+      EXPECT_FALSE(probe.converged) << name;
+      EXPECT_GT(probe.steady_switches, 5) << name;
+    } else {
+      EXPECT_TRUE(probe.converged) << name;
+    }
+  }
+}
+
+TEST(SteadyState, AggressivenessSeparatesServices) {
+  // Fig. 9: D3 selects at or above the bandwidth, D2 stays below half.
+  const services::ServiceSpec& d3 = services::service("D3");
+  const services::ServiceSpec& d2 = services::service("D2");
+  double d3_max = 0;
+  double d2_max = 0;
+  for (double bw : {1.2e6, 2.1e6, 3.6e6}) {
+    d3_max = std::max(d3_max,
+                      probe_steady_state(d3, bw).declared_over_bandwidth);
+    d2_max = std::max(d2_max,
+                      probe_steady_state(d2, bw).declared_over_bandwidth);
+  }
+  EXPECT_GE(d3_max, 1.0);  // selects declared at/above the link rate
+  EXPECT_LT(d2_max, 0.6);
+}
+
+TEST(StepResponse, DampedServicesSpendTheirBuffer) {
+  // H2 holds its 40 s decrease buffer; H1 switches immediately.
+  StepProbe h2 = probe_step_response(services::service("H2"));
+  ASSERT_TRUE(h2.switched_down);
+  EXPECT_NEAR(h2.buffer_at_downswitch, 40, 10);
+
+  StepProbe h1 = probe_step_response(services::service("H1"));
+  ASSERT_TRUE(h1.switched_down);
+  EXPECT_GT(h1.buffer_at_downswitch, 60);
+}
+
+TEST(ManifestVariants, ShiftKeepsDeclaredChangesActual) {
+  // Verify the Fig.-12 rewrite itself: parse a rewritten MPD and check the
+  // declared ladder is intact while media ranges moved down one rung.
+  const services::ServiceSpec& spec = services::service("D2");
+  http::OriginServer origin =
+      services::make_origin(spec, 600, 42);
+  const std::string original =
+      origin.handle({http::Method::kGet, "/manifest.mpd", {}}).body;
+  const std::string shifted = shift_tracks_variant()("/manifest.mpd", original);
+  manifest::DashMpd before = manifest::DashMpd::parse(original);
+  manifest::DashMpd after = manifest::DashMpd::parse(shifted);
+  const auto& reps_before = before.adaptation_sets[0].representations;
+  auto& reps_after = after.adaptation_sets[0].representations;
+  ASSERT_EQ(reps_after.size(), reps_before.size() - 1);
+  // Level i in the variant has level (i+1)'s declared but level i's media.
+  EXPECT_DOUBLE_EQ(reps_after[0].bandwidth, reps_before[1].bandwidth);
+  EXPECT_EQ(reps_after[0].base_url, reps_before[0].base_url);
+}
+
+TEST(ManifestVariants, D2ProvedDeclaredOnly) {
+  DeclaredVsActualProbe probe =
+      probe_declared_vs_actual(services::service("D2"));
+  EXPECT_TRUE(probe.declared_only);
+  // §4.2: ~33.7% utilization at 2 Mbps. Shape: clearly under half.
+  EXPECT_GT(probe.bandwidth_utilization, 0.15);
+  EXPECT_LT(probe.bandwidth_utilization, 0.55);
+}
+
+TEST(RejectHook, OnlyVideoSegmentsAreRejected) {
+  // A probe with allow=2 lets exactly two distinct video segments through
+  // while audio flows freely.
+  SessionConfig config;
+  config.spec = services::service("D2");
+  config.trace = net::BandwidthTrace::constant(8e6, 60);
+  config.session_duration = 60;
+  config.content_duration = 600;
+  config.reject_hook_factory = reject_after_n_video_segments(2);
+  SessionResult r = run_session(config);
+  std::set<int> video_indexes;
+  int audio_count = 0;
+  for (const SegmentDownload& d : r.traffic.downloads) {
+    if (d.type == media::ContentType::kVideo && !d.aborted) {
+      video_indexes.insert(d.index);
+    }
+    if (d.type == media::ContentType::kAudio) ++audio_count;
+  }
+  EXPECT_EQ(video_indexes.size(), 2u);
+  // Audio keeps flowing (up to the A/V sync window past the video extent).
+  EXPECT_GE(audio_count, 3);
+}
+
+TEST(DesignInference, FullTableForOneService) {
+  // End-to-end: a full Table-1 row for H3 (cheap: small thresholds).
+  InferredDesign d = infer_design(services::service("H3"));
+  EXPECT_NEAR(d.segment_duration, 9, 0.01);
+  EXPECT_FALSE(d.separate_audio);
+  EXPECT_EQ(d.max_tcp, 1);
+  EXPECT_FALSE(d.persistent_tcp);
+  EXPECT_EQ(d.startup_segments, 1);
+  EXPECT_NEAR(d.startup_buffer, 9, 0.01);
+  EXPECT_NEAR(d.pausing_threshold, 40, 9);
+  EXPECT_NEAR(d.resuming_threshold, 30, 9);
+  EXPECT_TRUE(d.stable);
+  EXPECT_FALSE(d.aggressive);
+}
+
+}  // namespace
+}  // namespace vodx::core

@@ -1,0 +1,37 @@
+// §3.1 encoding-scheme analysis validated against catalogue ground truth.
+#include <gtest/gtest.h>
+
+#include "core/blackbox.h"
+
+namespace vodx::core {
+namespace {
+
+class EncodingProbeTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EncodingProbeTest, RecoversEncodingAndDeclaredPolicy) {
+  const services::ServiceSpec& spec = services::service(GetParam());
+  EncodingProbe probe = probe_encoding(spec);
+  ASSERT_GT(probe.ratios.size(), 50u);
+  EXPECT_EQ(probe.looks_cbr(),
+            spec.encoding == media::EncodingMode::kCbr)
+      << spec.name;
+  if (spec.encoding == media::EncodingMode::kVbr) {
+    EXPECT_EQ(probe.inferred_policy(), spec.declared_policy) << spec.name;
+  }
+  // DASH exposes sizes on the wire; HLS (non-byterange) and SS need HEADs.
+  if (spec.protocol == manifest::Protocol::kDash) {
+    EXPECT_TRUE(probe.sizes_from_wire);
+  } else {
+    EXPECT_FALSE(probe.sizes_from_wire);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Services, EncodingProbeTest,
+    ::testing::Values("H1", "H2", "H3", "H5", "D1", "D2", "D3", "S1", "S2"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+}  // namespace
+}  // namespace vodx::core

@@ -1,0 +1,122 @@
+// System-wide invariants, swept across every catalogued service and several
+// network profiles. These don't pin behaviours — they pin *consistency*
+// between the independent accountings the system keeps (player ground truth,
+// wire log, analyzer, QoE reconstruction, link conservation).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "core/session.h"
+#include "trace/cellular_profiles.h"
+
+namespace vodx::core {
+namespace {
+
+class InvariantSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {
+ protected:
+  static SessionResult& result() {
+    // One session per (service, profile), shared by all invariant checks.
+    static std::map<std::pair<std::string, int>, SessionResult> cache;
+    const auto key = std::make_pair(std::get<0>(GetParam()),
+                                    std::get<1>(GetParam()));
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+      SessionConfig config;
+      config.spec = services::service(key.first);
+      config.trace = trace::cellular_profile(key.second);
+      config.session_duration = 300;
+      config.content_duration = 600;
+      it = cache.emplace(key, run_session(config)).first;
+    }
+    return it->second;
+  }
+};
+
+TEST_P(InvariantSweep, DisplayedSegmentsAdvanceMonotonically) {
+  const auto& displayed = result().events.displayed;
+  for (std::size_t i = 1; i < displayed.size(); ++i) {
+    EXPECT_EQ(displayed[i].index, displayed[i - 1].index + 1);
+    EXPECT_GE(displayed[i].wall_time, displayed[i - 1].wall_time);
+  }
+}
+
+TEST_P(InvariantSweep, DeliveredBytesRespectLinkCapacity) {
+  const SessionResult& r = result();
+  const double capacity_bits =
+      trace::cellular_profile(std::get<1>(GetParam()))
+          .bits_between(0, r.session_end);
+  EXPECT_LE(static_cast<double>(r.traffic.total_payload_bytes) * 8,
+            capacity_bits * 1.001);
+}
+
+TEST_P(InvariantSweep, MediaBytesNeverExceedTotalBytes) {
+  const SessionResult& r = result();
+  Bytes media = 0;
+  for (const SegmentDownload& d : r.traffic.downloads) media += d.bytes;
+  EXPECT_LE(media, r.traffic.total_payload_bytes);
+  EXPECT_EQ(media, r.qoe.media_bytes);
+}
+
+TEST_P(InvariantSweep, InferredBufferStaysBounded) {
+  const SessionResult& r = result();
+  const services::ServiceSpec& spec = services::service(std::get<0>(GetParam()));
+  // Slack: up to one full burst of parallel in-flight segments can land
+  // after the pause latch trips, twice in a resume race, plus inference
+  // granularity.
+  const double bound =
+      spec.player.pausing_threshold +
+      2.0 * spec.player.max_connections * spec.segment_duration + 15;
+  for (const BufferSample& s : r.buffer) {
+    EXPECT_GE(s.video_buffer, 0) << "at " << s.wall;
+    EXPECT_LE(s.video_buffer, bound) << "at " << s.wall;
+  }
+}
+
+TEST_P(InvariantSweep, WastedNeverExceedsMediaBytes) {
+  const SessionResult& r = result();
+  EXPECT_GE(r.qoe.wasted_bytes, 0);
+  EXPECT_LE(r.qoe.wasted_bytes, r.qoe.media_bytes);
+}
+
+TEST_P(InvariantSweep, UiPositionNeverExceedsDownloadedContent) {
+  const SessionResult& r = result();
+  for (const ProgressSample& s : r.ui.samples) {
+    const Seconds available =
+        download_progress(r.traffic, media::ContentType::kVideo, s.wall);
+    EXPECT_LE(s.progress, available + 1.5) << "at " << s.wall;
+  }
+}
+
+TEST_P(InvariantSweep, StallsAndPlaybackPartitionTheSession) {
+  const SessionResult& r = result();
+  if (r.events.playback_started < 0) GTEST_SKIP() << "never started";
+  // Position advanced + stall time + startup ~ session end.
+  const Seconds accounted = r.final_position +
+                            r.events.total_stall_time(r.session_end) +
+                            r.events.playback_started;
+  EXPECT_NEAR(accounted, r.session_end, 2.0);
+}
+
+TEST_P(InvariantSweep, QoeScoreIsFinite) {
+  const SessionResult& r = result();
+  const double score = qoe_score(r.qoe, r.session_end);
+  EXPECT_TRUE(std::isfinite(score));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ServicesAndProfiles, InvariantSweep,
+    ::testing::Combine(::testing::Values("H1", "H3", "H4", "D1", "D2", "D3",
+                                         "S1", "S2"),
+                       ::testing::Values(2, 6, 10)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, int>>& info) {
+      return std::get<0>(info.param) + "_p" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace vodx::core

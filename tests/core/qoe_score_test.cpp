@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "core/qoe.h"
+
+namespace vodx::core {
+namespace {
+
+QoeReport report_with(Bps bitrate, Seconds displayed = 600,
+                      Seconds stall = 0, int switches = 0,
+                      Seconds startup = 2) {
+  QoeReport r;
+  DisplayedSegment s;
+  s.declared_bitrate = bitrate;
+  s.seconds_shown = displayed;
+  r.displayed.push_back(s);
+  r.displayed_time = displayed;
+  r.average_declared_bitrate = bitrate;
+  r.total_stall = stall;
+  r.switch_count = switches;
+  r.startup_delay = startup;
+  return r;
+}
+
+TEST(QoeScore, HigherBitrateScoresHigher) {
+  EXPECT_GT(qoe_score(report_with(2e6), 600),
+            qoe_score(report_with(1e6), 600));
+}
+
+TEST(QoeScore, BitrateUtilityIsConcave) {
+  // +1 Mbps at the low end is worth much more than +1 Mbps at the top —
+  // the [35] relationship §4.1.3 leans on.
+  const double low_gain =
+      qoe_score(report_with(1.3e6), 600) - qoe_score(report_with(0.3e6), 600);
+  const double high_gain =
+      qoe_score(report_with(4.3e6), 600) - qoe_score(report_with(3.3e6), 600);
+  EXPECT_GT(low_gain, 3 * high_gain);
+}
+
+TEST(QoeScore, StallsHurt) {
+  EXPECT_GT(qoe_score(report_with(2e6, 600, 0), 600),
+            qoe_score(report_with(2e6, 600, 60), 600));
+}
+
+TEST(QoeScore, SwitchesHurt) {
+  EXPECT_GT(qoe_score(report_with(2e6, 600, 0, 0), 600),
+            qoe_score(report_with(2e6, 600, 0, 40), 600));
+}
+
+TEST(QoeScore, StartupHurts) {
+  EXPECT_GT(qoe_score(report_with(2e6, 600, 0, 0, 1), 600),
+            qoe_score(report_with(2e6, 600, 0, 0, 20), 600));
+}
+
+TEST(QoeScore, EmptyReportIsZero) {
+  EXPECT_DOUBLE_EQ(qoe_score(QoeReport{}, 600), 0);
+}
+
+TEST(QoeScore, StallCanOutweighBitrate) {
+  // A high-bitrate session that stalls a third of the time loses to a
+  // mid-bitrate smooth one.
+  EXPECT_GT(qoe_score(report_with(1.5e6, 400, 0), 600),
+            qoe_score(report_with(4e6, 400, 200), 600));
+}
+
+}  // namespace
+}  // namespace vodx::core

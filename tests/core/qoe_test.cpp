@@ -1,0 +1,99 @@
+#include "core/qoe.h"
+
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "testing/fixtures.h"
+
+namespace vodx::core {
+namespace {
+
+using vodx::testing::test_spec;
+
+SessionResult run_qoe_session(Bps bandwidth, Seconds duration = 180,
+                              manifest::Protocol protocol =
+                                  manifest::Protocol::kHls) {
+  SessionConfig config;
+  config.spec = test_spec(protocol);
+  config.trace = net::BandwidthTrace::constant(bandwidth, duration);
+  config.session_duration = duration;
+  config.content_duration = 600;
+  return run_session(config);
+}
+
+TEST(Qoe, InferredMatchesGroundTruthBitrate) {
+  SessionResult r = run_qoe_session(4e6);
+  EXPECT_GT(r.qoe.average_declared_bitrate, 0);
+  EXPECT_NEAR(r.qoe.average_declared_bitrate,
+              r.ground_truth.average_declared_bitrate,
+              0.05 * r.ground_truth.average_declared_bitrate);
+}
+
+TEST(Qoe, InferredStartupWithinASecond) {
+  SessionResult r = run_qoe_session(4e6);
+  EXPECT_NEAR(r.qoe.startup_delay, r.ground_truth.startup_delay, 1.5);
+}
+
+TEST(Qoe, SwitchCountsMatchGroundTruth) {
+  SessionResult r = run_qoe_session(4e6);
+  EXPECT_NEAR(r.qoe.switch_count, r.ground_truth.switch_count, 2);
+}
+
+TEST(Qoe, HigherBandwidthGivesHigherBitrate) {
+  SessionResult slow = run_qoe_session(1e6);
+  SessionResult fast = run_qoe_session(6e6);
+  EXPECT_GT(fast.qoe.average_declared_bitrate,
+            slow.qoe.average_declared_bitrate);
+}
+
+TEST(Qoe, LowQualityFractionTracksBandwidth) {
+  SessionResult slow = run_qoe_session(0.8e6);
+  SessionResult fast = run_qoe_session(6e6);
+  EXPECT_GT(slow.qoe.low_quality_fraction, 0.8);
+  EXPECT_LT(fast.qoe.low_quality_fraction, 0.4);
+}
+
+TEST(Qoe, TimeByHeightSumsToDisplayedTime) {
+  SessionResult r = run_qoe_session(3e6);
+  Seconds sum = 0;
+  for (const auto& [height, secs] : r.qoe.time_by_height) sum += secs;
+  EXPECT_NEAR(sum, r.qoe.displayed_time, 1e-6);
+}
+
+TEST(Qoe, FractionAtOrBelowIsMonotone) {
+  SessionResult r = run_qoe_session(2e6);
+  double previous = 0;
+  for (int height : {240, 360, 480, 720, 1080}) {
+    const double fraction = r.qoe.fraction_at_or_below(height);
+    EXPECT_GE(fraction, previous);
+    previous = fraction;
+  }
+  EXPECT_NEAR(previous, 1.0, 1e-9);
+}
+
+TEST(Qoe, NoWasteWithoutSrOrStalls) {
+  SessionResult r = run_qoe_session(4e6);
+  EXPECT_EQ(r.qoe.wasted_bytes, 0);
+}
+
+TEST(Qoe, StallTimeMatchesGroundTruth) {
+  SessionConfig config;
+  config.spec = test_spec(manifest::Protocol::kHls);
+  config.trace = net::BandwidthTrace::from_samples(
+      {{0, 4e6}, {30, 60e3}, {70, 4e6}}, 200);
+  config.session_duration = 200;
+  config.content_duration = 600;
+  SessionResult r = run_session(config);
+  ASSERT_GT(r.ground_truth.total_stall, 3);
+  EXPECT_NEAR(r.qoe.total_stall, r.ground_truth.total_stall,
+              0.2 * r.ground_truth.total_stall + 2);
+}
+
+TEST(Qoe, MediaBytesBelowTotalBytes) {
+  SessionResult r = run_qoe_session(4e6);
+  EXPECT_GT(r.qoe.media_bytes, 0);
+  EXPECT_LT(r.qoe.media_bytes, r.qoe.total_bytes);
+}
+
+}  // namespace
+}  // namespace vodx::core

@@ -1,0 +1,102 @@
+#include "core/sr_whatif.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+#include "trace/cellular_profiles.h"
+
+namespace vodx::core {
+namespace {
+
+using vodx::testing::test_spec;
+
+SessionResult run_sr_session(player::SrPolicy policy, int profile = 5) {
+  services::ServiceSpec spec = test_spec(manifest::Protocol::kHls);
+  spec.player.sr = policy;
+  spec.player.sr_min_buffer = 10;
+  spec.player.pausing_threshold = 60;
+  spec.player.resuming_threshold = 50;
+  SessionConfig config;
+  config.spec = std::move(spec);
+  config.trace = trace::cellular_profile(profile);
+  config.session_duration = 600;
+  config.content_duration = 600;
+  return run_session(config);
+}
+
+TEST(SrWhatIf, NoSrMeansNoReplacementsObserved) {
+  SrAnalysis analysis = analyze_sr(run_sr_session(player::SrPolicy::kNone));
+  EXPECT_FALSE(analysis.sr_observed);
+  EXPECT_EQ(analysis.replacement_downloads, 0);
+  EXPECT_NEAR(analysis.data_increase, 0.0, 0.02);
+  EXPECT_NEAR(analysis.bitrate_change, 0.0, 1e-9);
+}
+
+TEST(SrWhatIf, NaiveCascadeObservedOnVariableBandwidth) {
+  SrAnalysis analysis =
+      analyze_sr(run_sr_session(player::SrPolicy::kCascadeNaive));
+  EXPECT_TRUE(analysis.sr_observed);
+  EXPECT_GT(analysis.data_increase, 0.02);
+  EXPECT_GT(analysis.wasted_bytes, 0);
+}
+
+TEST(SrWhatIf, NaiveCascadeReplacesWithLowerOrEqualQuality) {
+  // The §4.1.1 headline: the H4-style cascade redownloads some segments at
+  // lower or equal quality. Aggregate over several profiles for stability.
+  int lower_or_equal = 0;
+  int total = 0;
+  for (int profile : {3, 4, 5, 6, 7}) {
+    SrAnalysis analysis =
+        analyze_sr(run_sr_session(player::SrPolicy::kCascadeNaive, profile));
+    lower_or_equal += static_cast<int>(
+        (analysis.replacements_lower + analysis.replacements_equal) *
+        analysis.replacement_downloads);
+    total += analysis.replacement_downloads;
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_GT(static_cast<double>(lower_or_equal) / total, 0.02);
+}
+
+TEST(SrWhatIf, ImprovedSrNeverDowngrades) {
+  for (int profile : {3, 5, 7}) {
+    SrAnalysis analysis =
+        analyze_sr(run_sr_session(player::SrPolicy::kPerSegment, profile));
+    EXPECT_DOUBLE_EQ(analysis.replacements_lower, 0.0) << profile;
+    EXPECT_DOUBLE_EQ(analysis.replacements_equal, 0.0) << profile;
+  }
+}
+
+TEST(SrWhatIf, ImprovedSrRaisesDisplayedBitrate) {
+  double total_change = 0;
+  int observed = 0;
+  for (int profile : {3, 4, 5, 6}) {
+    SrAnalysis analysis =
+        analyze_sr(run_sr_session(player::SrPolicy::kPerSegment, profile));
+    if (!analysis.sr_observed) continue;
+    total_change += analysis.bitrate_change;
+    ++observed;
+  }
+  ASSERT_GT(observed, 0);
+  EXPECT_GT(total_change / observed, 0.0);
+}
+
+TEST(SrWhatIf, DataAccountingConsistent) {
+  SrAnalysis analysis =
+      analyze_sr(run_sr_session(player::SrPolicy::kCascadeNaive));
+  EXPECT_GE(analysis.media_bytes_with, analysis.media_bytes_without);
+  EXPECT_GE(analysis.wasted_fraction, 0);
+  EXPECT_LE(analysis.wasted_fraction, 1);
+}
+
+TEST(SrWhatIf, CascadeRunsAreLongerThanImprovedOnes) {
+  SrAnalysis cascade =
+      analyze_sr(run_sr_session(player::SrPolicy::kCascadeNaive, 5));
+  SrAnalysis improved =
+      analyze_sr(run_sr_session(player::SrPolicy::kPerSegment, 5));
+  if (cascade.sr_observed && improved.sr_observed) {
+    EXPECT_GE(cascade.p90_cascade_length, improved.p90_cascade_length);
+  }
+}
+
+}  // namespace
+}  // namespace vodx::core

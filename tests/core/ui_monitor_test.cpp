@@ -1,0 +1,87 @@
+#include "core/ui_monitor.h"
+
+#include <gtest/gtest.h>
+
+namespace vodx::core {
+namespace {
+
+/// Feeds a synthetic 1 Hz progress series: playback starts at
+/// `startup`, and `stall` spans [stall_start, stall_end) wall time.
+UiMonitor monitor_for(Seconds startup, Seconds stall_start = -1,
+                      Seconds stall_end = -1, Seconds session_len = 60) {
+  UiMonitor monitor;
+  double position = 0;
+  for (Seconds wall = 1; wall <= session_len; wall += 1) {
+    const bool playing =
+        wall > startup && !(wall > stall_start && wall <= stall_end);
+    if (playing) position += 1;
+    monitor.on_progress(wall, static_cast<int>(position));
+  }
+  return monitor;
+}
+
+TEST(UiMonitor, InfersStartupDelay) {
+  UiInference inferred = monitor_for(5).infer(0);
+  EXPECT_NEAR(inferred.startup_delay, 5, 1.1);
+}
+
+TEST(UiMonitor, NoStartupMeansMinusOne) {
+  UiMonitor monitor;
+  for (int i = 1; i < 30; ++i) monitor.on_progress(i, 0);
+  EXPECT_LT(monitor.infer(0).startup_delay, 0);
+  EXPECT_EQ(monitor.infer(0).total_stall, 0);
+}
+
+TEST(UiMonitor, CleanPlaybackHasNoStalls) {
+  UiInference inferred = monitor_for(3).infer(0);
+  EXPECT_TRUE(inferred.stalls.empty());
+  EXPECT_DOUBLE_EQ(inferred.total_stall, 0);
+}
+
+TEST(UiMonitor, DetectsSingleStall) {
+  UiInference inferred = monitor_for(3, 20, 28).infer(0);
+  ASSERT_EQ(inferred.stalls.size(), 1u);
+  EXPECT_NEAR(inferred.stalls[0].start, 20, 1.5);
+  EXPECT_NEAR(inferred.stalls[0].duration(), 8, 1.5);
+  EXPECT_NEAR(inferred.total_stall, 8, 1.5);
+}
+
+TEST(UiMonitor, DetectsMultipleStalls) {
+  UiMonitor monitor;
+  double position = 0;
+  for (Seconds wall = 1; wall <= 60; wall += 1) {
+    const bool stalled =
+        (wall > 20 && wall <= 25) || (wall > 40 && wall <= 50);
+    if (wall > 2 && !stalled) position += 1;
+    monitor.on_progress(wall, static_cast<int>(position));
+  }
+  UiInference inferred = monitor.infer(0);
+  ASSERT_EQ(inferred.stalls.size(), 2u);
+  EXPECT_NEAR(inferred.total_stall, 15, 2.5);
+}
+
+TEST(UiMonitor, PositionAtInterpolates) {
+  UiInference inferred = monitor_for(0).infer(0);
+  EXPECT_NEAR(inferred.position_at(10.5), 10, 1.1);
+  EXPECT_DOUBLE_EQ(inferred.position_at(0), 0);
+}
+
+TEST(UiMonitor, StartupRelativeToSessionStart) {
+  UiMonitor monitor;
+  // Session started at wall 100; playback at 104.
+  double position = 0;
+  for (Seconds wall = 101; wall <= 160; wall += 1) {
+    if (wall > 104) position += 1;
+    monitor.on_progress(wall, static_cast<int>(position));
+  }
+  EXPECT_NEAR(monitor.infer(100).startup_delay, 4, 1.1);
+}
+
+TEST(UiMonitor, OngoingStallAtSessionEndCounted) {
+  UiInference inferred = monitor_for(3, 40, 1000, 60).infer(0);
+  ASSERT_EQ(inferred.stalls.size(), 1u);
+  EXPECT_GT(inferred.total_stall, 15);
+}
+
+}  // namespace
+}  // namespace vodx::core

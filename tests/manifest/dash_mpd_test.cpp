@@ -1,0 +1,120 @@
+#include "manifest/dash_mpd.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vodx::manifest {
+namespace {
+
+DashMpd sample_mpd() {
+  DashMpd mpd;
+  mpd.media_presentation_duration = 600;
+
+  DashAdaptationSet video;
+  video.content_type = media::ContentType::kVideo;
+  DashRepresentation sidx_rep;
+  sidx_rep.id = "video/0";
+  sidx_rep.bandwidth = 1e6;
+  sidx_rep.resolution = {854, 480};
+  sidx_rep.base_url = "video/0/media.mp4";
+  sidx_rep.index_range = ByteRange{0, 1023};
+  video.representations.push_back(sidx_rep);
+
+  DashRepresentation list_rep;
+  list_rep.id = "video/1";
+  list_rep.bandwidth = 2e6;
+  list_rep.resolution = {1280, 720};
+  list_rep.base_url = "video/1/media.mp4";
+  list_rep.segments.push_back({4.0, ByteRange{0, 999}});
+  list_rep.segments.push_back({4.0, ByteRange{1000, 2999}});
+  list_rep.segments.push_back({2.0, ByteRange{3000, 3999}});
+  video.representations.push_back(list_rep);
+  mpd.adaptation_sets.push_back(video);
+
+  DashAdaptationSet audio;
+  audio.content_type = media::ContentType::kAudio;
+  DashRepresentation audio_rep;
+  audio_rep.id = "audio/0";
+  audio_rep.bandwidth = 96e3;
+  audio_rep.base_url = "audio/0/media.mp4";
+  audio_rep.index_range = ByteRange{0, 511};
+  audio.representations.push_back(audio_rep);
+  mpd.adaptation_sets.push_back(audio);
+  return mpd;
+}
+
+TEST(DashMpd, RoundTripPreservesStructure) {
+  DashMpd parsed = DashMpd::parse(sample_mpd().serialize());
+  ASSERT_EQ(parsed.adaptation_sets.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.media_presentation_duration, 600);
+
+  const DashAdaptationSet& video = parsed.adaptation_sets[0];
+  EXPECT_EQ(video.content_type, media::ContentType::kVideo);
+  ASSERT_EQ(video.representations.size(), 2u);
+  const DashRepresentation& sidx_rep = video.representations[0];
+  EXPECT_EQ(sidx_rep.id, "video/0");
+  ASSERT_TRUE(sidx_rep.index_range.has_value());
+  EXPECT_EQ(sidx_rep.index_range->last, 1023);
+  EXPECT_EQ(sidx_rep.resolution.height, 480);
+
+  const DashRepresentation& list_rep = video.representations[1];
+  ASSERT_EQ(list_rep.segments.size(), 3u);
+  EXPECT_DOUBLE_EQ(list_rep.segments[2].duration, 2.0);
+  EXPECT_EQ(list_rep.segments[1].media_range, (ByteRange{1000, 2999}));
+
+  EXPECT_EQ(parsed.adaptation_sets[1].content_type,
+            media::ContentType::kAudio);
+}
+
+TEST(DashMpd, TimelineRunLengthEncoding) {
+  // Two equal durations then a shorter tail: should produce S@r=1 + S.
+  const std::string text = sample_mpd().serialize();
+  EXPECT_NE(text.find("r=\"1\""), std::string::npos);
+}
+
+TEST(DashMpd, RejectsMissingPeriod) {
+  EXPECT_THROW(
+      DashMpd::parse("<MPD mediaPresentationDuration=\"PT10S\"/>"),
+      ParseError);
+}
+
+TEST(DashMpd, RejectsRepresentationWithoutSegments) {
+  const char* text =
+      "<MPD mediaPresentationDuration=\"PT10S\"><Period><AdaptationSet>"
+      "<Representation id=\"x\" bandwidth=\"1\"><BaseURL>u</BaseURL>"
+      "</Representation></AdaptationSet></Period></MPD>";
+  EXPECT_THROW(DashMpd::parse(text), ParseError);
+}
+
+TEST(DashMpd, RejectsNonMpdRoot) {
+  EXPECT_THROW(DashMpd::parse("<NotMPD/>"), ParseError);
+}
+
+TEST(Iso8601, FormatsDurations) {
+  EXPECT_EQ(iso8601_duration(90.5), "PT1M30.500S");
+  EXPECT_EQ(iso8601_duration(3600), "PT1H0.000S");
+  EXPECT_EQ(iso8601_duration(12), "PT12.000S");
+}
+
+TEST(Iso8601, ParsesDurations) {
+  EXPECT_DOUBLE_EQ(parse_iso8601_duration("PT600S"), 600);
+  EXPECT_DOUBLE_EQ(parse_iso8601_duration("PT1M30.5S"), 90.5);
+  EXPECT_DOUBLE_EQ(parse_iso8601_duration("PT2H"), 7200);
+  EXPECT_DOUBLE_EQ(parse_iso8601_duration("PT1H1M1S"), 3661);
+}
+
+TEST(Iso8601, RoundTrip) {
+  for (double secs : {0.0, 1.5, 59.9, 61.0, 3599.0, 3601.25, 600.0}) {
+    EXPECT_NEAR(parse_iso8601_duration(iso8601_duration(secs)), secs, 1e-3);
+  }
+}
+
+TEST(Iso8601, RejectsMalformed) {
+  EXPECT_THROW(parse_iso8601_duration("600S"), ParseError);
+  EXPECT_THROW(parse_iso8601_duration("PT5X"), ParseError);
+  EXPECT_THROW(parse_iso8601_duration("PT12"), ParseError);
+}
+
+}  // namespace
+}  // namespace vodx::manifest

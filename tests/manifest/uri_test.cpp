@@ -1,0 +1,40 @@
+#include "manifest/uri.h"
+
+#include <gtest/gtest.h>
+
+namespace vodx::manifest {
+namespace {
+
+TEST(Uri, DirectoryOfPath) {
+  EXPECT_EQ(uri_directory("/a/b/c.m3u8"), "/a/b/");
+  EXPECT_EQ(uri_directory("/master.m3u8"), "/");
+  EXPECT_EQ(uri_directory("noslash"), "/");
+}
+
+TEST(Uri, ResolveRelative) {
+  EXPECT_EQ(uri_resolve("/master.m3u8", "video/0/playlist.m3u8"),
+            "/video/0/playlist.m3u8");
+  EXPECT_EQ(uri_resolve("/video/0/playlist.m3u8", "seg1.ts"),
+            "/video/0/seg1.ts");
+}
+
+TEST(Uri, ResolveAbsolute) {
+  EXPECT_EQ(uri_resolve("/a/b/c.mpd", "/other/media.mp4"), "/other/media.mp4");
+}
+
+TEST(Uri, NormalisesDotSegments) {
+  EXPECT_EQ(uri_resolve("/a/b/c.mpd", "../x.mp4"), "/a/x.mp4");
+  EXPECT_EQ(uri_resolve("/a/b/c.mpd", "./x.mp4"), "/a/b/x.mp4");
+  EXPECT_EQ(uri_resolve("/a/c.mpd", "../../x.mp4"), "/x.mp4");
+}
+
+TEST(Uri, CollapsesDoubleSlashes) {
+  EXPECT_EQ(uri_resolve("/a//b.mpd", "x.mp4"), "/a/x.mp4");
+}
+
+TEST(Uri, RootEdgeCases) {
+  EXPECT_EQ(uri_resolve("/m.mpd", ".."), "/");
+}
+
+}  // namespace
+}  // namespace vodx::manifest

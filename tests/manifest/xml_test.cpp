@@ -1,0 +1,92 @@
+#include "manifest/xml.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vodx::manifest {
+namespace {
+
+TEST(Xml, SerializeSimpleElement) {
+  XmlNode node("Root");
+  node.set_attr("a", "1");
+  EXPECT_EQ(node.serialize(), "<Root a=\"1\"/>\n");
+}
+
+TEST(Xml, SerializeNestedWithText) {
+  XmlNode node("Root");
+  node.add_child("Child").set_text("hello");
+  const std::string out = node.serialize();
+  EXPECT_NE(out.find("<Child>hello</Child>"), std::string::npos);
+}
+
+TEST(Xml, AttributeOverwriteKeepsOrder) {
+  XmlNode node("N");
+  node.set_attr("a", "1");
+  node.set_attr("b", "2");
+  node.set_attr("a", "3");
+  EXPECT_EQ(*node.attr("a"), "3");
+  EXPECT_LT(node.serialize().find("a=\"3\""), node.serialize().find("b=\"2\""));
+}
+
+TEST(Xml, RequiredAttrThrowsWhenMissing) {
+  XmlNode node("N");
+  EXPECT_THROW(node.required_attr("missing"), ParseError);
+}
+
+TEST(Xml, ParseRoundTrip) {
+  XmlNode root("MPD");
+  root.set_attr("type", "static");
+  XmlNode& period = root.add_child("Period");
+  XmlNode& rep = period.add_child("Representation");
+  rep.set_attr("id", "video/0");
+  rep.add_child("BaseURL").set_text("video/0/media.mp4");
+
+  auto parsed = parse_xml(serialize_document(root));
+  EXPECT_EQ(parsed->name(), "MPD");
+  EXPECT_EQ(*parsed->attr("type"), "static");
+  const XmlNode* p = parsed->child("Period");
+  ASSERT_NE(p, nullptr);
+  const XmlNode* r = p->child("Representation");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->child("BaseURL")->text(), "video/0/media.mp4");
+}
+
+TEST(Xml, ParseSelfClosing) {
+  auto parsed = parse_xml("<a><b x=\"1\"/><b x=\"2\"/></a>");
+  EXPECT_EQ(parsed->children_named("b").size(), 2u);
+  EXPECT_EQ(*parsed->children_named("b")[1]->attr("x"), "2");
+}
+
+TEST(Xml, ParseSkipsDeclarationAndComments) {
+  auto parsed = parse_xml(
+      "<?xml version=\"1.0\"?>\n<!-- hi -->\n<a><!-- inner --><b/></a>");
+  EXPECT_EQ(parsed->name(), "a");
+  EXPECT_NE(parsed->child("b"), nullptr);
+}
+
+TEST(Xml, EscapesSpecialCharacters) {
+  XmlNode node("N");
+  node.set_attr("a", "x<y&\"z\"");
+  node.set_text("a<b>&c");
+  auto parsed = parse_xml(node.serialize());
+  EXPECT_EQ(*parsed->attr("a"), "x<y&\"z\"");
+  EXPECT_EQ(parsed->text(), "a<b>&c");
+}
+
+TEST(Xml, ParseErrors) {
+  EXPECT_THROW(parse_xml("<a><b></a>"), ParseError);      // mismatched close
+  EXPECT_THROW(parse_xml("<a attr=1/>"), ParseError);     // unquoted attr
+  EXPECT_THROW(parse_xml("<a>"), ParseError);             // unterminated
+  EXPECT_THROW(parse_xml("<a/><b/>"), ParseError);        // two roots
+  EXPECT_THROW(parse_xml("<a>&unknown;</a>"), ParseError);  // bad entity
+  EXPECT_THROW(parse_xml(""), ParseError);
+}
+
+TEST(Xml, WhitespaceAroundTextIsTrimmed) {
+  auto parsed = parse_xml("<a>  text  </a>");
+  EXPECT_EQ(parsed->text(), "text");
+}
+
+}  // namespace
+}  // namespace vodx::manifest

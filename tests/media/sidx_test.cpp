@@ -1,0 +1,120 @@
+#include "media/sidx.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "media/encoder.h"
+#include "media/scene.h"
+
+namespace vodx::media {
+namespace {
+
+Track sample_track(std::uint64_t seed = 1, Seconds duration = 60) {
+  Rng rng(seed);
+  SceneComplexity scenes = SceneComplexity::generate(duration, rng);
+  EncoderConfig config;
+  return encode_video_track("v", 1e6, duration, 4, config, scenes, rng);
+}
+
+TEST(Sidx, RoundTripPreservesReferences) {
+  Track track = sample_track();
+  SidxBox box = sidx_for_track(track);
+  std::string wire = serialize_sidx(box);
+  SidxBox parsed = parse_sidx(wire);
+  ASSERT_EQ(parsed.references.size(), box.references.size());
+  for (std::size_t i = 0; i < box.references.size(); ++i) {
+    EXPECT_EQ(parsed.references[i].referenced_size,
+              box.references[i].referenced_size);
+    EXPECT_EQ(parsed.references[i].subsegment_duration,
+              box.references[i].subsegment_duration);
+  }
+  EXPECT_EQ(parsed.timescale, box.timescale);
+  EXPECT_EQ(parsed.reference_id, box.reference_id);
+}
+
+TEST(Sidx, WireSizeMatchesBoxSize) {
+  SidxBox box = sidx_for_track(sample_track());
+  EXPECT_EQ(serialize_sidx(box).size(), box.box_size());
+}
+
+TEST(Sidx, SizesMatchTrackSegments) {
+  Track track = sample_track();
+  SidxBox box = sidx_for_track(track, 1000);
+  ASSERT_EQ(static_cast<int>(box.references.size()), track.segment_count());
+  for (int i = 0; i < track.segment_count(); ++i) {
+    EXPECT_EQ(static_cast<Bytes>(box.references[i].referenced_size),
+              track.segment(i).size);
+    EXPECT_NEAR(box.references[i].subsegment_duration / 1000.0,
+                track.segment(i).duration, 0.001);
+  }
+}
+
+TEST(Sidx, GoldenHeaderBytes) {
+  SidxBox box;
+  box.reference_id = 1;
+  box.timescale = 1000;
+  SidxReference ref;
+  ref.referenced_size = 0x1234;
+  ref.subsegment_duration = 4000;
+  box.references.push_back(ref);
+  std::string wire = serialize_sidx(box);
+  ASSERT_EQ(wire.size(), 44u);  // 12 header + 20 fixed + 12 per reference
+  EXPECT_EQ(wire.substr(4, 4), "sidx");
+  // Size field, big endian.
+  EXPECT_EQ(static_cast<unsigned char>(wire[3]), 44);
+  // reference_count at offset 30-31.
+  EXPECT_EQ(static_cast<unsigned char>(wire[31]), 1);
+}
+
+TEST(Sidx, ParseRejectsTruncated) {
+  std::string wire = serialize_sidx(sidx_for_track(sample_track()));
+  EXPECT_THROW(parse_sidx(std::string_view(wire).substr(0, 20)), ParseError);
+  EXPECT_THROW(parse_sidx(""), ParseError);
+}
+
+TEST(Sidx, ParseRejectsWrongFourcc) {
+  std::string wire = serialize_sidx(sidx_for_track(sample_track()));
+  wire[4] = 'm';
+  EXPECT_THROW(parse_sidx(wire), ParseError);
+}
+
+TEST(Sidx, ParseRejectsOversizedBoxField) {
+  std::string wire = serialize_sidx(sidx_for_track(sample_track()));
+  wire[0] = 0x7F;  // absurd declared size
+  EXPECT_THROW(parse_sidx(wire), ParseError);
+}
+
+TEST(Sidx, ParseRejectsUnsupportedVersion) {
+  std::string wire = serialize_sidx(sidx_for_track(sample_track()));
+  wire[8] = 1;  // version byte
+  EXPECT_THROW(parse_sidx(wire), ParseError);
+}
+
+TEST(Sidx, FirstOffsetSurvivesRoundTrip) {
+  SidxBox box = sidx_for_track(sample_track());
+  box.first_offset = 512;
+  SidxBox parsed = parse_sidx(serialize_sidx(box));
+  EXPECT_EQ(parsed.first_offset, 512u);
+}
+
+// Property: round-trip holds for arbitrary encoded tracks.
+class SidxRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(SidxRoundTrip, AnyTrack) {
+  Track track = sample_track(static_cast<std::uint64_t>(GetParam()),
+                             30.0 + 17.0 * GetParam());
+  SidxBox box = sidx_for_track(track);
+  SidxBox parsed = parse_sidx(serialize_sidx(box));
+  ASSERT_EQ(parsed.references.size(), box.references.size());
+  Bytes total = 0;
+  for (const SidxReference& r : parsed.references) {
+    total += static_cast<Bytes>(r.referenced_size);
+  }
+  EXPECT_EQ(total, track.total_size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SidxRoundTrip, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace vodx::media

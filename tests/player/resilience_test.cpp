@@ -1,0 +1,164 @@
+// Failure injection and user-control coverage: transient 5xx faults, the
+// retry budget, user pause/resume, and the data-saver resolution cap.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "player/player.h"
+#include "testing/fixtures.h"
+
+namespace vodx::player {
+namespace {
+
+using vodx::testing::small_asset;
+
+struct Harness {
+  explicit Harness(Bps bandwidth = 6e6, PlayerConfig config = base_config())
+      : sim(0.01),
+        link(sim, net::BandwidthTrace::constant(bandwidth, 400), 0.05),
+        origin(small_asset(120), {manifest::Protocol::kHls}),
+        proxy(origin),
+        player(sim, link, proxy, manifest::Protocol::kHls, std::move(config)) {
+  }
+
+  static PlayerConfig base_config() {
+    PlayerConfig config;
+    config.startup_buffer = 8;
+    config.startup_bitrate = 800e3;
+    config.pausing_threshold = 30;
+    config.resuming_threshold = 25;
+    config.tcp.rtt = 0.05;
+    return config;
+  }
+
+  net::Simulator sim;
+  net::Link link;
+  http::OriginServer origin;
+  http::Proxy proxy;
+  Player player;
+};
+
+TEST(Resilience, RecoversFromTransientFaults) {
+  Harness h;
+  // Every segment request fails once with 503, then succeeds.
+  auto failures = std::make_shared<std::map<std::string, int>>();
+  h.proxy.set_fault_hook([failures](const http::Request& request) {
+    if (request.url.find("seg") == std::string::npos) return 0;
+    if ((*failures)[request.url]++ == 0) return 503;
+    return 0;
+  });
+  h.player.start(h.origin.manifest_url());
+  h.sim.run_until(300);
+  EXPECT_EQ(h.player.state(), PlayerState::kEnded);
+  EXPECT_NEAR(h.player.position(), 120, 0.1);
+  // The wire shows both the faults and the successful retries.
+  int faults = 0;
+  for (const auto& r : h.proxy.log().records()) {
+    if (r.status == 503) ++faults;
+  }
+  EXPECT_GT(faults, 20);
+}
+
+TEST(Resilience, PersistentFaultExhaustsRetriesAndStops) {
+  Harness h;
+  h.proxy.set_fault_hook([](const http::Request& request) {
+    return request.url.find("seg5") != std::string::npos ? 503 : 0;
+  });
+  h.player.start(h.origin.manifest_url());
+  h.sim.run_until(200);
+  // Playback proceeds through the buffered prefix, then starves at the
+  // permanently missing segment.
+  EXPECT_EQ(h.player.state(), PlayerState::kRebuffering);
+  EXPECT_LT(h.player.position(), 25);
+  // Exactly `fetch_retries` attempts hit the wire for the poisoned segment.
+  int attempts = 0;
+  for (const auto& r : h.proxy.log().records()) {
+    if (r.url.find("seg5.ts") != std::string::npos) ++attempts;
+  }
+  EXPECT_EQ(attempts, h.player.config().fetch_retries);
+}
+
+TEST(Resilience, RetryBackoffDelaysReattempts) {
+  Harness h;
+  h.proxy.set_fault_hook([](const http::Request& request) {
+    return request.url.find("seg3") != std::string::npos ? 503 : 0;
+  });
+  h.player.start(h.origin.manifest_url());
+  h.sim.run_until(60);
+  std::vector<Seconds> attempt_times;
+  for (const auto& r : h.proxy.log().records()) {
+    if (r.url.find("seg3.ts") != std::string::npos) {
+      attempt_times.push_back(r.requested_at);
+    }
+  }
+  ASSERT_GE(attempt_times.size(), 2u);
+  for (std::size_t i = 1; i < attempt_times.size(); ++i) {
+    EXPECT_GE(attempt_times[i] - attempt_times[i - 1], 0.45);
+  }
+}
+
+TEST(UserPause, FreezesPositionWhileDownloadsContinue) {
+  // A high pausing threshold keeps the downloader busy at t=15, so the
+  // buffer visibly grows while playback is frozen.
+  PlayerConfig config = Harness::base_config();
+  config.pausing_threshold = 60;
+  config.resuming_threshold = 50;
+  Harness h(1.5e6, config);
+  h.player.start(h.origin.manifest_url());
+  h.sim.run_until(15);
+  ASSERT_EQ(h.player.state(), PlayerState::kPlaying);
+  const Seconds pos = h.player.position();
+  const Seconds buffered = h.player.video_buffered();
+  h.player.pause();
+  h.sim.run_until(25);
+  EXPECT_DOUBLE_EQ(h.player.position(), pos);
+  // Buffer kept filling toward the pausing threshold.
+  EXPECT_GT(h.player.video_buffered(), buffered);
+  h.player.resume();
+  h.sim.run_until(30);
+  EXPECT_GT(h.player.position(), pos + 4);
+}
+
+TEST(UserPause, LooksLikeAStallToTheUiMonitor) {
+  // The known ambiguity: UI-based inference cannot tell a user pause from a
+  // stall — progress freezes either way.
+  Harness h;
+  std::vector<int> progress;
+  h.player.set_seekbar_callback(
+      [&](Seconds, int p) { progress.push_back(p); });
+  h.player.start(h.origin.manifest_url());
+  h.sim.run_until(15);
+  h.player.pause();
+  h.sim.run_until(20);
+  ASSERT_GE(progress.size(), 3u);
+  EXPECT_EQ(progress.back(), progress[progress.size() - 2]);
+}
+
+TEST(DataSaver, HeightCapBoundsSelection) {
+  PlayerConfig config = Harness::base_config();
+  config.max_height_cap = 360;
+  Harness h(20e6, config);  // bandwidth that would otherwise hit the top
+  h.player.start(h.origin.manifest_url());
+  h.sim.run_until(200);
+  for (const auto& e : h.player.events().displayed) {
+    EXPECT_LE(e.resolution.height, 360) << "segment " << e.index;
+  }
+}
+
+TEST(DataSaver, CapSavesData) {
+  PlayerConfig capped = Harness::base_config();
+  capped.max_height_cap = 360;
+  Harness a(20e6, capped);
+  a.player.start(a.origin.manifest_url());
+  a.sim.run_until(200);
+
+  Harness b(20e6);
+  b.player.start(b.origin.manifest_url());
+  b.sim.run_until(200);
+
+  EXPECT_LT(static_cast<double>(a.proxy.log().total_bytes()),
+            0.65 * static_cast<double>(b.proxy.log().total_bytes()));
+}
+
+}  // namespace
+}  // namespace vodx::player

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "player/player.h"
+#include "testing/fixtures.h"
+
+namespace vodx::player {
+namespace {
+
+using vodx::testing::small_asset;
+
+struct SeekHarness {
+  explicit SeekHarness(manifest::Protocol protocol = manifest::Protocol::kHls,
+                       Bps bandwidth = 6e6)
+      : sim(0.01),
+        link(sim, net::BandwidthTrace::constant(bandwidth, 400), 0.05),
+        origin(small_asset(120, protocol != manifest::Protocol::kHls),
+               make_origin_config(protocol)),
+        proxy(origin),
+        player(sim, link, proxy, protocol, make_player_config(protocol)) {
+    player.start(origin.manifest_url());
+  }
+
+  static http::OriginConfig make_origin_config(manifest::Protocol protocol) {
+    http::OriginConfig config;
+    config.protocol = protocol;
+    return config;
+  }
+
+  static PlayerConfig make_player_config(manifest::Protocol protocol) {
+    PlayerConfig config;
+    config.startup_buffer = 8;
+    config.startup_bitrate = 800e3;
+    config.pausing_threshold = 30;
+    config.resuming_threshold = 25;
+    config.tcp.rtt = 0.05;
+    config.max_connections = protocol == manifest::Protocol::kHls ? 1 : 2;
+    return config;
+  }
+
+  net::Simulator sim;
+  net::Link link;
+  http::OriginServer origin;
+  http::Proxy proxy;
+  Player player;
+};
+
+TEST(Seek, ForwardOutOfBufferJumpsAndResumes) {
+  SeekHarness h;
+  h.sim.run_until(20);
+  ASSERT_EQ(h.player.state(), PlayerState::kPlaying);
+  h.player.seek(80);
+  h.sim.run_until(40);
+  EXPECT_EQ(h.player.state(), PlayerState::kPlaying);
+  EXPECT_GT(h.player.position(), 80);
+  EXPECT_LT(h.player.position(), 110);
+  ASSERT_EQ(h.player.events().seeks.size(), 1u);
+  EXPECT_DOUBLE_EQ(h.player.events().seeks[0].to, 80);
+}
+
+TEST(Seek, BackwardRefetchesEarlierContent) {
+  SeekHarness h;
+  h.sim.run_until(60);  // well past the start
+  ASSERT_GT(h.player.position(), 30);
+  h.player.seek(5);
+  h.sim.run_until(90);
+  EXPECT_EQ(h.player.state(), PlayerState::kPlaying);
+  EXPECT_GT(h.player.position(), 5);
+  EXPECT_LT(h.player.position(), 45);
+  // Segment 1 (covering t=5) was downloaded twice: once at startup, once
+  // after the seek.
+  int fetches_of_seg1 = 0;
+  for (const auto& r : h.proxy.log().records()) {
+    if (r.url.find("seg1.ts") != std::string::npos && !r.aborted) {
+      ++fetches_of_seg1;
+    }
+  }
+  EXPECT_GE(fetches_of_seg1, 2);
+}
+
+TEST(Seek, AbortsInFlightTransfers) {
+  SeekHarness h(manifest::Protocol::kHls, 150e3);  // slow: long transfers
+  // Mid-startup: the first segment (~170 KB at 150 kbps) is still in
+  // flight when the user seeks away.
+  h.sim.run_until(10);
+  h.player.seek(100);
+  h.sim.run_until(11);
+  int aborted = 0;
+  for (const auto& r : h.proxy.log().records()) {
+    if (r.aborted) ++aborted;
+  }
+  EXPECT_GE(aborted, 1);
+}
+
+TEST(Seek, CountsAsStallWhilePlaying) {
+  SeekHarness h;
+  h.sim.run_until(20);
+  const std::size_t stalls_before = h.player.events().stalls.size();
+  h.player.seek(100);
+  h.sim.run_until(21);
+  EXPECT_EQ(h.player.events().stalls.size(), stalls_before + 1);
+  h.sim.run_until(60);
+  EXPECT_GE(h.player.events().stalls.back().end, 0);  // closed on resume
+}
+
+TEST(Seek, WithinBufferedRegionIsInstant) {
+  SeekHarness h;
+  h.sim.run_until(20);  // ~25-30 s buffered ahead
+  const Seconds pos = h.player.position();
+  h.player.seek(pos + 10);  // inside the buffer
+  // Never leaves the playing state: the content is already there.
+  for (int i = 0; i < 100; ++i) {
+    h.sim.run_for(0.1);
+    EXPECT_EQ(h.player.state(), PlayerState::kPlaying);
+  }
+  EXPECT_GT(h.player.position(), pos + 10);
+}
+
+TEST(Seek, WorksWithSeparateAudio) {
+  SeekHarness h(manifest::Protocol::kDash);
+  h.sim.run_until(20);
+  h.player.seek(90);
+  h.sim.run_until(50);
+  EXPECT_EQ(h.player.state(), PlayerState::kPlaying);
+  EXPECT_GT(h.player.position(), 90);
+}
+
+TEST(Seek, ClampsBeyondDuration) {
+  SeekHarness h;
+  h.sim.run_until(20);
+  h.player.seek(1e9);
+  h.sim.run_until(60);
+  // Lands near the end and finishes.
+  EXPECT_EQ(h.player.state(), PlayerState::kEnded);
+}
+
+TEST(Seek, IgnoredBeforePlaybackExists) {
+  SeekHarness h;
+  h.player.seek(50);  // still resolving manifests
+  EXPECT_TRUE(h.player.events().seeks.empty());
+}
+
+TEST(Seek, SeekbarReflectsTheJump) {
+  SeekHarness h;
+  std::vector<int> progress;
+  h.player.set_seekbar_callback(
+      [&](Seconds, int p) { progress.push_back(p); });
+  h.sim.run_until(20);
+  h.player.seek(80);
+  h.sim.run_until(40);
+  // The series jumps from ~15 to >= 80 at the seek.
+  bool jumped = false;
+  for (std::size_t i = 1; i < progress.size(); ++i) {
+    if (progress[i] - progress[i - 1] > 30) jumped = true;
+  }
+  EXPECT_TRUE(jumped);
+}
+
+}  // namespace
+}  // namespace vodx::player

@@ -1,0 +1,164 @@
+#include "services/service_catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+#include "services/content_factory.h"
+
+namespace vodx::services {
+namespace {
+
+TEST(Catalog, TwelveServicesInPaperOrder) {
+  const auto& all = catalog();
+  ASSERT_EQ(all.size(), 12u);
+  const char* expected[] = {"H1", "H2", "H3", "H4", "H5", "H6",
+                            "D1", "D2", "D3", "D4", "S1", "S2"};
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].name, expected[i]);
+  }
+}
+
+TEST(Catalog, ProtocolsMatchNames) {
+  for (const ServiceSpec& s : catalog()) {
+    switch (s.name[0]) {
+      case 'H': EXPECT_EQ(s.protocol, manifest::Protocol::kHls); break;
+      case 'D': EXPECT_EQ(s.protocol, manifest::Protocol::kDash); break;
+      case 'S': EXPECT_EQ(s.protocol, manifest::Protocol::kSmooth); break;
+      default: FAIL();
+    }
+  }
+}
+
+TEST(Catalog, HlsMuxesAudioOthersSeparate) {
+  // §3.1: all studied HLS services mux audio; all DASH/SS separate it.
+  for (const ServiceSpec& s : catalog()) {
+    EXPECT_EQ(s.separate_audio, s.protocol != manifest::Protocol::kHls)
+        << s.name;
+  }
+}
+
+TEST(Catalog, LadderSpacingFollowsAppleGuideline) {
+  // §3.1: adjacent rungs a factor 1.5-2 apart, all services.
+  for (const ServiceSpec& s : catalog()) {
+    for (std::size_t i = 1; i < s.video_ladder.size(); ++i) {
+      const double ratio = s.video_ladder[i] / s.video_ladder[i - 1];
+      EXPECT_GE(ratio, 1.35) << s.name << " rung " << i;
+      EXPECT_LE(ratio, 2.15) << s.name << " rung " << i;
+    }
+  }
+}
+
+TEST(Catalog, HighestTracksBetween2And5p5Mbps) {
+  for (const ServiceSpec& s : catalog()) {
+    EXPECT_GE(s.video_ladder.back(), 2e6) << s.name;
+    EXPECT_LE(s.video_ladder.back(), 5.5e6) << s.name;
+  }
+}
+
+TEST(Catalog, ThreeServicesHaveHighLowestTrack) {
+  // §3.1 / Table 2: H2, H5, S1 have lowest tracks above 500 kbps.
+  for (const ServiceSpec& s : catalog()) {
+    const bool high_bottom = s.video_ladder.front() > 500e3;
+    const bool expected =
+        s.name == "H2" || s.name == "H5" || s.name == "S1";
+    EXPECT_EQ(high_bottom, expected) << s.name;
+  }
+}
+
+TEST(Catalog, StartupBitrateIsALadderRung) {
+  for (const ServiceSpec& s : catalog()) {
+    bool found = false;
+    for (Bps rung : s.video_ladder) {
+      if (std::abs(rung - s.player.startup_bitrate) < 1) found = true;
+    }
+    EXPECT_TRUE(found) << s.name;
+  }
+}
+
+TEST(Catalog, Table1ColumnsSpotCheck) {
+  EXPECT_EQ(service("D1").player.max_connections, 6);
+  EXPECT_FALSE(service("H2").player.persistent_connections);
+  EXPECT_FALSE(service("H3").player.persistent_connections);
+  EXPECT_FALSE(service("H5").player.persistent_connections);
+  EXPECT_DOUBLE_EQ(service("S2").player.resuming_threshold, 4);
+  EXPECT_DOUBLE_EQ(service("D1").player.pausing_threshold, 182);
+  EXPECT_EQ(service("D1").player.abr, player::AbrKind::kOscillating);
+  EXPECT_EQ(service("H4").player.sr, player::SrPolicy::kCascadeNaive);
+  EXPECT_EQ(service("H1").player.sr, player::SrPolicy::kCascadeExoV1);
+  EXPECT_TRUE(service("D3").encrypt_manifest);
+  EXPECT_TRUE(service("D3").player.split_segment_downloads);
+  EXPECT_EQ(service("D1").dash_index, manifest::DashIndexMode::kSegmentList);
+  EXPECT_EQ(service("D2").dash_index, manifest::DashIndexMode::kSidx);
+}
+
+TEST(Catalog, DecreaseBufferServices) {
+  // Table 1 "Decrease buffer": H2 40, D3 30, S1 50, everyone else none.
+  for (const ServiceSpec& s : catalog()) {
+    if (s.name == "H2") EXPECT_DOUBLE_EQ(s.player.decrease_buffer, 40);
+    else if (s.name == "D3") EXPECT_DOUBLE_EQ(s.player.decrease_buffer, 30);
+    else if (s.name == "S1") EXPECT_DOUBLE_EQ(s.player.decrease_buffer, 50);
+    else EXPECT_DOUBLE_EQ(s.player.decrease_buffer, 0) << s.name;
+  }
+}
+
+TEST(Catalog, CbrServicesAreH2H3H5) {
+  for (const ServiceSpec& s : catalog()) {
+    const bool cbr = s.encoding == media::EncodingMode::kCbr;
+    const bool expected =
+        s.name == "H2" || s.name == "H3" || s.name == "H5";
+    EXPECT_EQ(cbr, expected) << s.name;
+  }
+}
+
+TEST(Catalog, SmoothServicesDeclareAverage) {
+  // Fig. 5: S1/S2 set declared near the average actual bitrate.
+  for (const ServiceSpec& s : catalog()) {
+    const bool average = s.declared_policy == media::DeclaredPolicy::kAverage;
+    EXPECT_EQ(average, s.protocol == manifest::Protocol::kSmooth) << s.name;
+  }
+}
+
+TEST(Catalog, UnknownServiceThrows) {
+  EXPECT_THROW(service("NOPE"), ConfigError);
+}
+
+TEST(ContentFactory, AssetMatchesSpec) {
+  const ServiceSpec& spec = service("D2");
+  media::VideoAsset asset = make_asset(spec, 600, 1);
+  ASSERT_EQ(asset.video_track_count(),
+            static_cast<int>(spec.video_ladder.size()));
+  for (int level = 0; level < asset.video_track_count(); ++level) {
+    EXPECT_DOUBLE_EQ(asset.video_track(level).declared_bitrate(),
+                     spec.video_ladder[static_cast<std::size_t>(level)]);
+  }
+  EXPECT_TRUE(asset.separate_audio());
+  EXPECT_NEAR(asset.duration(), 600, 0.01);
+  // D2's VBR gap: average actual ~ half the declared (Fig. 5).
+  const media::Track& top =
+      asset.video_track(asset.video_track_count() - 1);
+  EXPECT_NEAR(top.average_actual_bitrate(), top.declared_bitrate() / 2,
+              0.1 * top.declared_bitrate() / 2);
+}
+
+TEST(ContentFactory, DeterministicInSeed) {
+  const ServiceSpec& spec = service("H1");
+  media::VideoAsset a = make_asset(spec, 300, 9);
+  media::VideoAsset b = make_asset(spec, 300, 9);
+  for (int i = 0; i < a.video_track(0).segment_count(); ++i) {
+    EXPECT_EQ(a.video_track(0).segment(i).size,
+              b.video_track(0).segment(i).size);
+  }
+}
+
+TEST(ContentFactory, AudioSegmentDurationFollowsSpec) {
+  media::VideoAsset d1 = make_asset(service("D1"), 300, 1);
+  EXPECT_NEAR(d1.audio_track(0).segment(0).duration, 2.0, 1e-9);
+  media::VideoAsset d2 = make_asset(service("D2"), 300, 1);
+  EXPECT_NEAR(d2.audio_track(0).segment(0).duration, 5.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace vodx::services

@@ -1,0 +1,57 @@
+// Shared test fixtures: small assets, origins and sessions.
+#pragma once
+
+#include "common/rng.h"
+#include "http/origin_server.h"
+#include "media/encoder.h"
+#include "media/scene.h"
+#include "media/video_asset.h"
+#include "services/service_catalog.h"
+
+namespace vodx::testing {
+
+/// A small three-rung VBR asset (plus optional audio), deterministic.
+inline media::VideoAsset small_asset(Seconds duration = 60,
+                                     bool separate_audio = false,
+                                     Seconds segment_duration = 4,
+                                     std::uint64_t seed = 1) {
+  Rng rng(seed);
+  Rng scene_rng = rng.fork(1);
+  Rng video_rng = rng.fork(2);
+  Rng audio_rng = rng.fork(3);
+  media::SceneComplexity scenes =
+      media::SceneComplexity::generate(duration, scene_rng);
+  media::EncoderConfig config;
+  std::vector<media::Track> video = media::encode_video_ladder(
+      {400e3, 800e3, 1.6e6}, duration, segment_duration, config, scenes,
+      video_rng);
+  std::vector<media::Track> audio;
+  if (separate_audio) {
+    audio.push_back(media::encode_audio_track(96e3, duration, 2, audio_rng));
+  }
+  return media::VideoAsset("test-asset", std::move(video), std::move(audio));
+}
+
+/// A minimal synthetic service spec for session-level tests.
+inline services::ServiceSpec test_spec(
+    manifest::Protocol protocol = manifest::Protocol::kHls) {
+  services::ServiceSpec spec;
+  spec.name = "TEST";
+  spec.protocol = protocol;
+  spec.video_ladder = {400e3, 800e3, 1.6e6, 3.2e6};
+  spec.segment_duration = 4;
+  spec.separate_audio = protocol != manifest::Protocol::kHls;
+  spec.player.name = "TEST";
+  spec.player.startup_buffer = 8;
+  spec.player.startup_bitrate = 800e3;
+  spec.player.pausing_threshold = 30;
+  spec.player.resuming_threshold = 25;
+  spec.player.max_connections =
+      protocol == manifest::Protocol::kHls ? 1 : 2;
+  if (spec.audio_segment_duration <= 0) {
+    spec.audio_segment_duration = spec.segment_duration;
+  }
+  return spec;
+}
+
+}  // namespace vodx::testing

@@ -1,0 +1,184 @@
+// vodx command-line tool: the library's main entry points without writing
+// C++.
+//
+//   vodx list                      — catalogue of the 12 services
+//   vodx play <svc> <profile>      — run a session, print the QoE report
+//   vodx play <svc> --trace f.txt  — ... over a recorded 1 Hz trace file
+//   vodx dissect <svc>             — black-box Table-1 row for a service
+//   vodx trace <profile> [out]     — emit a cellular profile as text
+//   vodx energy <svc> [profile]    — RRC radio-energy analysis (§3.3.2)
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/design_inference.h"
+#include "core/qoe.h"
+#include "core/radio_energy.h"
+#include "core/report.h"
+#include "core/session.h"
+#include "trace/cellular_profiles.h"
+#include "trace/trace_io.h"
+
+using namespace vodx;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  vodx list\n"
+               "  vodx play <service> [profile=7 | --trace file] [--csv|--buffer-csv]\n"
+               "  vodx dissect <service>\n"
+               "  vodx trace <profile> [out.txt]\n"
+               "  vodx energy <service> [profile=7]\n");
+  return 2;
+}
+
+int cmd_list() {
+  Table table({"service", "protocol", "tracks", "segdur", "audio",
+               "startup", "pausing/resuming", "notes"});
+  for (const services::ServiceSpec& s : services::catalog()) {
+    std::string notes;
+    if (s.player.sr != player::SrPolicy::kNone) notes += "SR ";
+    if (s.player.abr == player::AbrKind::kOscillating) notes += "unstable ";
+    if (s.encrypt_manifest) notes += "encrypted-mpd ";
+    if (s.player.split_segment_downloads) notes += "split-dl ";
+    if (!s.player.persistent_connections) notes += "non-persistent ";
+    table.add_row({s.name, to_string(s.protocol),
+                   std::to_string(s.video_ladder.size()),
+                   format("%.0f s", s.segment_duration),
+                   s.separate_audio ? "separate" : "muxed",
+                   format("%.0f s @%.2f M", s.player.startup_buffer,
+                          s.player.startup_bitrate / 1e6),
+                   format("%.0f/%.0f s", s.player.pausing_threshold,
+                          s.player.resuming_threshold),
+                   notes.empty() ? "-" : notes});
+  }
+  table.print();
+  return 0;
+}
+
+core::SessionResult run(const services::ServiceSpec& spec,
+                        net::BandwidthTrace trace) {
+  core::SessionConfig config;
+  config.spec = spec;
+  config.trace = std::move(trace);
+  config.session_duration = 600;
+  config.content_duration = 600;
+  return core::run_session(config);
+}
+
+int cmd_play(const std::string& service, int argc, char** argv) {
+  net::BandwidthTrace trace = trace::cellular_profile(7);
+  bool csv = false;
+  bool buffer_csv_out = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace = trace::load_trace(argv[++i]);
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      csv = true;
+    } else if (std::strcmp(argv[i], "--buffer-csv") == 0) {
+      buffer_csv_out = true;
+    } else {
+      trace = trace::cellular_profile(std::atoi(argv[i]));
+    }
+  }
+  const services::ServiceSpec& spec = services::service(service);
+  core::SessionResult r = run(spec, trace);
+  if (buffer_csv_out) {
+    std::fputs(core::buffer_csv(r).c_str(), stdout);
+    return 0;
+  }
+  if (csv) {
+    std::fputs(core::qoe_csv_header().c_str(), stdout);
+    std::fputs(core::qoe_csv_row(spec.name, r).c_str(), stdout);
+    return 0;
+  }
+
+  std::printf("%s over %s (mean %.2f Mbps): %s\n\n", spec.name.c_str(),
+              trace.name().empty() ? "trace" : trace.name().c_str(),
+              trace.mean() / 1e6, player::to_string(r.final_state));
+  std::printf("  startup delay        %.2f s\n", r.qoe.startup_delay);
+  std::printf("  stalls               %d (%.1f s)\n", r.qoe.stall_count,
+              r.qoe.total_stall);
+  std::printf("  avg declared bitrate %.2f Mbps\n",
+              r.qoe.average_declared_bitrate / 1e6);
+  std::printf("  track switches       %d (%d non-consecutive)\n",
+              r.qoe.switch_count, r.qoe.nonconsecutive_switch_count);
+  std::printf("  data usage           %.1f MB (%.1f MB wasted)\n",
+              static_cast<double>(r.qoe.total_bytes) / 1e6,
+              static_cast<double>(r.qoe.wasted_bytes) / 1e6);
+  std::printf("  QoE score            %.2f\n",
+              core::qoe_score(r.qoe, r.session_end));
+  return 0;
+}
+
+int cmd_dissect(const std::string& service) {
+  core::InferredDesign d = core::infer_design(services::service(service));
+  std::printf("%s (black-box):\n", service.c_str());
+  std::printf("  segment duration    %.0f s\n", d.segment_duration);
+  std::printf("  separate audio      %s\n", d.separate_audio ? "yes" : "no");
+  std::printf("  max TCP             %d (%s)\n", d.max_tcp,
+              d.persistent_tcp ? "persistent" : "non-persistent");
+  std::printf("  startup             %.0f s / %d segments @ %.2f Mbps\n",
+              d.startup_buffer, d.startup_segments, d.startup_bitrate / 1e6);
+  std::printf("  pausing/resuming    %.0f / %.0f s\n", d.pausing_threshold,
+              d.resuming_threshold);
+  std::printf("  stable / aggressive %s / %s\n", d.stable ? "yes" : "NO",
+              d.aggressive ? "yes" : "no");
+  return 0;
+}
+
+int cmd_trace(int profile, const char* out) {
+  net::BandwidthTrace trace = trace::cellular_profile(profile);
+  if (out != nullptr) {
+    trace::save_trace(trace, out);
+    std::printf("wrote %s (mean %.2f Mbps)\n", out, trace.mean() / 1e6);
+  } else {
+    std::fputs(trace::to_text(trace).c_str(), stdout);
+  }
+  return 0;
+}
+
+int cmd_energy(const std::string& service, int profile) {
+  const services::ServiceSpec& spec = services::service(service);
+  core::SessionResult r = run(spec, trace::cellular_profile(profile));
+  core::RadioEnergyReport energy = core::radio_energy(r.traffic, r.session_end);
+  std::printf("%s on profile %d:\n", service.c_str(), profile);
+  std::printf("  threshold gap        %.0f s (RRC demotion timer 11 s)\n",
+              spec.player.pausing_threshold - spec.player.resuming_threshold);
+  std::printf("  radio active/tail    %.0f / %.0f s\n", energy.active_time,
+              energy.tail_time);
+  std::printf("  high-power fraction  %.1f%%\n",
+              energy.high_power_fraction() * 100);
+  std::printf("  radio energy         %.0f J\n", energy.energy_joules);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "list") return cmd_list();
+    if (command == "play" && argc >= 3) {
+      return cmd_play(argv[2], argc - 3, argv + 3);
+    }
+    if (command == "dissect" && argc >= 3) return cmd_dissect(argv[2]);
+    if (command == "trace" && argc >= 3) {
+      return cmd_trace(std::atoi(argv[2]), argc >= 4 ? argv[3] : nullptr);
+    }
+    if (command == "energy" && argc >= 3) {
+      return cmd_energy(argv[2], argc >= 4 ? std::atoi(argv[3]) : 7);
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
