@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_abr_families.dir/bench_ablation_abr_families.cpp.o"
+  "CMakeFiles/bench_ablation_abr_families.dir/bench_ablation_abr_families.cpp.o.d"
+  "bench_ablation_abr_families"
+  "bench_ablation_abr_families.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_abr_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

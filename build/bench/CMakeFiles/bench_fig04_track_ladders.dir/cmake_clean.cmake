@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_track_ladders.dir/bench_fig04_track_ladders.cpp.o"
+  "CMakeFiles/bench_fig04_track_ladders.dir/bench_fig04_track_ladders.cpp.o.d"
+  "bench_fig04_track_ladders"
+  "bench_fig04_track_ladders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_track_ladders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_av_sync.dir/bench_fig06_av_sync.cpp.o"
+  "CMakeFiles/bench_fig06_av_sync.dir/bench_fig06_av_sync.cpp.o.d"
+  "bench_fig06_av_sync"
+  "bench_fig06_av_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_av_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

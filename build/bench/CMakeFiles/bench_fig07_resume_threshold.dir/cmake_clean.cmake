@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_resume_threshold.dir/bench_fig07_resume_threshold.cpp.o"
+  "CMakeFiles/bench_fig07_resume_threshold.dir/bench_fig07_resume_threshold.cpp.o.d"
+  "bench_fig07_resume_threshold"
+  "bench_fig07_resume_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_resume_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

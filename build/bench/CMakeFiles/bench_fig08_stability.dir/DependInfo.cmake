@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig08_stability.cpp" "bench/CMakeFiles/bench_fig08_stability.dir/bench_fig08_stability.cpp.o" "gcc" "bench/CMakeFiles/bench_fig08_stability.dir/bench_fig08_stability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vodx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/vodx_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/player/CMakeFiles/vodx_player.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/vodx_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/manifest/CMakeFiles/vodx_manifest.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/vodx_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vodx_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vodx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vodx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

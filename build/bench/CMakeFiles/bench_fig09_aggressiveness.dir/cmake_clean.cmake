@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_aggressiveness.dir/bench_fig09_aggressiveness.cpp.o"
+  "CMakeFiles/bench_fig09_aggressiveness.dir/bench_fig09_aggressiveness.cpp.o.d"
+  "bench_fig09_aggressiveness"
+  "bench_fig09_aggressiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_aggressiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

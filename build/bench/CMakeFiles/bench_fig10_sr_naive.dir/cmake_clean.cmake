@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_sr_naive.dir/bench_fig10_sr_naive.cpp.o"
+  "CMakeFiles/bench_fig10_sr_naive.dir/bench_fig10_sr_naive.cpp.o.d"
+  "bench_fig10_sr_naive"
+  "bench_fig10_sr_naive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_sr_naive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

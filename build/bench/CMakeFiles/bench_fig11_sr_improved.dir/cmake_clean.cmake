@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_sr_improved.dir/bench_fig11_sr_improved.cpp.o"
+  "CMakeFiles/bench_fig11_sr_improved.dir/bench_fig11_sr_improved.cpp.o.d"
+  "bench_fig11_sr_improved"
+  "bench_fig11_sr_improved.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_sr_improved.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

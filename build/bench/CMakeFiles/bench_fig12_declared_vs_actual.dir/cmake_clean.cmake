@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_declared_vs_actual.dir/bench_fig12_declared_vs_actual.cpp.o"
+  "CMakeFiles/bench_fig12_declared_vs_actual.dir/bench_fig12_declared_vs_actual.cpp.o.d"
+  "bench_fig12_declared_vs_actual"
+  "bench_fig12_declared_vs_actual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_declared_vs_actual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

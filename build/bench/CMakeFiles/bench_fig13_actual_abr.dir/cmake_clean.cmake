@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_actual_abr.dir/bench_fig13_actual_abr.cpp.o"
+  "CMakeFiles/bench_fig13_actual_abr.dir/bench_fig13_actual_abr.cpp.o.d"
+  "bench_fig13_actual_abr"
+  "bench_fig13_actual_abr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_actual_abr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

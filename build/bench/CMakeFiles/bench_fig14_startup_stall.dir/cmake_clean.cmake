@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_startup_stall.dir/bench_fig14_startup_stall.cpp.o"
+  "CMakeFiles/bench_fig14_startup_stall.dir/bench_fig14_startup_stall.cpp.o.d"
+  "bench_fig14_startup_stall"
+  "bench_fig14_startup_stall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_startup_stall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

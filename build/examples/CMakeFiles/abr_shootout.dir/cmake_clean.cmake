@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abr_shootout.dir/abr_shootout.cpp.o"
+  "CMakeFiles/abr_shootout.dir/abr_shootout.cpp.o.d"
+  "abr_shootout"
+  "abr_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abr_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

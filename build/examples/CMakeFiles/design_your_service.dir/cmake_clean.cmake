@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_your_service.dir/design_your_service.cpp.o"
+  "CMakeFiles/design_your_service.dir/design_your_service.cpp.o.d"
+  "design_your_service"
+  "design_your_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_your_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dissect_service.dir/dissect_service.cpp.o"
+  "CMakeFiles/dissect_service.dir/dissect_service.cpp.o.d"
+  "dissect_service"
+  "dissect_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dissect_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vodx_common.dir/error.cpp.o"
+  "CMakeFiles/vodx_common.dir/error.cpp.o.d"
+  "CMakeFiles/vodx_common.dir/rng.cpp.o"
+  "CMakeFiles/vodx_common.dir/rng.cpp.o.d"
+  "CMakeFiles/vodx_common.dir/stats.cpp.o"
+  "CMakeFiles/vodx_common.dir/stats.cpp.o.d"
+  "CMakeFiles/vodx_common.dir/strings.cpp.o"
+  "CMakeFiles/vodx_common.dir/strings.cpp.o.d"
+  "CMakeFiles/vodx_common.dir/table.cpp.o"
+  "CMakeFiles/vodx_common.dir/table.cpp.o.d"
+  "libvodx_common.a"
+  "libvodx_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vodx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

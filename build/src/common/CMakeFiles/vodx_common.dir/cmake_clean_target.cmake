@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvodx_common.a"
+)

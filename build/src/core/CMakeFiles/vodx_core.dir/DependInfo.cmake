@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/blackbox.cpp" "src/core/CMakeFiles/vodx_core.dir/blackbox.cpp.o" "gcc" "src/core/CMakeFiles/vodx_core.dir/blackbox.cpp.o.d"
+  "/root/repo/src/core/buffer_inference.cpp" "src/core/CMakeFiles/vodx_core.dir/buffer_inference.cpp.o" "gcc" "src/core/CMakeFiles/vodx_core.dir/buffer_inference.cpp.o.d"
+  "/root/repo/src/core/design_inference.cpp" "src/core/CMakeFiles/vodx_core.dir/design_inference.cpp.o" "gcc" "src/core/CMakeFiles/vodx_core.dir/design_inference.cpp.o.d"
+  "/root/repo/src/core/qoe.cpp" "src/core/CMakeFiles/vodx_core.dir/qoe.cpp.o" "gcc" "src/core/CMakeFiles/vodx_core.dir/qoe.cpp.o.d"
+  "/root/repo/src/core/radio_energy.cpp" "src/core/CMakeFiles/vodx_core.dir/radio_energy.cpp.o" "gcc" "src/core/CMakeFiles/vodx_core.dir/radio_energy.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/vodx_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/vodx_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/core/CMakeFiles/vodx_core.dir/session.cpp.o" "gcc" "src/core/CMakeFiles/vodx_core.dir/session.cpp.o.d"
+  "/root/repo/src/core/sr_whatif.cpp" "src/core/CMakeFiles/vodx_core.dir/sr_whatif.cpp.o" "gcc" "src/core/CMakeFiles/vodx_core.dir/sr_whatif.cpp.o.d"
+  "/root/repo/src/core/traffic_analyzer.cpp" "src/core/CMakeFiles/vodx_core.dir/traffic_analyzer.cpp.o" "gcc" "src/core/CMakeFiles/vodx_core.dir/traffic_analyzer.cpp.o.d"
+  "/root/repo/src/core/ui_monitor.cpp" "src/core/CMakeFiles/vodx_core.dir/ui_monitor.cpp.o" "gcc" "src/core/CMakeFiles/vodx_core.dir/ui_monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vodx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/vodx_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/manifest/CMakeFiles/vodx_manifest.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vodx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/vodx_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/player/CMakeFiles/vodx_player.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/vodx_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vodx_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vodx_core.dir/blackbox.cpp.o"
+  "CMakeFiles/vodx_core.dir/blackbox.cpp.o.d"
+  "CMakeFiles/vodx_core.dir/buffer_inference.cpp.o"
+  "CMakeFiles/vodx_core.dir/buffer_inference.cpp.o.d"
+  "CMakeFiles/vodx_core.dir/design_inference.cpp.o"
+  "CMakeFiles/vodx_core.dir/design_inference.cpp.o.d"
+  "CMakeFiles/vodx_core.dir/qoe.cpp.o"
+  "CMakeFiles/vodx_core.dir/qoe.cpp.o.d"
+  "CMakeFiles/vodx_core.dir/radio_energy.cpp.o"
+  "CMakeFiles/vodx_core.dir/radio_energy.cpp.o.d"
+  "CMakeFiles/vodx_core.dir/report.cpp.o"
+  "CMakeFiles/vodx_core.dir/report.cpp.o.d"
+  "CMakeFiles/vodx_core.dir/session.cpp.o"
+  "CMakeFiles/vodx_core.dir/session.cpp.o.d"
+  "CMakeFiles/vodx_core.dir/sr_whatif.cpp.o"
+  "CMakeFiles/vodx_core.dir/sr_whatif.cpp.o.d"
+  "CMakeFiles/vodx_core.dir/traffic_analyzer.cpp.o"
+  "CMakeFiles/vodx_core.dir/traffic_analyzer.cpp.o.d"
+  "CMakeFiles/vodx_core.dir/ui_monitor.cpp.o"
+  "CMakeFiles/vodx_core.dir/ui_monitor.cpp.o.d"
+  "libvodx_core.a"
+  "libvodx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vodx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http/http_client.cpp" "src/http/CMakeFiles/vodx_http.dir/http_client.cpp.o" "gcc" "src/http/CMakeFiles/vodx_http.dir/http_client.cpp.o.d"
+  "/root/repo/src/http/message.cpp" "src/http/CMakeFiles/vodx_http.dir/message.cpp.o" "gcc" "src/http/CMakeFiles/vodx_http.dir/message.cpp.o.d"
+  "/root/repo/src/http/origin_server.cpp" "src/http/CMakeFiles/vodx_http.dir/origin_server.cpp.o" "gcc" "src/http/CMakeFiles/vodx_http.dir/origin_server.cpp.o.d"
+  "/root/repo/src/http/proxy.cpp" "src/http/CMakeFiles/vodx_http.dir/proxy.cpp.o" "gcc" "src/http/CMakeFiles/vodx_http.dir/proxy.cpp.o.d"
+  "/root/repo/src/http/traffic_log.cpp" "src/http/CMakeFiles/vodx_http.dir/traffic_log.cpp.o" "gcc" "src/http/CMakeFiles/vodx_http.dir/traffic_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vodx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/vodx_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/manifest/CMakeFiles/vodx_manifest.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vodx_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vodx_http.dir/http_client.cpp.o"
+  "CMakeFiles/vodx_http.dir/http_client.cpp.o.d"
+  "CMakeFiles/vodx_http.dir/message.cpp.o"
+  "CMakeFiles/vodx_http.dir/message.cpp.o.d"
+  "CMakeFiles/vodx_http.dir/origin_server.cpp.o"
+  "CMakeFiles/vodx_http.dir/origin_server.cpp.o.d"
+  "CMakeFiles/vodx_http.dir/proxy.cpp.o"
+  "CMakeFiles/vodx_http.dir/proxy.cpp.o.d"
+  "CMakeFiles/vodx_http.dir/traffic_log.cpp.o"
+  "CMakeFiles/vodx_http.dir/traffic_log.cpp.o.d"
+  "libvodx_http.a"
+  "libvodx_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vodx_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

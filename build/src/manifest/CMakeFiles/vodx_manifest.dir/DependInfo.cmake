@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/manifest/dash_mpd.cpp" "src/manifest/CMakeFiles/vodx_manifest.dir/dash_mpd.cpp.o" "gcc" "src/manifest/CMakeFiles/vodx_manifest.dir/dash_mpd.cpp.o.d"
+  "/root/repo/src/manifest/hls.cpp" "src/manifest/CMakeFiles/vodx_manifest.dir/hls.cpp.o" "gcc" "src/manifest/CMakeFiles/vodx_manifest.dir/hls.cpp.o.d"
+  "/root/repo/src/manifest/presentation.cpp" "src/manifest/CMakeFiles/vodx_manifest.dir/presentation.cpp.o" "gcc" "src/manifest/CMakeFiles/vodx_manifest.dir/presentation.cpp.o.d"
+  "/root/repo/src/manifest/smooth.cpp" "src/manifest/CMakeFiles/vodx_manifest.dir/smooth.cpp.o" "gcc" "src/manifest/CMakeFiles/vodx_manifest.dir/smooth.cpp.o.d"
+  "/root/repo/src/manifest/uri.cpp" "src/manifest/CMakeFiles/vodx_manifest.dir/uri.cpp.o" "gcc" "src/manifest/CMakeFiles/vodx_manifest.dir/uri.cpp.o.d"
+  "/root/repo/src/manifest/xml.cpp" "src/manifest/CMakeFiles/vodx_manifest.dir/xml.cpp.o" "gcc" "src/manifest/CMakeFiles/vodx_manifest.dir/xml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vodx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/vodx_media.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

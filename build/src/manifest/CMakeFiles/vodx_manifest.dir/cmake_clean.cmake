@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vodx_manifest.dir/dash_mpd.cpp.o"
+  "CMakeFiles/vodx_manifest.dir/dash_mpd.cpp.o.d"
+  "CMakeFiles/vodx_manifest.dir/hls.cpp.o"
+  "CMakeFiles/vodx_manifest.dir/hls.cpp.o.d"
+  "CMakeFiles/vodx_manifest.dir/presentation.cpp.o"
+  "CMakeFiles/vodx_manifest.dir/presentation.cpp.o.d"
+  "CMakeFiles/vodx_manifest.dir/smooth.cpp.o"
+  "CMakeFiles/vodx_manifest.dir/smooth.cpp.o.d"
+  "CMakeFiles/vodx_manifest.dir/uri.cpp.o"
+  "CMakeFiles/vodx_manifest.dir/uri.cpp.o.d"
+  "CMakeFiles/vodx_manifest.dir/xml.cpp.o"
+  "CMakeFiles/vodx_manifest.dir/xml.cpp.o.d"
+  "libvodx_manifest.a"
+  "libvodx_manifest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vodx_manifest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/encoder.cpp" "src/media/CMakeFiles/vodx_media.dir/encoder.cpp.o" "gcc" "src/media/CMakeFiles/vodx_media.dir/encoder.cpp.o.d"
+  "/root/repo/src/media/scene.cpp" "src/media/CMakeFiles/vodx_media.dir/scene.cpp.o" "gcc" "src/media/CMakeFiles/vodx_media.dir/scene.cpp.o.d"
+  "/root/repo/src/media/sidx.cpp" "src/media/CMakeFiles/vodx_media.dir/sidx.cpp.o" "gcc" "src/media/CMakeFiles/vodx_media.dir/sidx.cpp.o.d"
+  "/root/repo/src/media/track.cpp" "src/media/CMakeFiles/vodx_media.dir/track.cpp.o" "gcc" "src/media/CMakeFiles/vodx_media.dir/track.cpp.o.d"
+  "/root/repo/src/media/video_asset.cpp" "src/media/CMakeFiles/vodx_media.dir/video_asset.cpp.o" "gcc" "src/media/CMakeFiles/vodx_media.dir/video_asset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vodx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vodx_media.dir/encoder.cpp.o"
+  "CMakeFiles/vodx_media.dir/encoder.cpp.o.d"
+  "CMakeFiles/vodx_media.dir/scene.cpp.o"
+  "CMakeFiles/vodx_media.dir/scene.cpp.o.d"
+  "CMakeFiles/vodx_media.dir/sidx.cpp.o"
+  "CMakeFiles/vodx_media.dir/sidx.cpp.o.d"
+  "CMakeFiles/vodx_media.dir/track.cpp.o"
+  "CMakeFiles/vodx_media.dir/track.cpp.o.d"
+  "CMakeFiles/vodx_media.dir/video_asset.cpp.o"
+  "CMakeFiles/vodx_media.dir/video_asset.cpp.o.d"
+  "libvodx_media.a"
+  "libvodx_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vodx_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/bandwidth_trace.cpp" "src/net/CMakeFiles/vodx_net.dir/bandwidth_trace.cpp.o" "gcc" "src/net/CMakeFiles/vodx_net.dir/bandwidth_trace.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/vodx_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/vodx_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/simulator.cpp" "src/net/CMakeFiles/vodx_net.dir/simulator.cpp.o" "gcc" "src/net/CMakeFiles/vodx_net.dir/simulator.cpp.o.d"
+  "/root/repo/src/net/tcp_connection.cpp" "src/net/CMakeFiles/vodx_net.dir/tcp_connection.cpp.o" "gcc" "src/net/CMakeFiles/vodx_net.dir/tcp_connection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vodx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

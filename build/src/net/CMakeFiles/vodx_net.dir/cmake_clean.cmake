@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vodx_net.dir/bandwidth_trace.cpp.o"
+  "CMakeFiles/vodx_net.dir/bandwidth_trace.cpp.o.d"
+  "CMakeFiles/vodx_net.dir/link.cpp.o"
+  "CMakeFiles/vodx_net.dir/link.cpp.o.d"
+  "CMakeFiles/vodx_net.dir/simulator.cpp.o"
+  "CMakeFiles/vodx_net.dir/simulator.cpp.o.d"
+  "CMakeFiles/vodx_net.dir/tcp_connection.cpp.o"
+  "CMakeFiles/vodx_net.dir/tcp_connection.cpp.o.d"
+  "libvodx_net.a"
+  "libvodx_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vodx_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/player/abr.cpp" "src/player/CMakeFiles/vodx_player.dir/abr.cpp.o" "gcc" "src/player/CMakeFiles/vodx_player.dir/abr.cpp.o.d"
+  "/root/repo/src/player/bandwidth_estimator.cpp" "src/player/CMakeFiles/vodx_player.dir/bandwidth_estimator.cpp.o" "gcc" "src/player/CMakeFiles/vodx_player.dir/bandwidth_estimator.cpp.o.d"
+  "/root/repo/src/player/buffer.cpp" "src/player/CMakeFiles/vodx_player.dir/buffer.cpp.o" "gcc" "src/player/CMakeFiles/vodx_player.dir/buffer.cpp.o.d"
+  "/root/repo/src/player/media_source.cpp" "src/player/CMakeFiles/vodx_player.dir/media_source.cpp.o" "gcc" "src/player/CMakeFiles/vodx_player.dir/media_source.cpp.o.d"
+  "/root/repo/src/player/player.cpp" "src/player/CMakeFiles/vodx_player.dir/player.cpp.o" "gcc" "src/player/CMakeFiles/vodx_player.dir/player.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vodx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/vodx_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/manifest/CMakeFiles/vodx_manifest.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vodx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/vodx_http.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vodx_player.dir/abr.cpp.o"
+  "CMakeFiles/vodx_player.dir/abr.cpp.o.d"
+  "CMakeFiles/vodx_player.dir/bandwidth_estimator.cpp.o"
+  "CMakeFiles/vodx_player.dir/bandwidth_estimator.cpp.o.d"
+  "CMakeFiles/vodx_player.dir/buffer.cpp.o"
+  "CMakeFiles/vodx_player.dir/buffer.cpp.o.d"
+  "CMakeFiles/vodx_player.dir/media_source.cpp.o"
+  "CMakeFiles/vodx_player.dir/media_source.cpp.o.d"
+  "CMakeFiles/vodx_player.dir/player.cpp.o"
+  "CMakeFiles/vodx_player.dir/player.cpp.o.d"
+  "libvodx_player.a"
+  "libvodx_player.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vodx_player.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vodx_services.dir/content_factory.cpp.o"
+  "CMakeFiles/vodx_services.dir/content_factory.cpp.o.d"
+  "CMakeFiles/vodx_services.dir/service_catalog.cpp.o"
+  "CMakeFiles/vodx_services.dir/service_catalog.cpp.o.d"
+  "libvodx_services.a"
+  "libvodx_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vodx_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vodx_trace.dir/cellular_profiles.cpp.o"
+  "CMakeFiles/vodx_trace.dir/cellular_profiles.cpp.o.d"
+  "CMakeFiles/vodx_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/vodx_trace.dir/trace_io.cpp.o.d"
+  "libvodx_trace.a"
+  "libvodx_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vodx_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blackbox_tests.dir/core/blackbox_test.cpp.o"
+  "CMakeFiles/blackbox_tests.dir/core/blackbox_test.cpp.o.d"
+  "CMakeFiles/blackbox_tests.dir/core/encoding_probe_test.cpp.o"
+  "CMakeFiles/blackbox_tests.dir/core/encoding_probe_test.cpp.o.d"
+  "blackbox_tests"
+  "blackbox_tests.pdb"
+  "blackbox_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blackbox_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

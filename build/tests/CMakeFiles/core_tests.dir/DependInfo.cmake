@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/analyzer_robustness_test.cpp" "tests/CMakeFiles/core_tests.dir/core/analyzer_robustness_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/analyzer_robustness_test.cpp.o.d"
+  "/root/repo/tests/core/buffer_inference_test.cpp" "tests/CMakeFiles/core_tests.dir/core/buffer_inference_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/buffer_inference_test.cpp.o.d"
+  "/root/repo/tests/core/invariants_test.cpp" "tests/CMakeFiles/core_tests.dir/core/invariants_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/invariants_test.cpp.o.d"
+  "/root/repo/tests/core/new_modes_test.cpp" "tests/CMakeFiles/core_tests.dir/core/new_modes_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/new_modes_test.cpp.o.d"
+  "/root/repo/tests/core/qoe_score_test.cpp" "tests/CMakeFiles/core_tests.dir/core/qoe_score_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/qoe_score_test.cpp.o.d"
+  "/root/repo/tests/core/qoe_test.cpp" "tests/CMakeFiles/core_tests.dir/core/qoe_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/qoe_test.cpp.o.d"
+  "/root/repo/tests/core/radio_energy_test.cpp" "tests/CMakeFiles/core_tests.dir/core/radio_energy_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/radio_energy_test.cpp.o.d"
+  "/root/repo/tests/core/report_test.cpp" "tests/CMakeFiles/core_tests.dir/core/report_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/report_test.cpp.o.d"
+  "/root/repo/tests/core/session_validation_test.cpp" "tests/CMakeFiles/core_tests.dir/core/session_validation_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/session_validation_test.cpp.o.d"
+  "/root/repo/tests/core/sr_whatif_test.cpp" "tests/CMakeFiles/core_tests.dir/core/sr_whatif_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/sr_whatif_test.cpp.o.d"
+  "/root/repo/tests/core/traffic_analyzer_test.cpp" "tests/CMakeFiles/core_tests.dir/core/traffic_analyzer_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/traffic_analyzer_test.cpp.o.d"
+  "/root/repo/tests/core/ui_monitor_test.cpp" "tests/CMakeFiles/core_tests.dir/core/ui_monitor_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/ui_monitor_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vodx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/vodx_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/player/CMakeFiles/vodx_player.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/vodx_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/manifest/CMakeFiles/vodx_manifest.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/vodx_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vodx_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vodx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vodx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/analyzer_robustness_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/analyzer_robustness_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/buffer_inference_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/buffer_inference_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/invariants_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/invariants_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/new_modes_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/new_modes_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/qoe_score_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/qoe_score_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/qoe_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/qoe_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/radio_energy_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/radio_energy_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/report_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/report_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/session_validation_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/session_validation_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/sr_whatif_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/sr_whatif_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/traffic_analyzer_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/traffic_analyzer_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/ui_monitor_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/ui_monitor_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

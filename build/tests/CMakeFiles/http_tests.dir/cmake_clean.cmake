@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_tests.dir/http/http_client_test.cpp.o"
+  "CMakeFiles/http_tests.dir/http/http_client_test.cpp.o.d"
+  "CMakeFiles/http_tests.dir/http/origin_server_test.cpp.o"
+  "CMakeFiles/http_tests.dir/http/origin_server_test.cpp.o.d"
+  "CMakeFiles/http_tests.dir/http/proxy_test.cpp.o"
+  "CMakeFiles/http_tests.dir/http/proxy_test.cpp.o.d"
+  "http_tests"
+  "http_tests.pdb"
+  "http_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

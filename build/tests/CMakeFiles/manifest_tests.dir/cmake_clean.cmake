@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manifest_tests.dir/manifest/dash_mpd_test.cpp.o"
+  "CMakeFiles/manifest_tests.dir/manifest/dash_mpd_test.cpp.o.d"
+  "CMakeFiles/manifest_tests.dir/manifest/hls_test.cpp.o"
+  "CMakeFiles/manifest_tests.dir/manifest/hls_test.cpp.o.d"
+  "CMakeFiles/manifest_tests.dir/manifest/presentation_test.cpp.o"
+  "CMakeFiles/manifest_tests.dir/manifest/presentation_test.cpp.o.d"
+  "CMakeFiles/manifest_tests.dir/manifest/smooth_test.cpp.o"
+  "CMakeFiles/manifest_tests.dir/manifest/smooth_test.cpp.o.d"
+  "CMakeFiles/manifest_tests.dir/manifest/uri_test.cpp.o"
+  "CMakeFiles/manifest_tests.dir/manifest/uri_test.cpp.o.d"
+  "CMakeFiles/manifest_tests.dir/manifest/xml_test.cpp.o"
+  "CMakeFiles/manifest_tests.dir/manifest/xml_test.cpp.o.d"
+  "manifest_tests"
+  "manifest_tests.pdb"
+  "manifest_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manifest_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

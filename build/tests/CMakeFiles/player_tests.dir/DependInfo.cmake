@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/player/abr_test.cpp" "tests/CMakeFiles/player_tests.dir/player/abr_test.cpp.o" "gcc" "tests/CMakeFiles/player_tests.dir/player/abr_test.cpp.o.d"
+  "/root/repo/tests/player/buffer_test.cpp" "tests/CMakeFiles/player_tests.dir/player/buffer_test.cpp.o" "gcc" "tests/CMakeFiles/player_tests.dir/player/buffer_test.cpp.o.d"
+  "/root/repo/tests/player/estimator_test.cpp" "tests/CMakeFiles/player_tests.dir/player/estimator_test.cpp.o" "gcc" "tests/CMakeFiles/player_tests.dir/player/estimator_test.cpp.o.d"
+  "/root/repo/tests/player/media_source_test.cpp" "tests/CMakeFiles/player_tests.dir/player/media_source_test.cpp.o" "gcc" "tests/CMakeFiles/player_tests.dir/player/media_source_test.cpp.o.d"
+  "/root/repo/tests/player/player_test.cpp" "tests/CMakeFiles/player_tests.dir/player/player_test.cpp.o" "gcc" "tests/CMakeFiles/player_tests.dir/player/player_test.cpp.o.d"
+  "/root/repo/tests/player/resilience_test.cpp" "tests/CMakeFiles/player_tests.dir/player/resilience_test.cpp.o" "gcc" "tests/CMakeFiles/player_tests.dir/player/resilience_test.cpp.o.d"
+  "/root/repo/tests/player/seek_test.cpp" "tests/CMakeFiles/player_tests.dir/player/seek_test.cpp.o" "gcc" "tests/CMakeFiles/player_tests.dir/player/seek_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vodx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/vodx_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/player/CMakeFiles/vodx_player.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/vodx_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/manifest/CMakeFiles/vodx_manifest.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/vodx_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vodx_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vodx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vodx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

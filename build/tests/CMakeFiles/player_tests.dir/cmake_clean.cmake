@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/player_tests.dir/player/abr_test.cpp.o"
+  "CMakeFiles/player_tests.dir/player/abr_test.cpp.o.d"
+  "CMakeFiles/player_tests.dir/player/buffer_test.cpp.o"
+  "CMakeFiles/player_tests.dir/player/buffer_test.cpp.o.d"
+  "CMakeFiles/player_tests.dir/player/estimator_test.cpp.o"
+  "CMakeFiles/player_tests.dir/player/estimator_test.cpp.o.d"
+  "CMakeFiles/player_tests.dir/player/media_source_test.cpp.o"
+  "CMakeFiles/player_tests.dir/player/media_source_test.cpp.o.d"
+  "CMakeFiles/player_tests.dir/player/player_test.cpp.o"
+  "CMakeFiles/player_tests.dir/player/player_test.cpp.o.d"
+  "CMakeFiles/player_tests.dir/player/resilience_test.cpp.o"
+  "CMakeFiles/player_tests.dir/player/resilience_test.cpp.o.d"
+  "CMakeFiles/player_tests.dir/player/seek_test.cpp.o"
+  "CMakeFiles/player_tests.dir/player/seek_test.cpp.o.d"
+  "player_tests"
+  "player_tests.pdb"
+  "player_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/player_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/services_tests.dir/services/catalog_test.cpp.o"
+  "CMakeFiles/services_tests.dir/services/catalog_test.cpp.o.d"
+  "CMakeFiles/services_tests.dir/services/trace_io_test.cpp.o"
+  "CMakeFiles/services_tests.dir/services/trace_io_test.cpp.o.d"
+  "CMakeFiles/services_tests.dir/services/trace_test.cpp.o"
+  "CMakeFiles/services_tests.dir/services/trace_test.cpp.o.d"
+  "services_tests"
+  "services_tests.pdb"
+  "services_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/services_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

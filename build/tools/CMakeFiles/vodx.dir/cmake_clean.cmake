@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vodx.dir/vodx_cli.cpp.o"
+  "CMakeFiles/vodx.dir/vodx_cli.cpp.o.d"
+  "vodx"
+  "vodx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vodx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vodx.
+# This may be replaced when dependencies are built.
