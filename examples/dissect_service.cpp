@@ -4,15 +4,59 @@
 //
 //   ./dissect_service [service]
 //   ./dissect_service D3
+//   ./dissect_service H1 --trace-out h1.trace.json --metrics-out h1.txt
+//
+// With --trace-out / --metrics-out it additionally replays one observed
+// session over the default cellular profile and exports the structured
+// timeline (chrome://tracing / Perfetto) and the metrics summary.
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 
 #include "core/blackbox.h"
 #include "core/design_inference.h"
+#include "core/session.h"
+#include "obs/export.h"
+#include "obs/observer.h"
+#include "trace/cellular_profiles.h"
 
 using namespace vodx;
 
+namespace {
+
+void run_observed_session(const services::ServiceSpec& spec,
+                          const std::string& trace_out,
+                          const std::string& metrics_out) {
+  obs::Observer observer;
+  core::SessionConfig config;
+  config.spec = spec;
+  config.trace = trace::cellular_profile(7);
+  config.observer = &observer;
+  core::SessionResult result = core::run_session(config);
+
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    obs::write_chrome_trace(observer.trace, out);
+    std::printf("\nwrote %s (%zu events; open in https://ui.perfetto.dev)\n",
+                trace_out.c_str(), observer.trace.size());
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    out << obs::metrics_report(observer.metrics.snapshot(result.session_end));
+    std::printf("wrote %s\n", metrics_out.c_str());
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const std::string name = argc > 1 ? argv[1] : "D2";
+  const std::string name = argc > 1 && argv[1][0] != '-' ? argv[1] : "D2";
+  std::string trace_out;
+  std::string metrics_out;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0) trace_out = argv[i + 1];
+    if (std::strcmp(argv[i], "--metrics-out") == 0) metrics_out = argv[i + 1];
+  }
   const services::ServiceSpec& spec = services::service(name);
 
   std::printf("dissecting %s (%s) — black-box, %s manifests\n\n", name.c_str(),
@@ -57,6 +101,10 @@ int main(int argc, char** argv) {
                 probe.declared_only ? "NO — declared only" : "yes");
     std::printf("  utilisation @ 2 Mbps    %.1f%%\n",
                 probe.bandwidth_utilization * 100);
+  }
+
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    run_observed_session(spec, trace_out, metrics_out);
   }
   return 0;
 }

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Configure, build and run the full test suite — the tree's single
+# pre-commit gate.
+#
+#   ./scripts/check.sh                 # RelWithDebInfo, all tests
+#   ./scripts/check.sh --sanitize     # ASan+UBSan build in build-san/
+#   BUILD_DIR=out ./scripts/check.sh  # custom build directory
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+CMAKE_ARGS=()
+
+if [[ "${1:-}" == "--sanitize" ]]; then
+  BUILD_DIR="${BUILD_DIR}-san"
+  CMAKE_ARGS+=(-DVODX_SANITIZE=address,undefined)
+  export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
+  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

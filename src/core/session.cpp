@@ -61,9 +61,83 @@ QoeReport qoe_from_events(const player::PlayerEvents& events,
   return report;
 }
 
+namespace {
+
+// Session-level observability: root span, QoE summary metrics, and the
+// truth-vs-inference divergence check. Divergence tolerances mirror what the
+// validation tests accept — anything looser is flagged on the timeline so a
+// trace viewer shows *where* the methodology breaks, not just that it did.
+void emit_session_summary(obs::Observer* obs, const SessionResult& result,
+                          int track) {
+  obs::MetricsRegistry& m = obs->metrics;
+  const QoeReport& truth = result.ground_truth;
+  const QoeReport& inferred = result.qoe;
+  m.gauge("session.startup_delay_s").set(truth.startup_delay);
+  m.counter("session.stalls").add(truth.stall_count);
+  m.gauge("session.stall_time_s").set(truth.total_stall);
+  m.counter("session.switches").add(truth.switch_count);
+  m.counter("session.total_bytes").add(truth.total_bytes);
+  m.counter("session.media_bytes").add(truth.media_bytes);
+  m.counter("session.wasted_bytes").add(truth.wasted_bytes);
+  m.gauge("session.avg_bitrate_mbps")
+      .set(truth.average_declared_bitrate / 1e6);
+  m.gauge("inferred.startup_delay_s").set(inferred.startup_delay);
+  m.gauge("inferred.stall_time_s").set(inferred.total_stall);
+
+  if (!obs->trace.enabled(obs::Category::kSession)) return;
+  obs::TraceSink& trace = obs->trace;
+  const Seconds end = result.session_end;
+  trace.instant(
+      end, obs::Category::kSession, "validate.summary", track,
+      {obs::Field::n("truth_startup_s", truth.startup_delay),
+       obs::Field::n("inferred_startup_s", inferred.startup_delay),
+       obs::Field::n("truth_stall_s", truth.total_stall),
+       obs::Field::n("inferred_stall_s", inferred.total_stall),
+       obs::Field::n("truth_stalls", truth.stall_count),
+       obs::Field::n("inferred_stalls", inferred.stall_count)});
+  if (truth.startup_delay >= 0 &&
+      std::abs(inferred.startup_delay - truth.startup_delay) > 0.5) {
+    trace.instant(end, obs::Category::kSession, "diverge.startup_delay",
+                  track,
+                  {obs::Field::n("truth_s", truth.startup_delay),
+                   obs::Field::n("inferred_s", inferred.startup_delay)});
+  }
+  const Seconds stall_tolerance = 0.25 * truth.total_stall + 3.0;
+  if (std::abs(inferred.total_stall - truth.total_stall) > stall_tolerance) {
+    trace.instant(end, obs::Category::kSession, "diverge.stall_time", track,
+                  {obs::Field::n("truth_s", truth.total_stall),
+                   obs::Field::n("inferred_s", inferred.total_stall),
+                   obs::Field::n("tolerance_s", stall_tolerance)});
+  }
+  if (truth.average_declared_bitrate > 0 &&
+      std::abs(inferred.average_declared_bitrate -
+               truth.average_declared_bitrate) >
+          0.1 * truth.average_declared_bitrate) {
+    trace.instant(
+        end, obs::Category::kSession, "diverge.bitrate", track,
+        {obs::Field::n("truth_mbps", truth.average_declared_bitrate / 1e6),
+         obs::Field::n("inferred_mbps",
+                       inferred.average_declared_bitrate / 1e6)});
+  }
+}
+
+}  // namespace
+
 SessionResult run_session(const SessionConfig& config) {
   net::Simulator sim(config.tick);
   net::Link link(sim, config.trace, config.rtt);
+  obs::Observer* obs = config.observer;
+  int session_track = 0;
+  if (obs != nullptr) {
+    sim.set_observer(obs);  // also points the trace clock at this simulator
+    link.set_observer(obs);
+    session_track = obs->trace.track("session");
+    if (obs->trace.enabled(obs::Category::kSession)) {
+      obs->trace.begin(0, obs::Category::kSession, "session", session_track,
+                       {obs::Field::t("service", config.spec.name),
+                        obs::Field::n("duration_s", config.session_duration)});
+    }
+  }
 
   http::OriginServer origin = services::make_origin(
       config.spec, config.content_duration, config.content_seed);
@@ -80,6 +154,7 @@ SessionResult run_session(const SessionConfig& config) {
   player_config.tcp.rtt = config.rtt;
 
   player::Player player(sim, link, proxy, config.spec.protocol, player_config);
+  if (obs != nullptr) player.set_observer(obs);
   UiMonitor ui_monitor;
   player.set_seekbar_callback([&ui_monitor](Seconds wall, int progress) {
     ui_monitor.on_progress(wall, progress);
@@ -103,6 +178,21 @@ SessionResult run_session(const SessionConfig& config) {
   result.ground_truth = qoe_from_events(result.events, result.traffic,
                                         result.session_end,
                                         config.qoe_options);
+
+  if (obs != nullptr) {
+    if (obs->trace.enabled(obs::Category::kSession)) {
+      obs->trace.end(result.session_end, obs::Category::kSession, "session",
+                     session_track,
+                     {obs::Field::t("final_state",
+                                    player::to_string(result.final_state)),
+                      obs::Field::n("position_s", result.final_position)});
+    }
+    emit_session_summary(obs, result, session_track);
+    // The trace clock captured `sim`, which dies with this frame: pin it to
+    // the session end so later emits (exporters, tests) stay valid.
+    const Seconds end = result.session_end;
+    obs->trace.set_clock([end] { return end; });
+  }
   return result;
 }
 

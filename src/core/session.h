@@ -18,6 +18,7 @@
 #include "core/ui_monitor.h"
 #include "http/proxy.h"
 #include "net/bandwidth_trace.h"
+#include "obs/observer.h"
 #include "player/player.h"
 #include "services/service_catalog.h"
 
@@ -40,6 +41,14 @@ struct SessionConfig {
   std::function<http::Proxy::RejectHook(http::Proxy&)> reject_hook_factory;
 
   QoeOptions qoe_options;
+
+  /// Optional observability context. When set, run_session wires it through
+  /// the whole stack (simulator, link, TCP, HTTP, player) and additionally
+  /// emits session-level events: a root span covering the run, QoE summary
+  /// metrics, and ground-truth-vs-inference divergence instants (category
+  /// kSession) flagging where the black-box methodology disagrees with the
+  /// player's own record. The pointer must outlive run_session().
+  obs::Observer* observer = nullptr;
 };
 
 struct SessionResult {

@@ -515,19 +515,20 @@ AnalyzedTraffic analyze_traffic(const http::TrafficLog& log) {
       auto it = partial_groups.find(group_key);
       if (it != partial_groups.end()) {
         out.media_transfer_intervals.emplace_back(
-            r.requested_at,
-            r.completed_at >= 0 ? r.completed_at : r.requested_at);
+            r.requested_at, r.finish_or(r.requested_at));
         SegmentDownload& d = out.downloads[it->second];
         d.bytes += r.bytes_received;
         d.requested_at = std::min(d.requested_at, r.requested_at);
-        d.completed_at = std::max(d.completed_at, r.completed_at);
+        if (r.finished()) {
+          d.completed_at = std::max(d.completed_at, r.finish_time());
+        }
         d.aborted = d.aborted || r.aborted;
         continue;
       }
     }
 
-    out.media_transfer_intervals.emplace_back(
-        r.requested_at, r.completed_at >= 0 ? r.completed_at : r.requested_at);
+    out.media_transfer_intervals.emplace_back(r.requested_at,
+                                              r.finish_or(r.requested_at));
 
     SegmentDownload d;
     d.type = key->type;
@@ -544,7 +545,7 @@ AnalyzedTraffic analyze_traffic(const http::TrafficLog& log) {
                                         1))];
     d.bytes = r.bytes_received;
     d.requested_at = r.requested_at;
-    d.completed_at = r.completed_at;
+    d.completed_at = r.finish_or(-1);
     // A record still open when the capture ends never delivered its
     // segment; analysis-wise that is an aborted transfer.
     d.aborted = r.aborted || !r.finished();

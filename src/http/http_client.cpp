@@ -32,6 +32,18 @@ int HttpClient::free_slots() const {
   return open_slots + unopened;
 }
 
+void HttpClient::set_observer(obs::Observer* observer) {
+  obs_ = observer;
+  for (auto& connection : connections_) connection->set_observer(observer);
+  if (obs_ == nullptr) {
+    requests_metric_ = aborts_metric_ = bytes_metric_ = nullptr;
+    return;
+  }
+  requests_metric_ = &obs_->metrics.counter("http.requests");
+  aborts_metric_ = &obs_->metrics.counter("http.aborts");
+  bytes_metric_ = &obs_->metrics.counter("http.bytes_received");
+}
+
 net::TcpConnection* HttpClient::acquire_connection() {
   for (auto& connection : connections_) {
     if (!connection->busy()) return connection.get();
@@ -39,6 +51,7 @@ net::TcpConnection* HttpClient::acquire_connection() {
   if (static_cast<int>(connections_.size()) < options_.max_connections) {
     auto connection = std::make_unique<net::TcpConnection>(
         options_.tcp, format("conn%zu", connections_.size()));
+    connection->set_observer(obs_);
     link_.attach(connection.get());
     connections_.push_back(std::move(connection));
     return connections_.back().get();
@@ -63,6 +76,17 @@ int HttpClient::fetch(const Request& request, ResponseFn on_done) {
                                    sim_.now(), response, wire_name,
                                    usage.requests_on_generation);
   ++usage.requests_on_generation;
+  if (requests_metric_ != nullptr) requests_metric_->add();
+  if (obs::trace_on(obs_, obs::Category::kHttp)) {
+    // Opens on the carrying connection's track, inside which the TCP layer
+    // nests its transfer span. `id` is the TrafficLog record id.
+    obs_->trace.begin(
+        sim_.now(), obs::Category::kHttp, "http.request",
+        connection->obs_track(),
+        {obs::Field::n("id", id), obs::Field::t("url", request.url),
+         obs::Field::n("status", response.status),
+         obs::Field::n("bytes", static_cast<double>(response.payload_size))});
+  }
   Pending pending;
   pending.connection = connection;
   pending.response = std::move(response);
@@ -80,7 +104,14 @@ void HttpClient::finish(int transfer_id) {
   // Move out before invoking: the callback may start new fetches.
   Response response = std::move(it->second.response);
   ResponseFn on_done = std::move(it->second.on_done);
+  net::TcpConnection* connection = it->second.connection;
   proxy_.log().complete(transfer_id, sim_.now(), response.payload_size);
+  if (bytes_metric_ != nullptr) bytes_metric_->add(response.payload_size);
+  if (obs::trace_on(obs_, obs::Category::kHttp)) {
+    obs_->trace.end(sim_.now(), obs::Category::kHttp, "http.request",
+                    connection->obs_track(),
+                    {obs::Field::n("id", transfer_id)});
+  }
   in_flight_.erase(it);
   if (on_done) on_done(response);
 }
@@ -93,7 +124,16 @@ void HttpClient::abort(int transfer_id) {
   const Bytes received = std::max<Bytes>(
       0, connection->transfer_delivered() - kHttpHeaderOverhead);
   proxy_.log().abort(transfer_id, received);
-  connection->abort_transfer();
+  if (bytes_metric_ != nullptr) bytes_metric_->add(received);
+  if (aborts_metric_ != nullptr) aborts_metric_->add();
+  connection->abort_transfer();  // closes the nested tcp span first
+  if (obs::trace_on(obs_, obs::Category::kHttp)) {
+    obs_->trace.end(
+        sim_.now(), obs::Category::kHttp, "http.request",
+        connection->obs_track(),
+        {obs::Field::n("id", transfer_id), obs::Field::n("aborted", 1),
+         obs::Field::n("bytes_received", static_cast<double>(received))});
+  }
   in_flight_.erase(it);
 }
 

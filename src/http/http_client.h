@@ -16,6 +16,7 @@
 #include "net/link.h"
 #include "net/simulator.h"
 #include "net/tcp_connection.h"
+#include "obs/observer.h"
 
 namespace vodx::http {
 
@@ -34,6 +35,11 @@ class HttpClient {
   HttpClient& operator=(const HttpClient&) = delete;
 
   using ResponseFn = std::function<void(const Response&)>;
+
+  /// Attaches an observability context, propagated to every TCP connection
+  /// (existing and future). Request lifecycle spans carry the TrafficLog
+  /// record id, so a trace event joins against the TransferRecord it logged.
+  void set_observer(obs::Observer* observer);
 
   /// Issues a request on a free connection. Returns the transfer id (also the
   /// TrafficLog record id), or -1 when every connection is busy.
@@ -78,6 +84,11 @@ class HttpClient {
   std::vector<std::unique_ptr<net::TcpConnection>> connections_;
   std::map<net::TcpConnection*, ConnectionUsage> usage_;
   std::map<int, Pending> in_flight_;
+
+  obs::Observer* obs_ = nullptr;
+  obs::Counter* requests_metric_ = nullptr;
+  obs::Counter* aborts_metric_ = nullptr;
+  obs::Counter* bytes_metric_ = nullptr;
 };
 
 }  // namespace vodx::http

@@ -36,6 +36,24 @@ struct TransferRecord {
   std::string body_copy;
 
   bool finished() const { return completed_at >= 0; }
+
+  /// Completion time of a finished transfer; asserts finished(). Use this
+  /// (or finish_or) instead of reading the completed_at sentinel directly.
+  Seconds finish_time() const;
+
+  /// Completion time, or `fallback` while in flight / after an abort.
+  Seconds finish_or(Seconds fallback) const {
+    return finished() ? completed_at : fallback;
+  }
+
+  /// Wall time from request to completion; asserts finished().
+  Seconds duration() const;
+
+  /// Duration using `fallback_end` for unfinished transfers (e.g. the
+  /// session end for the trailing in-flight request).
+  Seconds duration_or(Seconds fallback_end) const {
+    return finish_or(fallback_end) - requested_at;
+  }
 };
 
 class TrafficLog {

@@ -48,6 +48,13 @@ Link::Link(Simulator& sim, BandwidthTrace trace, Seconds rtt)
   sim_.on_tick([this](Seconds dt) { tick(dt); });
 }
 
+void Link::set_observer(obs::Observer* observer) {
+  obs_ = observer;
+  last_capacity_emitted_ = -1;
+  last_active_emitted_ = -1;
+  if (obs_ != nullptr) obs_track_ = obs_->trace.track("link");
+}
+
 void Link::attach(TcpConnection* connection) {
   VODX_ASSERT(connection != nullptr, "null connection");
   VODX_ASSERT(std::find(connections_.begin(), connections_.end(), connection) ==
@@ -79,6 +86,25 @@ void Link::tick(Seconds dt) {
   }
   const Bps capacity = trace_.at(sim_.now());
   std::vector<Bps> grants = max_min_allocate(demands, capacity);
+
+  if (obs::trace_on(obs_, obs::Category::kLink)) {
+    // Counter tracks are sampled on change, not per tick: a 600 s session
+    // over a 1 Hz bandwidth trace emits ~600 capacity points, not 60000.
+    if (capacity != last_capacity_emitted_) {
+      obs_->trace.counter(sim_.now(), obs::Category::kLink,
+                          "link.capacity_mbps", obs_track_, capacity / 1e6);
+      last_capacity_emitted_ = capacity;
+    }
+    int active = 0;
+    for (Bps demand : demands) {
+      if (demand > 0) ++active;
+    }
+    if (active != last_active_emitted_) {
+      obs_->trace.counter(sim_.now(), obs::Category::kLink,
+                          "link.active_conns", obs_track_, active);
+      last_active_emitted_ = active;
+    }
+  }
 
   for (std::size_t i = 0; i < snapshot.size(); ++i) {
     // A callback earlier in this loop may have detached this connection.

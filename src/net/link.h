@@ -13,6 +13,7 @@
 #include "net/bandwidth_trace.h"
 #include "net/simulator.h"
 #include "net/tcp_connection.h"
+#include "obs/observer.h"
 
 namespace vodx::net {
 
@@ -27,6 +28,10 @@ class Link {
 
   void attach(TcpConnection* connection);
   void detach(TcpConnection* connection);
+
+  /// Attaches an observability context. The link emits a capacity counter
+  /// track (sampled on change) and an active-connection-count track.
+  void set_observer(obs::Observer* observer);
 
   const BandwidthTrace& trace() const { return trace_; }
   Seconds rtt() const { return rtt_; }
@@ -45,6 +50,11 @@ class Link {
   Seconds rtt_;
   std::vector<TcpConnection*> connections_;
   Bytes delivered_by_detached_ = 0;
+
+  obs::Observer* obs_ = nullptr;
+  int obs_track_ = 0;
+  Bps last_capacity_emitted_ = -1;
+  int last_active_emitted_ = -1;
 };
 
 }  // namespace vodx::net

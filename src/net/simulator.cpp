@@ -10,14 +10,32 @@ Simulator::Simulator(Seconds tick) : tick_(tick) {
   VODX_ASSERT(tick > 0, "tick must be positive");
 }
 
+void Simulator::set_observer(obs::Observer* observer) {
+  obs_ = observer;
+  if (obs_ == nullptr) {
+    ticks_metric_ = fired_metric_ = scheduled_metric_ = cancelled_metric_ =
+        nullptr;
+    return;
+  }
+  obs_->trace.set_clock([this] { return now_; });
+  ticks_metric_ = &obs_->metrics.counter("sim.ticks");
+  fired_metric_ = &obs_->metrics.counter("sim.events_fired");
+  scheduled_metric_ = &obs_->metrics.counter("sim.events_scheduled");
+  cancelled_metric_ = &obs_->metrics.counter("sim.events_cancelled");
+}
+
 std::uint64_t Simulator::schedule(Seconds delay, std::function<void()> fn) {
   VODX_ASSERT(delay >= 0, "cannot schedule in the past");
   std::uint64_t id = next_id_++;
   events_.push(Event{now_ + delay, id, std::move(fn)});
+  if (scheduled_metric_ != nullptr) scheduled_metric_->add();
   return id;
 }
 
-void Simulator::cancel(std::uint64_t id) { cancelled_.push_back(id); }
+void Simulator::cancel(std::uint64_t id) {
+  cancelled_.push_back(id);
+  if (cancelled_metric_ != nullptr) cancelled_metric_->add();
+}
 
 void Simulator::on_tick(std::function<void(Seconds)> fn) {
   tick_handlers_.push_back(std::move(fn));
@@ -32,6 +50,7 @@ void Simulator::fire_due_events() {
       cancelled_.erase(it);
       continue;
     }
+    if (fired_metric_ != nullptr) fired_metric_->add();
     ev.fn();
   }
 }
@@ -39,6 +58,7 @@ void Simulator::fire_due_events() {
 void Simulator::run_until(Seconds end) {
   while (now_ + tick_ <= end + 1e-12) {
     now_ += tick_;
+    if (ticks_metric_ != nullptr) ticks_metric_->add();
     fire_due_events();
     for (auto& handler : tick_handlers_) handler(tick_);
   }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "obs/observer.h"
 
 namespace vodx::net {
 
@@ -24,6 +25,11 @@ class Simulator {
 
   Seconds now() const { return now_; }
   Seconds tick_duration() const { return tick_; }
+
+  /// Attaches an observability context (nullable; default off). The
+  /// simulator feeds tick/event counters and stamps the sink's clock so
+  /// scoped spans can close themselves at the current sim time.
+  void set_observer(obs::Observer* observer);
 
   /// Schedules a one-shot callback `delay` seconds from now (>= 0). Returns an
   /// id usable with `cancel`.
@@ -61,6 +67,13 @@ class Simulator {
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
   std::vector<std::uint64_t> cancelled_;
   std::vector<std::function<void(Seconds)>> tick_handlers_;
+
+  obs::Observer* obs_ = nullptr;
+  // Cached metric handles (name lookup is too slow for per-tick updates).
+  obs::Counter* ticks_metric_ = nullptr;
+  obs::Counter* fired_metric_ = nullptr;
+  obs::Counter* scheduled_metric_ = nullptr;
+  obs::Counter* cancelled_metric_ = nullptr;
 };
 
 }  // namespace vodx::net

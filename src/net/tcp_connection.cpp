@@ -16,6 +16,21 @@ TcpConnection::TcpConnection(TcpConfig config, std::string label)
   VODX_ASSERT(config_.initial_cwnd > 0, "initial cwnd must be positive");
 }
 
+void TcpConnection::set_observer(obs::Observer* observer) {
+  obs_ = observer;
+  if (obs_ == nullptr) {
+    handshakes_metric_ = idle_restarts_metric_ = transfers_metric_ = nullptr;
+    goodput_metric_ = nullptr;
+    return;
+  }
+  obs_track_ = obs_->trace.track("tcp " + label_);
+  handshakes_metric_ = &obs_->metrics.counter("tcp.handshakes");
+  idle_restarts_metric_ = &obs_->metrics.counter("tcp.idle_restarts");
+  transfers_metric_ = &obs_->metrics.counter("tcp.transfers");
+  goodput_metric_ = &obs_->metrics.histogram(
+      "tcp.goodput_mbps", {0.25, 0.5, 1, 2, 4, 8, 16, 32, 64});
+}
+
 void TcpConnection::start_transfer(Seconds now, Bytes bytes,
                                    CompletionFn on_complete) {
   VODX_ASSERT(!busy(), "transfer already in flight on " + label_);
@@ -24,12 +39,25 @@ void TcpConnection::start_transfer(Seconds now, Bytes bytes,
   transfer_remaining_ = static_cast<double>(bytes);
   transfer_delivered_ = 0;
   on_complete_ = std::move(on_complete);
+  transfer_started_ = now;
+  if (transfers_metric_ != nullptr) transfers_metric_->add();
+  const bool tracing = obs::trace_on(obs_, obs::Category::kTcp);
+  if (tracing) {
+    obs_->trace.begin(now, obs::Category::kTcp, "tcp.transfer", obs_track_,
+                      {obs::Field::n("bytes", static_cast<double>(bytes))});
+  }
 
   if (phase_ == Phase::kClosed) {
     cwnd_ = config_.initial_cwnd;
     ssthresh_ = std::numeric_limits<double>::infinity();
     phase_ = Phase::kHandshake;
     wait_remaining_ = config_.rtt * config_.handshake_rtts;
+    if (handshakes_metric_ != nullptr) handshakes_metric_->add();
+    if (tracing) {
+      obs_->trace.instant(now, obs::Category::kTcp, "tcp.handshake",
+                          obs_track_,
+                          {obs::Field::n("rtts", config_.handshake_rtts)});
+    }
     return;
   }
 
@@ -39,6 +67,12 @@ void TcpConnection::start_transfer(Seconds now, Bytes bytes,
       now - idle_since_ > config_.idle_restart_after) {
     cwnd_ = config_.initial_cwnd;
     ssthresh_ = std::numeric_limits<double>::infinity();
+    if (idle_restarts_metric_ != nullptr) idle_restarts_metric_->add();
+    if (tracing) {
+      obs_->trace.instant(now, obs::Category::kTcp, "tcp.idle_restart",
+                          obs_track_,
+                          {obs::Field::n("idle_s", now - idle_since_)});
+    }
   }
   phase_ = Phase::kRequestWait;
   wait_remaining_ = config_.rtt;
@@ -46,6 +80,12 @@ void TcpConnection::start_transfer(Seconds now, Bytes bytes,
 
 void TcpConnection::abort_transfer() {
   if (!busy()) return;
+  if (obs::trace_on(obs_, obs::Category::kTcp)) {
+    obs_->trace.end(
+        obs_->trace.now(), obs::Category::kTcp, "tcp.transfer", obs_track_,
+        {obs::Field::n("delivered", static_cast<double>(transfer_delivered_)),
+         obs::Field::n("aborted", 1)});
+  }
   transfer_size_ = 0;
   transfer_remaining_ = 0;
   on_complete_ = nullptr;
@@ -108,10 +148,30 @@ void TcpConnection::advance(Seconds now, Seconds dt, Bps granted,
       transfer_delivered_ = whole;
       lifetime_delivered_ += newly;
       grow_cwnd(static_cast<Bytes>(delivered + 0.5), granted, saturated);
+      const bool tracing = obs::trace_on(obs_, obs::Category::kTcp);
+      if (tracing && now - last_cwnd_emit_ >= config_.rtt) {
+        // Sampled at RTT granularity: cwnd only changes meaningfully
+        // per-RTT, and per-tick emission would swamp the ring.
+        obs_->trace.counter(now, obs::Category::kTcp, "tcp.cwnd_kb",
+                            obs_track_, static_cast<double>(cwnd_) / 1e3);
+        last_cwnd_emit_ = now;
+      }
       if (transfer_remaining_ <= 1e-9) {
         transfer_delivered_ = transfer_size_;
         phase_ = config_.persistent ? Phase::kIdle : Phase::kClosed;
         idle_since_ = now;
+        if (goodput_metric_ != nullptr && now > transfer_started_) {
+          goodput_metric_->record(
+              rate_of(transfer_size_, now - transfer_started_) / 1e6);
+        }
+        if (tracing) {
+          // End the span before the callback: the HTTP layer closes its own
+          // request span (and may start a new transfer) inside `done`.
+          obs_->trace.end(
+              now, obs::Category::kTcp, "tcp.transfer", obs_track_,
+              {obs::Field::n("delivered",
+                             static_cast<double>(transfer_size_))});
+        }
         // Move the callback out first: it may immediately start a new
         // transfer on this same connection.
         CompletionFn done = std::move(on_complete_);

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "common/units.h"
+#include "obs/observer.h"
 
 namespace vodx::net {
 
@@ -43,6 +44,14 @@ class TcpConnection {
 
   TcpConnection(const TcpConnection&) = delete;
   TcpConnection& operator=(const TcpConnection&) = delete;
+
+  /// Attaches an observability context; the connection gets its own trace
+  /// track ("tcp <label>") carrying transfer spans, handshake / idle-restart
+  /// instants and a cwnd counter sampled at most once per RTT.
+  void set_observer(obs::Observer* observer);
+  /// Trace track id assigned by set_observer (for callers — the HTTP layer
+  /// — that overlay their own spans on this connection's timeline).
+  int obs_track() const { return obs_track_; }
 
   /// Starts fetching `bytes` of response payload. If the connection is
   /// closed a handshake is performed first; every request then waits one RTT
@@ -101,6 +110,15 @@ class TcpConnection {
   Seconds idle_since_ = 0;
   Bps last_granted_ = 0;
   CompletionFn on_complete_;
+
+  obs::Observer* obs_ = nullptr;
+  int obs_track_ = 0;
+  Seconds transfer_started_ = 0;
+  Seconds last_cwnd_emit_ = -1;
+  obs::Counter* handshakes_metric_ = nullptr;
+  obs::Counter* idle_restarts_metric_ = nullptr;
+  obs::Counter* transfers_metric_ = nullptr;
+  obs::Histogram* goodput_metric_ = nullptr;
 };
 
 }  // namespace vodx::net

@@ -1,0 +1,135 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace vodx::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  VODX_ASSERT(std::is_sorted(bounds_.begin(), bounds_.end()),
+              "histogram bounds must ascend");
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::record(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += value;
+  if (count_ == 1) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  std::int64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= target && buckets_[i] > 0) {
+      return i < bounds_.size() ? std::min(bounds_[i], max_) : max_;
+    }
+  }
+  return max_;
+}
+
+const MetricsSnapshot::Entry* MetricsSnapshot::find(
+    const std::string& name) const {
+  for (const Entry& entry : entries) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+MetricsRegistry::Named* MetricsRegistry::find(const std::string& name) {
+  for (Named& entry : entries_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  if (Named* existing = find(name)) {
+    VODX_ASSERT(existing->type == MetricsSnapshot::Type::kCounter,
+                "metric '" + name + "' registered as a different type");
+    return *existing->counter;
+  }
+  Named named;
+  named.name = name;
+  named.type = MetricsSnapshot::Type::kCounter;
+  named.counter = std::make_unique<Counter>();
+  entries_.push_back(std::move(named));
+  return *entries_.back().counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  if (Named* existing = find(name)) {
+    VODX_ASSERT(existing->type == MetricsSnapshot::Type::kGauge,
+                "metric '" + name + "' registered as a different type");
+    return *existing->gauge;
+  }
+  Named named;
+  named.name = name;
+  named.type = MetricsSnapshot::Type::kGauge;
+  named.gauge = std::make_unique<Gauge>();
+  entries_.push_back(std::move(named));
+  return *entries_.back().gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  if (Named* existing = find(name)) {
+    VODX_ASSERT(existing->type == MetricsSnapshot::Type::kHistogram,
+                "metric '" + name + "' registered as a different type");
+    return *existing->histogram;
+  }
+  Named named;
+  named.name = name;
+  named.type = MetricsSnapshot::Type::kHistogram;
+  named.histogram = std::make_unique<Histogram>(std::move(bounds));
+  entries_.push_back(std::move(named));
+  return *entries_.back().histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot(Seconds sim_time) const {
+  MetricsSnapshot snap;
+  snap.sim_time = sim_time;
+  snap.entries.reserve(entries_.size());
+  for (const Named& named : entries_) {
+    MetricsSnapshot::Entry entry;
+    entry.name = named.name;
+    entry.type = named.type;
+    switch (named.type) {
+      case MetricsSnapshot::Type::kCounter:
+        entry.count = named.counter->value();
+        break;
+      case MetricsSnapshot::Type::kGauge:
+        entry.value = named.gauge->value();
+        break;
+      case MetricsSnapshot::Type::kHistogram: {
+        const Histogram& h = *named.histogram;
+        entry.count = h.count();
+        entry.value = h.sum();
+        entry.min = h.min();
+        entry.mean = h.mean();
+        entry.p50 = h.quantile(0.5);
+        entry.p90 = h.quantile(0.9);
+        entry.p99 = h.quantile(0.99);
+        entry.max = h.max();
+        entry.bounds = h.bounds();
+        entry.buckets = h.buckets();
+        break;
+      }
+    }
+    snap.entries.push_back(std::move(entry));
+  }
+  return snap;
+}
+
+}  // namespace vodx::obs

@@ -58,11 +58,94 @@ Player::Player(net::Simulator& sim, net::Link& link, http::Proxy& proxy,
 
 Player::~Player() = default;
 
+void Player::set_observer(obs::Observer* observer) {
+  obs_ = observer;
+  client_->set_observer(observer);
+  if (obs_ == nullptr) {
+    stalls_metric_ = decisions_metric_ = switches_metric_ = nullptr;
+    replacements_metric_ = wasted_bytes_metric_ = fetch_failures_metric_ =
+        nullptr;
+    stall_seconds_metric_ = segment_fetch_metric_ = nullptr;
+    return;
+  }
+  player_track_ = obs_->trace.track("player");
+  abr_track_ = obs_->trace.track("abr");
+  stalls_metric_ = &obs_->metrics.counter("player.stalls");
+  stall_seconds_metric_ = &obs_->metrics.histogram(
+      "player.stall_seconds", {0.5, 1, 2, 5, 10, 20, 40, 80});
+  decisions_metric_ = &obs_->metrics.counter("abr.decisions");
+  switches_metric_ = &obs_->metrics.counter("abr.switches");
+  replacements_metric_ = &obs_->metrics.counter("player.replacements");
+  wasted_bytes_metric_ = &obs_->metrics.counter("player.wasted_bytes");
+  fetch_failures_metric_ = &obs_->metrics.counter("player.fetch_failures");
+  segment_fetch_metric_ = &obs_->metrics.histogram(
+      "player.segment_fetch_s", {0.25, 0.5, 1, 2, 4, 8, 16});
+}
+
+void Player::set_state(PlayerState next) {
+  if (next == state_) return;
+  if (obs::trace_on(obs_, obs::Category::kPlayer)) {
+    const Seconds now = sim_.now();
+    if (state_span_open_) {
+      obs_->trace.end(now, obs::Category::kPlayer, to_string(state_),
+                      player_track_);
+    }
+    obs_->trace.begin(now, obs::Category::kPlayer, to_string(next),
+                      player_track_,
+                      {obs::Field::t("from", to_string(state_))});
+    state_span_open_ = true;
+  }
+  state_ = next;
+}
+
+void Player::begin_stall(const char* cause) {
+  events_.stalls.push_back(StallEvent{sim_.now(), -1});
+  if (stalls_metric_ != nullptr) stalls_metric_->add();
+  if (obs::trace_on(obs_, obs::Category::kPlayer)) {
+    obs_->trace.instant(sim_.now(), obs::Category::kPlayer, "stall.begin",
+                        player_track_,
+                        {obs::Field::t("cause", cause),
+                         obs::Field::n("position_s", position_)});
+  }
+}
+
+void Player::end_stall() {
+  StallEvent& stall = events_.stalls.back();
+  stall.end = sim_.now();
+  const Seconds duration = stall.end - stall.start;
+  if (stall_seconds_metric_ != nullptr) {
+    stall_seconds_metric_->record(duration);
+  }
+  if (obs::trace_on(obs_, obs::Category::kPlayer)) {
+    obs_->trace.instant(sim_.now(), obs::Category::kPlayer, "stall.end",
+                        player_track_,
+                        {obs::Field::n("duration_s", duration),
+                         obs::Field::n("position_s", position_)});
+  }
+}
+
+void Player::sample_observability() {
+  if (!obs::trace_on(obs_, obs::Category::kPlayer)) return;
+  const Seconds now = sim_.now();
+  if (now < next_obs_sample_at_) return;
+  next_obs_sample_at_ = now + 1.0;
+  obs_->trace.counter(now, obs::Category::kPlayer, "buffer.video_s",
+                      player_track_, video_buffer_.buffered_ahead(position_));
+  if (presentation_.separate_audio()) {
+    obs_->trace.counter(now, obs::Category::kPlayer, "buffer.audio_s",
+                        player_track_,
+                        audio_buffer_.buffered_ahead(position_));
+  }
+  obs_->trace.counter(now, obs::Category::kPlayer, "bw.estimate_mbps",
+                      player_track_, estimator_.estimate() / 1e6);
+}
+
 void Player::start(const std::string& manifest_url) {
   VODX_ASSERT(state_ == PlayerState::kIdle, "player already started");
-  state_ = PlayerState::kResolving;
+  set_state(PlayerState::kResolving);
   events_.session_start = sim_.now();
   next_seekbar_at_ = sim_.now() + 1.0;
+  next_obs_sample_at_ = sim_.now();
   media_source_->resolve(
       manifest_url,
       [this](manifest::Presentation p) { on_manifest_ready(std::move(p)); },
@@ -80,6 +163,12 @@ void Player::seek(Seconds target) {
   }
   target = std::clamp(target, 0.0, presentation_.duration() - 0.5);
   events_.seeks.push_back(SeekEvent{sim_.now(), position_, target});
+  if (obs::trace_on(obs_, obs::Category::kPlayer)) {
+    obs_->trace.instant(sim_.now(), obs::Category::kPlayer, "seek",
+                        player_track_,
+                        {obs::Field::n("from_s", position_),
+                         obs::Field::n("to_s", target)});
+  }
 
   // Abort everything in flight: the deadline structure just changed.
   for (auto& [key, info] : fetches_) {
@@ -120,8 +209,8 @@ void Player::seek(Seconds target) {
   if (state_ == PlayerState::kPlaying) {
     // The interruption is user-visible; account it like a stall until the
     // rebuffer condition holds again.
-    state_ = PlayerState::kRebuffering;
-    events_.stalls.push_back(StallEvent{sim_.now(), -1});
+    set_state(PlayerState::kRebuffering);
+    begin_stall("seek");
   }
   schedule_downloads();
 }
@@ -151,13 +240,17 @@ void Player::on_manifest_ready(manifest::Presentation presentation) {
     --startup_level_;
   }
   last_selected_level_ = startup_level_;
-  state_ = PlayerState::kStartup;
+  set_state(PlayerState::kStartup);
   schedule_downloads();
 }
 
 void Player::on_manifest_error(const std::string& reason) {
-  state_ = PlayerState::kFailed;
+  set_state(PlayerState::kFailed);
   events_.failure = reason;
+  if (obs::trace_on(obs_, obs::Category::kPlayer)) {
+    obs_->trace.instant(sim_.now(), obs::Category::kPlayer, "error.manifest",
+                        player_track_, {obs::Field::t("reason", reason)});
+  }
 }
 
 const manifest::ClientTrack& Player::video_track(int level) const {
@@ -204,6 +297,7 @@ void Player::tick(Seconds dt) {
   update_state();
   schedule_downloads();
   emit_seekbar();
+  sample_observability();
 }
 
 void Player::advance_playback(Seconds dt) {
@@ -241,22 +335,33 @@ void Player::update_state() {
         video_buffer_.contiguous_count(position_) >=
         config_.startup_min_segments;
     if ((enough_seconds && enough_segments) || content_exhausted) {
-      state_ = PlayerState::kPlaying;
+      set_state(PlayerState::kPlaying);
       events_.playback_started = sim_.now();
+      if (obs::trace_on(obs_, obs::Category::kPlayer)) {
+        obs_->trace.instant(
+            sim_.now(), obs::Category::kPlayer, "playback.start",
+            player_track_,
+            {obs::Field::n("startup_delay_s", events_.startup_delay()),
+             obs::Field::n("level", startup_level_)});
+      }
+      if (obs_ != nullptr) {
+        obs_->metrics.gauge("player.startup_delay_s")
+            .set(events_.startup_delay());
+      }
       record_display_if_new();
     }
     return;
   }
   if (state_ == PlayerState::kPlaying) {
     if (position_ >= duration - 1e-6) {
-      state_ = PlayerState::kEnded;
+      set_state(PlayerState::kEnded);
       // Final progress update: the UI shows the end position.
       if (seekbar_) seekbar_(sim_.now(), static_cast<int>(position_ + kEps));
       return;
     }
     if (ahead <= kEps) {
-      state_ = PlayerState::kRebuffering;
-      events_.stalls.push_back(StallEvent{sim_.now(), -1});
+      set_state(PlayerState::kRebuffering);
+      begin_stall("underrun");
     }
     return;
   }
@@ -267,8 +372,8 @@ void Player::update_state() {
         video_buffer_.contiguous_count(position_) >=
         config_.rebuffer_min_segments;
     if ((ahead >= needed - kEps && enough_segments) || content_exhausted) {
-      state_ = PlayerState::kPlaying;
-      events_.stalls.back().end = sim_.now();
+      set_state(PlayerState::kPlaying);
+      end_stall();
     }
   }
 }
@@ -409,6 +514,23 @@ int Player::select_video_level_for(int next_index) {
          video_track(level).resolution.height > config_.max_height_cap) {
     --level;
   }
+  if (decisions_metric_ != nullptr) {
+    decisions_metric_->add();
+    if (level != context.last_level) switches_metric_->add();
+  }
+  if (obs::trace_on(obs_, obs::Category::kAbr)) {
+    // The decision with its full input vector: this is what "why did it
+    // switch here?" debugging needs, and what a bisect against ground
+    // truth joins on (next_index).
+    obs_->trace.instant(
+        sim_.now(), obs::Category::kAbr, "abr.decide", abr_track_,
+        {obs::Field::n("index", next_index),
+         obs::Field::n("est_mbps", context.bandwidth_estimate / 1e6),
+         obs::Field::n("samples", context.estimator_samples),
+         obs::Field::n("buffer_s", context.buffer),
+         obs::Field::n("last_level", context.last_level),
+         obs::Field::n("level", level)});
+  }
   return level;
 }
 
@@ -445,6 +567,17 @@ void Player::maybe_trigger_cascade_sr(int target_level) {
     event.new_level = -1;  // refetch level decided per segment later
     event.old_bytes = s.size;
     events_.replacements.push_back(event);
+    if (replacements_metric_ != nullptr) {
+      replacements_metric_->add();
+      wasted_bytes_metric_->add(s.size);
+    }
+    if (obs::trace_on(obs_, obs::Category::kPlayer)) {
+      obs_->trace.instant(
+          sim_.now(), obs::Category::kPlayer, "sr.discard", player_track_,
+          {obs::Field::n("index", s.index), obs::Field::n("level", s.level),
+           obs::Field::n("target", target_level),
+           obs::Field::n("wasted_bytes", static_cast<double>(s.size))});
+    }
   }
   next_index_[kVideoPipe] = cascade_from;
 }
@@ -549,6 +682,15 @@ void Player::on_segment_done(int fetch_key, const http::Response& response) {
   fetches_.erase(it);
   --in_flight_count_[done.pipeline];
   if (done.failed) {
+    if (fetch_failures_metric_ != nullptr) fetch_failures_metric_->add();
+    if (obs::trace_on(obs_, obs::Category::kPlayer)) {
+      obs_->trace.instant(
+          sim_.now(), obs::Category::kPlayer, "fetch.failed", player_track_,
+          {obs::Field::n("index", done.index),
+           obs::Field::n("level", done.level),
+           obs::Field::n("attempt", done.attempt),
+           obs::Field::n("replacement", done.replacement ? 1 : 0)});
+    }
     // Transient failures get retried with linear backoff; replacement
     // downloads are opportunistic and are simply dropped. Once the retry
     // budget is exhausted the pipeline stops advancing — no further
@@ -563,6 +705,13 @@ void Player::on_segment_done(int fetch_key, const http::Response& response) {
       retries_[done.pipeline].push_back(
           {retry, sim_.now() + config_.retry_backoff * retry.attempt});
       return;
+    }
+    if (!done.replacement &&
+        obs::trace_on(obs_, obs::Category::kPlayer)) {
+      obs_->trace.instant(sim_.now(), obs::Category::kPlayer,
+                          "pipeline.giveup", player_track_,
+                          {obs::Field::n("pipeline", done.pipeline),
+                           obs::Field::n("index", done.index)});
     }
     next_index_[done.pipeline] =
         static_cast<int>((done.pipeline == kVideoPipe ? video_track(0)
@@ -606,6 +755,19 @@ void Player::complete_segment(FetchInfo info) {
   buffered.size = info.accumulated_bytes;
   buffered.downloaded_at = sim_.now();
 
+  if (segment_fetch_metric_ != nullptr) {
+    segment_fetch_metric_->record(sim_.now() - info.issued_at);
+  }
+  if (obs::trace_on(obs_, obs::Category::kPlayer)) {
+    obs_->trace.instant(
+        sim_.now(), obs::Category::kPlayer, "segment.buffered", player_track_,
+        {obs::Field::n("pipeline", info.pipeline),
+         obs::Field::n("index", info.index), obs::Field::n("level", info.level),
+         obs::Field::n("bytes", static_cast<double>(info.accumulated_bytes)),
+         obs::Field::n("fetch_s", sim_.now() - info.issued_at),
+         obs::Field::n("replacement", info.replacement ? 1 : 0)});
+  }
+
   PlaybackBuffer& buffer = buffer_of(info.pipeline);
   if (info.replacement) {
     // Playback may have passed this segment while the replacement was in
@@ -620,6 +782,32 @@ void Player::complete_segment(FetchInfo info) {
       event.new_level = info.level;
       event.old_bytes = old.size;
       events_.replacements.push_back(event);
+      if (replacements_metric_ != nullptr) {
+        replacements_metric_->add();
+        wasted_bytes_metric_->add(old.size);
+      }
+      if (obs::trace_on(obs_, obs::Category::kPlayer)) {
+        obs_->trace.instant(
+            sim_.now(), obs::Category::kPlayer, "sr.replace", player_track_,
+            {obs::Field::n("index", info.index),
+             obs::Field::n("old_level", old.level),
+             obs::Field::n("new_level", info.level),
+             obs::Field::n("wasted_bytes", static_cast<double>(old.size))});
+      }
+    } else {
+      // The replacement itself arrived too late to be used — pure waste.
+      if (wasted_bytes_metric_ != nullptr) {
+        wasted_bytes_metric_->add(info.accumulated_bytes);
+      }
+      if (obs::trace_on(obs_, obs::Category::kPlayer)) {
+        obs_->trace.instant(
+            sim_.now(), obs::Category::kPlayer, "sr.late", player_track_,
+            {obs::Field::n("index", info.index),
+             obs::Field::n("level", info.level),
+             obs::Field::n(
+                 "wasted_bytes",
+                 static_cast<double>(info.accumulated_bytes))});
+      }
     }
     return;
   }

@@ -20,6 +20,7 @@
 
 #include "http/http_client.h"
 #include "manifest/presentation.h"
+#include "obs/observer.h"
 #include "player/abr.h"
 #include "player/bandwidth_estimator.h"
 #include "player/buffer.h"
@@ -97,6 +98,12 @@ class Player {
   Player(const Player&) = delete;
   Player& operator=(const Player&) = delete;
 
+  /// Attaches an observability context (propagates to the HTTP client and
+  /// its TCP connections). Call before start(). The player contributes
+  /// state-machine spans, stall and replacement instants, ABR decision
+  /// events with their inputs, and 1 Hz buffer/bandwidth counter tracks.
+  void set_observer(obs::Observer* observer);
+
   /// The user presses play at the current simulated time.
   void start(const std::string& manifest_url);
 
@@ -165,6 +172,13 @@ class Player {
   void on_manifest_ready(manifest::Presentation presentation);
   void on_manifest_error(const std::string& reason);
 
+  /// Single funnel for state transitions: keeps the trace's state span per
+  /// state and the stall bookkeeping in one place.
+  void set_state(PlayerState next);
+  void begin_stall(const char* cause);
+  void end_stall();
+  void sample_observability();
+
   void advance_playback(Seconds dt);
   void update_state();
   void emit_seekbar();
@@ -225,6 +239,20 @@ class Player {
   bool user_paused_ = false;
   PlayerEvents events_;
   SeekbarFn seekbar_;
+
+  obs::Observer* obs_ = nullptr;
+  int player_track_ = 0;
+  int abr_track_ = 0;
+  Seconds next_obs_sample_at_ = 0;
+  bool state_span_open_ = false;
+  obs::Counter* stalls_metric_ = nullptr;
+  obs::Histogram* stall_seconds_metric_ = nullptr;
+  obs::Counter* decisions_metric_ = nullptr;
+  obs::Counter* switches_metric_ = nullptr;
+  obs::Counter* replacements_metric_ = nullptr;
+  obs::Counter* wasted_bytes_metric_ = nullptr;
+  obs::Counter* fetch_failures_metric_ = nullptr;
+  obs::Histogram* segment_fetch_metric_ = nullptr;
 };
 
 }  // namespace vodx::player

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/session.h"
+#include "obs/observer.h"
 #include "trace/cellular_profiles.h"
 
 namespace vodx::core {
@@ -12,12 +13,14 @@ namespace {
 
 class ServiceValidation : public ::testing::TestWithParam<std::string> {
  protected:
-  SessionResult run(int profile_id, Seconds duration = 300) {
+  SessionResult run(int profile_id, Seconds duration = 300,
+                    obs::Observer* observer = nullptr) {
     SessionConfig config;
     config.spec = services::service(GetParam());
     config.trace = trace::cellular_profile(profile_id);
     config.session_duration = duration;
     config.content_duration = 600;
+    config.observer = observer;
     return run_session(config);
   }
 };
@@ -74,6 +77,65 @@ TEST_P(ServiceValidation, WasteMatchesReplacementActivity) {
     EXPECT_LT(static_cast<double>(r.qoe.wasted_bytes),
               0.02 * static_cast<double>(r.qoe.media_bytes) + 1e6);
   }
+}
+
+// Observability integration: an instrumented session's trace must tell the
+// session's story in order — resolve, fill the startup buffer, start
+// playing — and on a bad network the stall instants must bracket the
+// player's own ground-truth record.
+TEST_P(ServiceValidation, TraceNarratesStartupAndStalls) {
+  obs::Observer observer;
+  SessionResult r = run(3, 300, &observer);  // 1.5 Mbps: stalls likely
+
+  std::vector<obs::Event> events = observer.trace.snapshot();
+  ASSERT_FALSE(events.empty());
+
+  // Events come out of the sink oldest-first with monotonic sequence
+  // numbers; equal-time bursts keep emission order.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].sim_time, events[i].sim_time + 1e-9);
+    EXPECT_LT(events[i - 1].seq, events[i].seq);
+  }
+
+  auto index_of = [&](const char* name, obs::EventKind kind) {
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (events[i].kind == kind && std::string(events[i].name) == name) {
+        return static_cast<long>(i);
+      }
+    }
+    return -1L;
+  };
+
+  // Startup narrative: resolving -> startup -> playing, in that order.
+  const long resolving = index_of("resolving", obs::EventKind::kSpanBegin);
+  const long startup = index_of("startup", obs::EventKind::kSpanBegin);
+  const long playing = index_of("playing", obs::EventKind::kSpanBegin);
+  const long playback_start =
+      index_of("playback.start", obs::EventKind::kInstant);
+  ASSERT_GE(resolving, 0);
+  ASSERT_GE(startup, 0);
+  ASSERT_GE(playing, 0);
+  ASSERT_GE(playback_start, 0);
+  EXPECT_LT(resolving, startup);
+  EXPECT_LT(startup, playing);
+
+  // Stall instants mirror the ground truth: one begin per recorded stall,
+  // and ends only for stalls that finished before the session did.
+  long begins = 0;
+  long ends = 0;
+  for (const obs::Event& e : events) {
+    if (e.kind != obs::EventKind::kInstant) continue;
+    if (std::string(e.name) == "stall.begin") ++begins;
+    if (std::string(e.name) == "stall.end") ++ends;
+  }
+  EXPECT_EQ(begins, static_cast<long>(r.ground_truth.stall_count));
+  EXPECT_LE(ends, begins);
+
+  // The summary metrics agree with the ground-truth report.
+  obs::MetricsSnapshot snap = observer.metrics.snapshot(r.session_end);
+  const obs::MetricsSnapshot::Entry* stalls = snap.find("session.stalls");
+  ASSERT_NE(stalls, nullptr);
+  EXPECT_EQ(stalls->count, r.ground_truth.stall_count);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,113 @@
+// Metrics registry: bucketing, quantiles, create-on-first-use semantics and
+// snapshot isolation.
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace vodx::obs {
+namespace {
+
+TEST(Histogram, BucketingLandsSamplesAtUpperEdges) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.record(0.5);   // bucket 0 (<= 1)
+  h.record(1.0);   // bucket 0 (edge is inclusive)
+  h.record(1.5);   // bucket 1
+  h.record(4.0);   // bucket 2
+  h.record(100.0); // overflow
+
+  ASSERT_EQ(h.buckets().size(), 4u);
+  EXPECT_EQ(h.buckets()[0], 2);
+  EXPECT_EQ(h.buckets()[1], 1);
+  EXPECT_EQ(h.buckets()[2], 1);
+  EXPECT_EQ(h.buckets()[3], 1);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_DOUBLE_EQ(h.sum(), 107.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+}
+
+TEST(Histogram, QuantilesAreBucketResolution) {
+  Histogram h({1.0, 2.0, 4.0, 8.0});
+  for (int i = 0; i < 90; ++i) h.record(0.5);  // bucket 0
+  for (int i = 0; i < 9; ++i) h.record(3.0);   // bucket 2
+  h.record(50.0);                              // overflow
+
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);   // within bucket 0 -> its bound
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 4.0);  // bucket 2's bound
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 50.0);  // overflow reports observed max
+}
+
+TEST(Histogram, EmptyHistogramIsAllZeroes) {
+  Histogram h({1.0});
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0);
+}
+
+TEST(MetricsRegistry, CreateOnFirstUseReturnsSameInstance) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("http.requests");
+  a.add(3);
+  Counter& b = registry.counter("http.requests");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3);
+
+  Histogram& h1 = registry.histogram("fetch_s", {1.0, 2.0});
+  // Bounds on re-request are ignored; same instance comes back.
+  Histogram& h2 = registry.histogram("fetch_s", {99.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds().size(), 2u);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricsRegistry, SnapshotIsIsolatedFromLaterMutation) {
+  MetricsRegistry registry;
+  registry.counter("stalls").add(2);
+  registry.gauge("buffer_s").set(17.5);
+  registry.histogram("fetch_s", {1.0, 4.0}).record(2.0);
+
+  MetricsSnapshot snap = registry.snapshot(120.0);
+  registry.counter("stalls").add(100);
+  registry.gauge("buffer_s").set(-1);
+  registry.histogram("fetch_s", {}).record(3.0);
+
+  EXPECT_DOUBLE_EQ(snap.sim_time, 120.0);
+  const MetricsSnapshot::Entry* stalls = snap.find("stalls");
+  ASSERT_NE(stalls, nullptr);
+  EXPECT_EQ(stalls->count, 2);
+  const MetricsSnapshot::Entry* buffer = snap.find("buffer_s");
+  ASSERT_NE(buffer, nullptr);
+  EXPECT_DOUBLE_EQ(buffer->value, 17.5);
+  const MetricsSnapshot::Entry* fetch = snap.find("fetch_s");
+  ASSERT_NE(fetch, nullptr);
+  EXPECT_EQ(fetch->count, 1);
+  EXPECT_EQ(snap.find("missing"), nullptr);
+}
+
+TEST(MetricsRegistry, SnapshotPreservesRegistrationOrder) {
+  MetricsRegistry registry;
+  registry.counter("z.last_alphabetically");
+  registry.counter("a.first_alphabetically");
+  MetricsSnapshot snap = registry.snapshot(0);
+  ASSERT_EQ(snap.entries.size(), 2u);
+  EXPECT_EQ(snap.entries[0].name, "z.last_alphabetically");
+  EXPECT_EQ(snap.entries[1].name, "a.first_alphabetically");
+}
+
+TEST(MetricsRegistry, ReportRendersAllMetricTypes) {
+  MetricsRegistry registry;
+  registry.counter("http.requests").add(42);
+  registry.gauge("startup_delay_s").set(1.28);
+  registry.histogram("goodput_mbps", {1.0, 8.0}).record(5.0);
+
+  const std::string report = metrics_report(registry.snapshot(600.0));
+  EXPECT_NE(report.find("http.requests"), std::string::npos);
+  EXPECT_NE(report.find("42"), std::string::npos);
+  EXPECT_NE(report.find("startup_delay_s"), std::string::npos);
+  EXPECT_NE(report.find("goodput_mbps"), std::string::npos);
+  EXPECT_NE(report.find("600.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vodx::obs

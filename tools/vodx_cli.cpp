@@ -4,11 +4,15 @@
 //   vodx list                      — catalogue of the 12 services
 //   vodx play <svc> <profile>      — run a session, print the QoE report
 //   vodx play <svc> --trace f.txt  — ... over a recorded 1 Hz trace file
+//   vodx play <svc> --trace-out session.trace.json
+//                                  — also export a Chrome/Perfetto timeline
 //   vodx dissect <svc>             — black-box Table-1 row for a service
 //   vodx trace <profile> [out]     — emit a cellular profile as text
 //   vodx energy <svc> [profile]    — RRC radio-energy analysis (§3.3.2)
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +24,8 @@
 #include "core/radio_energy.h"
 #include "core/report.h"
 #include "core/session.h"
+#include "obs/export.h"
+#include "obs/observer.h"
 #include "trace/cellular_profiles.h"
 #include "trace/trace_io.h"
 
@@ -28,15 +34,67 @@ using namespace vodx;
 namespace {
 
 int usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  vodx list\n"
-               "  vodx play <service> [profile=7 | --trace file] [--csv|--buffer-csv]\n"
-               "  vodx dissect <service>\n"
-               "  vodx trace <profile> [out.txt]\n"
-               "  vodx energy <service> [profile=7]\n");
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  vodx list\n"
+      "  vodx play <service> [profile=7 | --trace file] [--csv|--buffer-csv]\n"
+      "            [--trace-out f.json] [--events-out f.jsonl]\n"
+      "            [--metrics-out f.txt]\n"
+      "  vodx dissect <service>\n"
+      "  vodx trace <profile> [out.txt]\n"
+      "  vodx energy <service> [profile=7]\n");
   return 2;
 }
+
+/// Observability outputs requested on the command line. The observer is
+/// created lazily: a session without any -out flag runs untraced (and thus
+/// at full speed).
+struct ObsOutputs {
+  std::string chrome_trace_path;  ///< --trace-out (chrome://tracing JSON)
+  std::string jsonl_path;         ///< --events-out (one event per line)
+  std::string metrics_path;       ///< --metrics-out (text table)
+
+  bool wanted() const {
+    return !chrome_trace_path.empty() || !jsonl_path.empty() ||
+           !metrics_path.empty();
+  }
+
+  /// Consumes `--trace-out f` style pairs; returns true if argv[i] matched
+  /// (i is advanced past the value).
+  bool parse(int argc, char** argv, int& i) {
+    auto take = [&](const char* flag, std::string& out) {
+      if (std::strcmp(argv[i], flag) != 0 || i + 1 >= argc) return false;
+      out = argv[++i];
+      return true;
+    };
+    return take("--trace-out", chrome_trace_path) ||
+           take("--events-out", jsonl_path) ||
+           take("--metrics-out", metrics_path);
+  }
+
+  void write(const obs::Observer& observer, Seconds session_end) const {
+    auto open = [](const std::string& path) {
+      std::ofstream out(path);
+      if (!out) throw Error(format("cannot write %s", path.c_str()));
+      return out;
+    };
+    if (!chrome_trace_path.empty()) {
+      std::ofstream out = open(chrome_trace_path);
+      obs::write_chrome_trace(observer.trace, out);
+      std::fprintf(stderr, "wrote %s (%zu events; open in chrome://tracing)\n",
+                   chrome_trace_path.c_str(), observer.trace.size());
+    }
+    if (!jsonl_path.empty()) {
+      std::ofstream out = open(jsonl_path);
+      obs::write_jsonl(observer.trace, out);
+    }
+    if (!metrics_path.empty()) {
+      std::ofstream out = open(metrics_path);
+      out << obs::metrics_report(observer.metrics.snapshot(session_end));
+    }
+  }
+};
 
 int cmd_list() {
   Table table({"service", "protocol", "tracks", "segdur", "audio",
@@ -63,12 +121,14 @@ int cmd_list() {
 }
 
 core::SessionResult run(const services::ServiceSpec& spec,
-                        net::BandwidthTrace trace) {
+                        net::BandwidthTrace trace,
+                        obs::Observer* observer = nullptr) {
   core::SessionConfig config;
   config.spec = spec;
   config.trace = std::move(trace);
   config.session_duration = 600;
   config.content_duration = 600;
+  config.observer = observer;
   return core::run_session(config);
 }
 
@@ -76,6 +136,7 @@ int cmd_play(const std::string& service, int argc, char** argv) {
   net::BandwidthTrace trace = trace::cellular_profile(7);
   bool csv = false;
   bool buffer_csv_out = false;
+  ObsOutputs outputs;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace = trace::load_trace(argv[++i]);
@@ -83,12 +144,21 @@ int cmd_play(const std::string& service, int argc, char** argv) {
       csv = true;
     } else if (std::strcmp(argv[i], "--buffer-csv") == 0) {
       buffer_csv_out = true;
+    } else if (outputs.parse(argc, argv, i)) {
+      // consumed a --*-out flag and its value
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "error: unknown or incomplete option %s\n",
+                   argv[i]);
+      return usage();
     } else {
       trace = trace::cellular_profile(std::atoi(argv[i]));
     }
   }
   const services::ServiceSpec& spec = services::service(service);
-  core::SessionResult r = run(spec, trace);
+  std::unique_ptr<obs::Observer> observer;
+  if (outputs.wanted()) observer = std::make_unique<obs::Observer>();
+  core::SessionResult r = run(spec, trace, observer.get());
+  if (observer != nullptr) outputs.write(*observer, r.session_end);
   if (buffer_csv_out) {
     std::fputs(core::buffer_csv(r).c_str(), stdout);
     return 0;
