@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "batch/thread_pool.h"
 #include "core/design_inference.h"
 
 using namespace vodx;
@@ -26,10 +27,19 @@ int main() {
   Table table({"svc", "proto", "segdur", "sep.audio", "#TCP", "persist",
                "startup buf", "startup br", "pausing", "resuming",
                "encoding", "stable", "aggressive", "decrease buf"});
+  // The probe battery per service is independent of every other service;
+  // fan the 12 batteries out and assemble rows in catalog order.
+  const std::vector<services::ServiceSpec>& specs = services::catalog();
+  std::vector<core::InferredDesign> inferred =
+      batch::parallel_map<core::InferredDesign>(
+          specs.size(), bench::harness_jobs(),
+          [&](std::size_t i) { return core::infer_design(specs[i]); });
+
   int exact_columns = 0;
   int total_columns = 0;
-  for (const services::ServiceSpec& spec : services::catalog()) {
-    core::InferredDesign d = core::infer_design(spec);
+  for (std::size_t row = 0; row < specs.size(); ++row) {
+    const services::ServiceSpec& spec = specs[row];
+    const core::InferredDesign& d = inferred[row];
 
     auto near = [&](double a, double b, double tol) {
       ++total_columns;

@@ -1,6 +1,11 @@
 #include "support.h"
 
 #include <cstdio>
+#include <cstdlib>
+
+#include "batch/sweep.h"
+#include "batch/thread_pool.h"
+#include "common/error.h"
 
 namespace vodx::bench {
 
@@ -17,6 +22,14 @@ void compare(const std::string& metric, const std::string& paper,
               paper.c_str(), measured.c_str());
 }
 
+int harness_jobs() {
+  if (const char* env = std::getenv("VODX_JOBS")) {
+    const int jobs = std::atoi(env);
+    if (jobs >= 1) return jobs;
+  }
+  return batch::resolve_jobs(0);
+}
+
 core::SessionResult run_profile(const services::ServiceSpec& spec,
                                 int profile_id, Seconds session_duration) {
   core::SessionConfig config;
@@ -29,12 +42,32 @@ core::SessionResult run_profile(const services::ServiceSpec& spec,
 
 std::vector<core::SessionResult> run_all_profiles(
     const services::ServiceSpec& spec, Seconds session_duration) {
+  batch::SweepConfig config;
+  config.services = {spec};
+  config.profiles = batch::all_profile_ids();
+  config.session_duration = session_duration;
+  config.jobs = harness_jobs();
+  batch::SweepResult sweep = batch::run_sweep(config);
+
   std::vector<core::SessionResult> out;
-  out.reserve(trace::kProfileCount);
-  for (int id = 1; id <= trace::kProfileCount; ++id) {
-    out.push_back(run_profile(spec, id, session_duration));
+  out.reserve(sweep.cells.size());
+  for (batch::CellResult& cell : sweep.cells) {
+    if (!cell.ok) {
+      throw Error("sweep cell " + cell.coordinates() +
+                  " failed: " + cell.error);
+    }
+    out.push_back(std::move(cell.result));
   }
   return out;
+}
+
+std::vector<core::SessionResult> run_cells(
+    const std::vector<std::pair<services::ServiceSpec, int>>& cells,
+    Seconds session_duration) {
+  return batch::parallel_map<core::SessionResult>(
+      cells.size(), harness_jobs(), [&](std::size_t i) {
+        return run_profile(cells[i].first, cells[i].second, session_duration);
+      });
 }
 
 services::ServiceSpec reference_player_spec() {

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.h"
@@ -21,15 +22,28 @@ void banner(const std::string& figure, const std::string& description);
 void compare(const std::string& metric, const std::string& paper,
              const std::string& measured);
 
+/// Worker threads the harnesses fan out over: $VODX_JOBS when set (>= 1),
+/// otherwise one per hardware thread. Results are identical for any value —
+/// the batch engine's determinism contract — so harness output never
+/// depends on this.
+int harness_jobs();
+
 /// Runs one service over one cellular profile with paper defaults
 /// (10-minute session, 600 s content).
 core::SessionResult run_profile(const services::ServiceSpec& spec,
                                 int profile_id,
                                 Seconds session_duration = 600);
 
-/// Runs a service over every one of the 14 profiles.
+/// Runs a service over every one of the 14 profiles — in parallel over
+/// harness_jobs() workers, results in profile order.
 std::vector<core::SessionResult> run_all_profiles(
     const services::ServiceSpec& spec, Seconds session_duration = 600);
+
+/// Runs arbitrary (spec, profile) cells through the batch engine; the
+/// returned vector preserves input order regardless of worker count.
+std::vector<core::SessionResult> run_cells(
+    const std::vector<std::pair<services::ServiceSpec, int>>& cells,
+    Seconds session_duration = 600);
 
 /// A generic reference player spec (the stand-in for the paper's instrumented
 /// ExoPlayer playing the BBC Testcard / Sintel streams): DASH + sidx so

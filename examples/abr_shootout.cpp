@@ -4,10 +4,12 @@
 //   + improved per-segment Segment Replacement (§4.1.3)
 //   + both.
 //
-//   ./abr_shootout
+//   ./abr_shootout [--jobs N]
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
+#include "batch/sweep.h"
 #include "common/stats.h"
 #include "core/qoe.h"
 #include "core/session.h"
@@ -42,17 +44,23 @@ struct Outcome {
   double mean_qoe_score;
 };
 
-Outcome evaluate(const services::ServiceSpec& spec) {
+Outcome evaluate(const services::ServiceSpec& spec, int jobs) {
+  batch::SweepConfig config;
+  config.services = {spec};
+  config.profiles = batch::all_profile_ids();
+  config.jobs = jobs;
+  batch::SweepResult sweep = batch::run_sweep(config);
+
   std::vector<double> bitrates;
   std::vector<double> low;
   Outcome out{0, 0, 0, 0, 0};
-  for (int profile = 1; profile <= trace::kProfileCount; ++profile) {
-    core::SessionConfig config;
-    config.spec = spec;
-    config.trace = trace::cellular_profile(profile);
-    config.session_duration = 600;
-    config.content_duration = 600;
-    core::SessionResult r = core::run_session(config);
+  for (const batch::CellResult& cell : sweep.cells) {
+    if (!cell.ok) {
+      std::fprintf(stderr, "cell %s failed: %s\n", cell.coordinates().c_str(),
+                   cell.error.c_str());
+      continue;
+    }
+    const core::SessionResult& r = cell.result;
     bitrates.push_back(r.qoe.average_declared_bitrate / 1e6);
     low.push_back(r.qoe.fraction_at_or_below(480));
     out.total_stall += r.qoe.total_stall;
@@ -67,7 +75,17 @@ Outcome evaluate(const services::ServiceSpec& spec) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  int jobs = 0;  // 0: one worker per hardware thread
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: abr_shootout [--jobs N]\n");
+      return 2;
+    }
+  }
+
   struct Variant {
     const char* label;
     bool actual_aware;
@@ -89,7 +107,7 @@ int main() {
       spec.player.sr = player::SrPolicy::kPerSegment;
       spec.player.sr_min_buffer = 10;
     }
-    Outcome o = evaluate(spec);
+    Outcome o = evaluate(spec, jobs);
     std::printf("%-36s %11.2f M %11.1f%% %8.1f s %7.0f MB %9.2f\n", v.label,
                 o.median_bitrate_mbps, o.median_low_fraction * 100,
                 o.total_stall, o.total_data_mb, o.mean_qoe_score);

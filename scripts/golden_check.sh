@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Runs a harness binary and diffs its stdout against a golden snapshot.
+# Usage: golden_check.sh <binary> <golden-file>
+set -euo pipefail
+
+bin="$1"
+golden="$2"
+
+if ! "$bin" | diff -u "$golden" -; then
+  echo >&2
+  echo "golden mismatch for $(basename "$bin")." >&2
+  echo "If the output change is intentional, run scripts/refresh_golden.sh" >&2
+  echo "and commit the updated snapshot." >&2
+  exit 1
+fi

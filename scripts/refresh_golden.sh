@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerates the tests/golden/ snapshots after an *intentional* harness
+# output change. One command, then commit the diff:
+#
+#   ./scripts/refresh_golden.sh            # uses build/ (BUILD_DIR to override)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target bench_table1_design_choices bench_table2_issues
+
+mkdir -p tests/golden
+"$BUILD_DIR/bench/bench_table1_design_choices" > tests/golden/table1.txt
+"$BUILD_DIR/bench/bench_table2_issues" > tests/golden/table2.txt
+echo "refreshed tests/golden/table1.txt and tests/golden/table2.txt"

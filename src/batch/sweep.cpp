@@ -1,0 +1,202 @@
+#include "batch/sweep.h"
+
+#include <mutex>
+
+#include "batch/thread_pool.h"
+#include "common/strings.h"
+#include "core/qoe.h"
+#include "core/report.h"
+
+namespace vodx::batch {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t a, std::uint64_t b,
+                          std::uint64_t c) {
+  std::uint64_t x = base;
+  x = mix64(x ^ (a + 0x9E3779B97F4A7C15ULL));
+  x = mix64(x ^ (b + 0xD1B54A32D192ED03ULL));
+  x = mix64(x ^ (c + 0x8CB92BA72F3D8DD7ULL));
+  return x;
+}
+
+std::uint64_t trace_seed_for(std::uint64_t sweep_seed) {
+  if (sweep_seed == 0) return kLegacyTraceSeed;
+  return derive_seed(kLegacyTraceSeed, sweep_seed, /*b=*/1);
+}
+
+std::uint64_t content_seed_for(std::uint64_t sweep_seed) {
+  if (sweep_seed == 0) return kLegacyContentSeed;
+  return derive_seed(kLegacyContentSeed, sweep_seed, /*b=*/2);
+}
+
+std::string CellResult::coordinates() const {
+  return format("(%s, profile %d, seed %llu)", service.c_str(), profile_id,
+                static_cast<unsigned long long>(seed));
+}
+
+SweepResult run_sweep(const SweepConfig& config) {
+  const std::size_t n_services = config.services.size();
+  const std::size_t n_profiles = config.profiles.size();
+  const std::size_t n_seeds = config.seeds.size();
+  const std::size_t total = n_services * n_profiles * n_seeds;
+
+  SweepResult out;
+  out.cells.resize(total);
+  if (total == 0) return out;
+
+  // Touch every immutable-after-init shared input on this thread, before any
+  // worker exists: the service catalog's magic static and the profile-mean
+  // table. Cells never mutate these; warming them here removes even the
+  // benign first-use races from the TSan picture.
+  services::catalog();
+  for (int id : config.profiles) {
+    if (id >= 1 && id <= trace::kProfileCount) trace::profile_mean(id);
+  }
+
+  // One observer per cell when requested, allocated up front so a worker
+  // only ever touches the observer owned by its claimed index.
+  std::vector<std::unique_ptr<obs::Observer>> observers;
+  if (config.observe) {
+    observers.resize(total);
+    for (auto& o : observers) o = std::make_unique<obs::Observer>();
+  }
+
+  std::mutex progress_mutex;
+  std::size_t done = 0;
+
+  parallel_for(total, config.jobs, [&](std::size_t index) {
+    const std::size_t per_service = n_profiles * n_seeds;
+    CellResult& cell = out.cells[index];
+    cell.cell.service_index = static_cast<int>(index / per_service);
+    cell.cell.profile_index =
+        static_cast<int>((index % per_service) / n_seeds);
+    cell.cell.seed_index = static_cast<int>(index % n_seeds);
+
+    const services::ServiceSpec& spec =
+        config.services[static_cast<std::size_t>(cell.cell.service_index)];
+    cell.service = spec.name;
+    cell.profile_id =
+        config.profiles[static_cast<std::size_t>(cell.cell.profile_index)];
+    cell.seed = config.seeds[static_cast<std::size_t>(cell.cell.seed_index)];
+
+    if (cell.profile_id < 1 || cell.profile_id > trace::kProfileCount) {
+      cell.error = format("profile id %d out of range [1, %d]",
+                          cell.profile_id, trace::kProfileCount);
+    } else {
+      try {
+        core::SessionConfig session;
+        session.spec = spec;
+        session.trace = trace::cellular_profile(cell.profile_id,
+                                                trace_seed_for(cell.seed));
+        session.session_duration = config.session_duration;
+        session.content_duration = config.content_duration;
+        session.content_seed = content_seed_for(cell.seed);
+        session.qoe_options = config.qoe_options;
+        if (config.observe) session.observer = observers[index].get();
+        cell.result = core::run_session(session);
+        cell.ok = true;
+      } catch (const std::exception& e) {
+        cell.error = e.what();
+      }
+    }
+
+    if (config.progress) {
+      std::lock_guard<std::mutex> lock(progress_mutex);
+      config.progress(cell, ++done, total);
+    }
+  });
+
+  for (const CellResult& cell : out.cells) {
+    if (!cell.ok) ++out.failed;
+  }
+  if (config.observe) {
+    for (std::size_t i = 0; i < total; ++i) {
+      config.observe(out.cells[i], *observers[i]);
+    }
+  }
+  return out;
+}
+
+SweepConfig full_grid() {
+  SweepConfig config;
+  config.services = services::catalog();
+  config.profiles = all_profile_ids();
+  return config;
+}
+
+std::vector<int> all_profile_ids() {
+  std::vector<int> ids;
+  ids.reserve(trace::kProfileCount);
+  for (int id = 1; id <= trace::kProfileCount; ++id) ids.push_back(id);
+  return ids;
+}
+
+std::string sweep_csv(const SweepResult& result) {
+  // Reuse the session CSV columns; the "label" column becomes the three
+  // coordinate columns.
+  std::string header = core::qoe_csv_header();
+  const std::string label_prefix = "label,";
+  if (starts_with(header, label_prefix)) header.erase(0, label_prefix.size());
+  std::string out = "service,profile,seed," + header;
+  for (const CellResult& cell : result.cells) {
+    if (!cell.ok) continue;
+    out += core::qoe_csv_row(
+        format("%s,%d,%llu", cell.service.c_str(), cell.profile_id,
+               static_cast<unsigned long long>(cell.seed)),
+        cell.result);
+  }
+  return out;
+}
+
+std::string sweep_jsonl(const SweepResult& result) {
+  std::string out;
+  for (const CellResult& cell : result.cells) {
+    out += format(R"({"service":"%s","profile":%d,"seed":%llu,)",
+                  cell.service.c_str(), cell.profile_id,
+                  static_cast<unsigned long long>(cell.seed));
+    if (!cell.ok) {
+      // Error text is free-form; escape the two characters that can break
+      // a JSON string literal coming from our own error messages.
+      std::string escaped;
+      for (char c : cell.error) {
+        if (c == '"' || c == '\\') escaped += '\\';
+        escaped += c;
+      }
+      out += format(R"("ok":false,"error":"%s"})", escaped.c_str());
+    } else {
+      const core::QoeReport& q = cell.result.qoe;
+      out += format(
+          R"("ok":true,"startup_delay_s":%.2f,"stall_count":%d,)"
+          R"("stall_time_s":%.2f,"avg_declared_bitrate_bps":%.0f,)"
+          R"("low_quality_fraction":%.4f,"switches":%d,)"
+          R"("nonconsecutive_switches":%d,"media_bytes":%lld,)"
+          R"("total_bytes":%lld,"wasted_bytes":%lld,"qoe_score":%.3f,)"
+          R"("final_state":"%s","session_end_s":%.2f})",
+          q.startup_delay, q.stall_count, q.total_stall,
+          q.average_declared_bitrate, q.low_quality_fraction, q.switch_count,
+          q.nonconsecutive_switch_count,
+          static_cast<long long>(q.media_bytes),
+          static_cast<long long>(q.total_bytes),
+          static_cast<long long>(q.wasted_bytes),
+          core::qoe_score(q, cell.result.session_end),
+          player::to_string(cell.result.final_state),
+          cell.result.session_end);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace vodx::batch

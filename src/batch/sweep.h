@@ -1,0 +1,127 @@
+// Deterministic parallel sweep engine.
+//
+// A sweep is the cross-product (service × cellular profile × sweep seed)
+// run through core::run_session, one independent simulation per cell. The
+// engine guarantees:
+//
+//   * Determinism: a cell's entire RNG material (bandwidth-trace seed,
+//     content seed) derives from the cell's coordinates and the sweep seed —
+//     never from thread identity, scheduling order, or wall-clock time.
+//   * Ordered aggregation: results are collected into grid order
+//     (service-major, then profile, then seed), so serialized output from
+//     `--jobs N` is byte-identical to `--jobs 1`.
+//   * Isolation: every cell builds its own net::Simulator, origin, proxy,
+//     player and (optionally) obs::Observer. Nothing mutable is shared
+//     across cells; the only cross-thread state is the engine's own work
+//     cursor. Shared inputs (services::catalog(), profile definitions) are
+//     immutable after initialisation and are warmed before workers spawn.
+//   * Failure containment: a cell that cannot run (bad profile id, config
+//     error, session exception) yields a CellResult with ok=false and its
+//     coordinates; the rest of the grid still runs.
+//
+// See DESIGN.md §8 for the full determinism contract.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+#include "obs/observer.h"
+#include "services/service_catalog.h"
+#include "trace/cellular_profiles.h"
+
+namespace vodx::batch {
+
+/// The trace/content seeds the rest of the repo has always used; sweep seed
+/// 0 maps to exactly these so a seed-0 sweep reproduces the historical
+/// single-threaded harness output byte for byte.
+inline constexpr std::uint64_t kLegacyTraceSeed = 2017;
+inline constexpr std::uint64_t kLegacyContentSeed = 42;
+
+/// Mixes a base seed with up to three coordinate tags (splitmix64
+/// finalizer). Pure function of its arguments: same coordinates, same seed,
+/// on any thread, in any order.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t a,
+                          std::uint64_t b = 0, std::uint64_t c = 0);
+
+/// The bandwidth-trace seed for sweep seed `s` (s == 0 -> kLegacyTraceSeed).
+std::uint64_t trace_seed_for(std::uint64_t sweep_seed);
+
+/// The content seed for sweep seed `s` (s == 0 -> kLegacyContentSeed).
+std::uint64_t content_seed_for(std::uint64_t sweep_seed);
+
+/// Grid coordinates of one experiment cell (indices into SweepConfig's
+/// services / profiles / seeds vectors).
+struct Cell {
+  int service_index = 0;
+  int profile_index = 0;
+  int seed_index = 0;
+};
+
+struct CellResult {
+  Cell cell;
+  std::string service;     ///< spec name (or the raw token if unresolvable)
+  int profile_id = 0;      ///< 1-based profile id as requested
+  std::uint64_t seed = 0;  ///< sweep seed value
+
+  bool ok = false;
+  std::string error;  ///< populated when !ok
+
+  core::SessionResult result;  ///< valid only when ok
+
+  /// "(H1, profile 7, seed 0)" — the coordinate string used in diagnostics.
+  std::string coordinates() const;
+};
+
+struct SweepConfig {
+  std::vector<services::ServiceSpec> services;
+  std::vector<int> profiles;               ///< 1-based Fig.-3 profile ids
+  std::vector<std::uint64_t> seeds = {0};  ///< 0 = paper-default seeds
+
+  Seconds session_duration = 600;
+  Seconds content_duration = 600;
+  core::QoeOptions qoe_options;
+
+  /// Worker threads; 0 = one per hardware thread. Output is identical for
+  /// every value.
+  int jobs = 1;
+
+  /// When set, each cell runs with its own obs::Observer and the callback is
+  /// invoked once per cell *after* the whole grid has finished, in grid
+  /// order (single-threaded, deterministic).
+  std::function<void(const CellResult&, const obs::Observer&)> observe;
+
+  /// Optional completion ticker for progress display. Invoked from worker
+  /// threads (serialized by the engine) in *completion* order, which is not
+  /// deterministic — do not derive results from it.
+  std::function<void(const CellResult&, std::size_t done, std::size_t total)>
+      progress;
+};
+
+struct SweepResult {
+  std::vector<CellResult> cells;  ///< grid order, one per cell
+  int failed = 0;                 ///< number of cells with ok == false
+};
+
+/// Expands the grid and runs every cell, honouring the guarantees above.
+SweepResult run_sweep(const SweepConfig& config);
+
+/// All 12 catalog services × all 14 profiles × seed 0 with paper-default
+/// durations — the full-artefact sweep.
+SweepConfig full_grid();
+
+/// {1, 2, ..., trace::kProfileCount}.
+std::vector<int> all_profile_ids();
+
+/// CSV of all successful cells in grid order: "service,profile,seed," +
+/// the core QoE columns. Byte-stable across job counts and repeat runs.
+std::string sweep_csv(const SweepResult& result);
+
+/// One JSON object per cell (including failed cells, which carry an
+/// "error" member instead of metrics), grid order, byte-stable.
+std::string sweep_jsonl(const SweepResult& result);
+
+}  // namespace vodx::batch

@@ -1,0 +1,41 @@
+// Fixed-size worker pool for deterministic fan-out.
+//
+// The pool runs an indexed loop body over N workers. Work is handed out
+// through an atomic cursor, so which worker executes which index is
+// scheduler-dependent — everything built on top of this must therefore key
+// results (and RNG seeds) on the *index*, never on the executing thread.
+// parallel_map() encodes that rule: results land in a pre-sized vector slot
+// owned exclusively by their index, making output order independent of
+// execution order.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace vodx::batch {
+
+/// Resolves a user-facing job count: values >= 1 are honoured as-is, 0 means
+/// "one per hardware thread" (and at least 1 when the runtime reports 0).
+int resolve_jobs(int jobs);
+
+/// Runs fn(0), fn(1), ..., fn(count-1) across `jobs` workers (resolved via
+/// resolve_jobs) and blocks until every index has completed. Each index runs
+/// exactly once. If any invocation throws, the exception raised by the
+/// lowest index is rethrown after all workers have drained — deterministic
+/// regardless of which worker hit it first.
+void parallel_for(std::size_t count, int jobs,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Maps fn over [0, count) preserving index order in the returned vector.
+/// R must be default-constructible; slot i is written only by the worker
+/// that claimed index i.
+template <typename R>
+std::vector<R> parallel_map(std::size_t count, int jobs,
+                            const std::function<R(std::size_t)>& fn) {
+  std::vector<R> out(count);
+  parallel_for(count, jobs, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace vodx::batch

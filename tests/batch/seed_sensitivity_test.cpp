@@ -1,0 +1,72 @@
+// Seed sensitivity: different sweep seeds must produce *different* channel
+// and content realisations (catching accidental RNG sharing or seed
+// collapse across cells) while staying inside the documented tolerance
+// bands for the reference player on a mid-tier profile — the realisations
+// vary, the regime does not. Bands are documented in DESIGN.md §8.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "batch/sweep.h"
+#include "common/stats.h"
+#include "support.h"
+
+namespace vodx::batch {
+namespace {
+
+SweepResult reference_sweep() {
+  SweepConfig config;
+  config.services = {bench::reference_player_spec()};
+  config.profiles = {7};  // ~5.5 Mbps mean, comfortably above the ladder mid
+  config.seeds = {0, 1, 2, 3, 4};
+  config.jobs = 4;
+  return run_sweep(config);
+}
+
+TEST(SeedSensitivity, DifferentSeedsGiveDifferentRealisations) {
+  const SweepResult sweep = reference_sweep();
+  ASSERT_EQ(sweep.cells.size(), 5u);
+  std::set<long long> bytes;
+  std::set<double> bitrates;
+  for (const CellResult& cell : sweep.cells) {
+    ASSERT_TRUE(cell.ok) << cell.coordinates() << ": " << cell.error;
+    bytes.insert(static_cast<long long>(cell.result.qoe.total_bytes));
+    bitrates.insert(cell.result.qoe.average_declared_bitrate);
+  }
+  // If seeds were collapsing (every cell fed the same RNG material), these
+  // sets would have one element.
+  EXPECT_GT(bytes.size(), 1u);
+  EXPECT_GT(bitrates.size(), 1u);
+}
+
+TEST(SeedSensitivity, QoeStaysWithinToleranceBands) {
+  const SweepResult sweep = reference_sweep();
+  std::vector<double> bitrates;
+  for (const CellResult& cell : sweep.cells) {
+    ASSERT_TRUE(cell.ok) << cell.coordinates() << ": " << cell.error;
+    bitrates.push_back(cell.result.qoe.average_declared_bitrate);
+  }
+  const double med = median(bitrates);
+  ASSERT_GT(med, 0);
+
+  for (const CellResult& cell : sweep.cells) {
+    const core::QoeReport& q = cell.result.qoe;
+    // Startup: the reference player needs 10 s of buffer; on ~5.5 Mbps that
+    // is seconds, not tens of seconds, under any seed.
+    EXPECT_GE(q.startup_delay, 0) << cell.coordinates();
+    EXPECT_LE(q.startup_delay, 20.0) << cell.coordinates();
+    // Quality: seeds shuffle the fades, not the mean bandwidth, so the
+    // chosen bitrate stays within ±60% of the cross-seed median.
+    EXPECT_GE(q.average_declared_bitrate, 0.4 * med) << cell.coordinates();
+    EXPECT_LE(q.average_declared_bitrate, 1.6 * med) << cell.coordinates();
+    // Stalls: profile 7 leaves headroom; a seed change must never push the
+    // reference player into a stall-dominated regime.
+    EXPECT_LE(q.total_stall, 60.0) << cell.coordinates();
+    EXPECT_LE(q.stall_count, 12) << cell.coordinates();
+  }
+}
+
+}  // namespace
+}  // namespace vodx::batch

@@ -1,0 +1,75 @@
+#include "batch/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace vodx::batch {
+namespace {
+
+TEST(BatchPool, ResolveJobsHonoursExplicitCounts) {
+  EXPECT_EQ(resolve_jobs(1), 1);
+  EXPECT_EQ(resolve_jobs(7), 7);
+}
+
+TEST(BatchPool, ResolveJobsZeroMeansHardware) {
+  EXPECT_GE(resolve_jobs(0), 1);
+  EXPECT_GE(resolve_jobs(-3), 1);
+}
+
+TEST(BatchPool, RunsEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  parallel_for(kCount, 8, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(BatchPool, MoreWorkersThanItems) {
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for(3, 16, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(hits[0].load() + hits[1].load() + hits[2].load(), 3);
+}
+
+TEST(BatchPool, ZeroItemsIsANoop) {
+  bool ran = false;
+  parallel_for(0, 4, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(BatchPool, ParallelMapPreservesIndexOrder) {
+  const std::vector<int> out = parallel_map<int>(
+      257, 7, [](std::size_t i) { return static_cast<int>(i * i); });
+  ASSERT_EQ(out.size(), 257u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(BatchPool, RethrowsTheLowestFailingIndex) {
+  // Indices 11 and 37 both fail; whichever worker hits them, the exception
+  // that escapes must be the one from index 11.
+  for (int jobs : {1, 4}) {
+    try {
+      parallel_for(100, jobs, [](std::size_t i) {
+        if (i == 11 || i == 37) {
+          throw std::runtime_error("boom@" + std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception (jobs=" << jobs << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom@11") << "jobs=" << jobs;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vodx::batch

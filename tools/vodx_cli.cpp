@@ -9,6 +9,7 @@
 //   vodx dissect <svc>             — black-box Table-1 row for a service
 //   vodx trace <profile> [out]     — emit a cellular profile as text
 //   vodx energy <svc> [profile]    — RRC radio-energy analysis (§3.3.2)
+//   vodx sweep [...]               — parallel (service × profile × seed) grid
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -16,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "batch/sweep.h"
 #include "common/error.h"
 #include "common/strings.h"
 #include "common/table.h"
@@ -43,7 +45,13 @@ int usage() {
       "            [--metrics-out f.txt]\n"
       "  vodx dissect <service>\n"
       "  vodx trace <profile> [out.txt]\n"
-      "  vodx energy <service> [profile=7]\n");
+      "  vodx energy <service> [profile=7]\n"
+      "  vodx sweep [--services all|H1,D2,...] [--profiles all|1-14|2,5]\n"
+      "             [--seeds 0|0-4|1,7] [--jobs N] [--duration secs]\n"
+      "             [--csv out.csv] [--jsonl out.jsonl] [--progress]\n"
+      "        runs the grid in parallel; output is byte-identical for\n"
+      "        every --jobs value. Default: full 12x14 grid, seed 0,\n"
+      "        one worker per hardware thread, CSV on stdout.\n");
   return 2;
 }
 
@@ -229,6 +237,140 @@ int cmd_energy(const std::string& service, int profile) {
   return 0;
 }
 
+/// Expands "all", "3", "1-5" and comma-joined mixes of those into a list of
+/// integers; malformed tokens are reported to stderr and skipped.
+std::vector<std::int64_t> parse_int_list(const std::string& text,
+                                         std::int64_t all_lo,
+                                         std::int64_t all_hi,
+                                         const char* what) {
+  std::vector<std::int64_t> out;
+  for (const std::string& token : split(text, ',')) {
+    const std::string t(trim(token));
+    if (t.empty()) continue;
+    if (t == "all") {
+      for (std::int64_t v = all_lo; v <= all_hi; ++v) out.push_back(v);
+      continue;
+    }
+    try {
+      const std::size_t dash = t.find('-', 1);  // allow negative first number
+      if (dash == std::string::npos) {
+        out.push_back(parse_int(t));
+      } else {
+        const std::int64_t lo = parse_int(t.substr(0, dash));
+        const std::int64_t hi = parse_int(t.substr(dash + 1));
+        for (std::int64_t v = lo; v <= hi; ++v) out.push_back(v);
+      }
+    } catch (const Error&) {
+      std::fprintf(stderr, "sweep: bad %s token \"%s\" — skipped\n", what,
+                   t.c_str());
+    }
+  }
+  return out;
+}
+
+int cmd_sweep(int argc, char** argv) {
+  batch::SweepConfig config = batch::full_grid();
+  config.jobs = 0;  // one worker per hardware thread
+  std::string csv_path;
+  std::string jsonl_path;
+  bool progress = false;
+
+  for (int i = 0; i < argc; ++i) {
+    auto value = [&](const char* flag) -> const char* {
+      if (std::strcmp(argv[i], flag) != 0) return nullptr;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (const char* v = value("--services")) {
+      config.services.clear();
+      for (const std::string& token : split(v, ',')) {
+        const std::string name(trim(token));
+        if (name.empty()) continue;
+        if (name == "all") {
+          config.services = services::catalog();
+          continue;
+        }
+        try {
+          config.services.push_back(services::service(name));
+        } catch (const Error& e) {
+          std::fprintf(stderr, "sweep: cell (%s, *, *): %s — skipped\n",
+                       name.c_str(), e.what());
+        }
+      }
+    } else if (const char* v = value("--profiles")) {
+      // Out-of-range ids are kept: they become per-cell failures reported
+      // with their coordinates, so one bad id never aborts the grid.
+      config.profiles.clear();
+      for (std::int64_t id :
+           parse_int_list(v, 1, trace::kProfileCount, "profile")) {
+        config.profiles.push_back(static_cast<int>(id));
+      }
+    } else if (const char* v = value("--seeds")) {
+      config.seeds.clear();
+      for (std::int64_t seed : parse_int_list(v, 0, 0, "seed")) {
+        config.seeds.push_back(static_cast<std::uint64_t>(seed));
+      }
+    } else if (const char* v = value("--jobs")) {
+      config.jobs = std::atoi(v);
+    } else if (const char* v = value("--duration")) {
+      config.session_duration = parse_double(v);
+    } else if (const char* v = value("--csv")) {
+      csv_path = v;
+    } else if (const char* v = value("--jsonl")) {
+      jsonl_path = v;
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      progress = true;
+    } else {
+      std::fprintf(stderr, "error: unknown or incomplete option %s\n",
+                   argv[i]);
+      return usage();
+    }
+  }
+  if (config.services.empty() || config.profiles.empty() ||
+      config.seeds.empty()) {
+    std::fprintf(stderr, "error: empty sweep grid\n");
+    return 2;
+  }
+
+  if (progress) {
+    config.progress = [](const batch::CellResult& cell, std::size_t done,
+                         std::size_t total) {
+      std::fprintf(stderr, "\r[%zu/%zu] %s%s", done, total,
+                   cell.coordinates().c_str(), done == total ? "\n" : "   ");
+    };
+  }
+
+  batch::SweepResult result = batch::run_sweep(config);
+
+  for (const batch::CellResult& cell : result.cells) {
+    if (!cell.ok) {
+      std::fprintf(stderr, "sweep: cell %s failed: %s\n",
+                   cell.coordinates().c_str(), cell.error.c_str());
+    }
+  }
+
+  const std::string csv = batch::sweep_csv(result);
+  if (csv_path.empty()) {
+    std::fputs(csv.c_str(), stdout);
+  } else {
+    std::ofstream out(csv_path);
+    if (!out) throw Error(format("cannot write %s", csv_path.c_str()));
+    out << csv;
+    std::fprintf(stderr, "wrote %s (%zu cells, %d failed)\n", csv_path.c_str(),
+                 result.cells.size(), result.failed);
+  }
+  if (!jsonl_path.empty()) {
+    std::ofstream out(jsonl_path);
+    if (!out) throw Error(format("cannot write %s", jsonl_path.c_str()));
+    out << batch::sweep_jsonl(result);
+    std::fprintf(stderr, "wrote %s\n", jsonl_path.c_str());
+  }
+  return result.failed > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -246,6 +388,7 @@ int main(int argc, char** argv) {
     if (command == "energy" && argc >= 3) {
       return cmd_energy(argv[2], argc >= 4 ? std::atoi(argv[3]) : 7);
     }
+    if (command == "sweep") return cmd_sweep(argc - 2, argv + 2);
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
