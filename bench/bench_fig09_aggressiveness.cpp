@@ -27,7 +27,8 @@ int main() {
     std::vector<std::string> row{format("%.2f", bw_mbps)};
     for (const char* name : names) {
       core::SteadyStateProbe probe = core::probe_steady_state(
-          services::service(name), bw_mbps * 1e6, 420, 100);
+          services::service(name),
+          {.bandwidth = bw_mbps * 1e6, .duration = 420, .warmup = 100});
       row.push_back(format("%.2f (%.2fx)",
                            probe.modal_declared_bitrate / 1e6,
                            probe.declared_over_bandwidth));

@@ -23,7 +23,8 @@ int main() {
   bool all_same = true;
   for (double bw_mbps : {1.0, 1.5, 2.0, 3.0}) {
     core::DeclaredVsActualProbe probe =
-        core::probe_declared_vs_actual(d2, bw_mbps * 1e6, 420);
+        core::probe_declared_vs_actual(
+            d2, {.bandwidth = bw_mbps * 1e6, .duration = 420});
     all_same = all_same && probe.declared_only;
     table.add_row({format("%.1f Mbps", bw_mbps),
                    bench::fmt_mbps(probe.selected_declared_variant1) + " Mbps",
@@ -33,7 +34,7 @@ int main() {
   table.print();
 
   core::DeclaredVsActualProbe at2 =
-      core::probe_declared_vs_actual(d2, 2 * kMbps, 600);
+      core::probe_declared_vs_actual(d2, {.bandwidth = 2 * kMbps});
 
   std::printf("\n");
   bench::compare("selected tracks identical across variants", "yes",
@@ -48,7 +49,8 @@ int main() {
   aware.name = "D2-actual-aware";
   aware.player.use_actual_bitrate = true;
   core::DeclaredVsActualProbe aware_probe =
-      core::probe_declared_vs_actual(aware, 2 * kMbps, 420);
+      core::probe_declared_vs_actual(
+          aware, {.bandwidth = 2 * kMbps, .duration = 420});
   std::printf("\n");
   bench::compare("actual-aware control picks different declared bitrates",
                  "(implied)", aware_probe.declared_only ? "no" : "yes");

@@ -52,7 +52,8 @@ int main() {
         batch::parallel_map<core::DeclaredVsActualProbe>(
             names.size(), bench::harness_jobs(), [&](std::size_t i) {
               return core::probe_declared_vs_actual(
-                  services::service(names[i]), 2 * kMbps, 300);
+                  services::service(names[i]),
+                  {.bandwidth = 2 * kMbps, .duration = 300});
             });
     for (std::size_t i = 0; i < names.size(); ++i) {
       // Ignoring actual bitrates only *hurts* when the declared-actual gap
@@ -185,7 +186,8 @@ int main() {
         batch::parallel_map<core::SteadyStateProbe>(
             specs.size(), bench::harness_jobs(), [&](std::size_t i) {
               return core::probe_steady_state(
-                  specs[i], 0.5 * specs[i].video_ladder.back());
+                  specs[i],
+                  {.bandwidth = 0.5 * specs[i].video_ladder.back()});
             });
     for (std::size_t i = 0; i < specs.size(); ++i) {
       if (!probes[i].converged) detected.insert(specs[i].name);

@@ -10,13 +10,11 @@
 // session over the default cellular profile and exports the structured
 // timeline (chrome://tracing / Perfetto) and the metrics summary.
 #include <cstdio>
-#include <cstring>
-#include <fstream>
 
+#include "arg_parse.h"
 #include "core/blackbox.h"
 #include "core/design_inference.h"
 #include "core/session.h"
-#include "obs/export.h"
 #include "obs/observer.h"
 #include "trace/cellular_profiles.h"
 
@@ -25,37 +23,37 @@ using namespace vodx;
 namespace {
 
 void run_observed_session(const services::ServiceSpec& spec,
-                          const std::string& trace_out,
-                          const std::string& metrics_out) {
+                          const tools::ObsOutputs& outputs) {
   obs::Observer observer;
   core::SessionConfig config;
   config.spec = spec;
   config.trace = trace::cellular_profile(7);
   config.observer = &observer;
   core::SessionResult result = core::run_session(config);
-
-  if (!trace_out.empty()) {
-    std::ofstream out(trace_out);
-    obs::write_chrome_trace(observer.trace, out);
-    std::printf("\nwrote %s (%zu events; open in https://ui.perfetto.dev)\n",
-                trace_out.c_str(), observer.trace.size());
-  }
-  if (!metrics_out.empty()) {
-    std::ofstream out(metrics_out);
-    out << obs::metrics_report(observer.metrics.snapshot(result.session_end));
-    std::printf("wrote %s\n", metrics_out.c_str());
-  }
+  outputs.write(observer, result.session_end);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string name = argc > 1 && argv[1][0] != '-' ? argv[1] : "D2";
-  std::string trace_out;
-  std::string metrics_out;
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--trace-out") == 0) trace_out = argv[i + 1];
-    if (std::strcmp(argv[i], "--metrics-out") == 0) metrics_out = argv[i + 1];
+  tools::Args args(argc - 1, argv + 1);
+  std::string name = "D2";
+  tools::ObsOutputs outputs;
+  while (!args.done()) {
+    if (outputs.parse(args)) {
+      // consumed a --*-out flag and its value
+    } else if (const char* service = args.positional()) {
+      name = service;
+    } else {
+      args.unknown();
+    }
+  }
+  if (args.failed()) {
+    std::fprintf(stderr,
+                 "usage: dissect_service [service] [--trace-out f.json]\n"
+                 "                       [--events-out f.jsonl]"
+                 " [--metrics-out f.txt]\n");
+    return 2;
   }
   const services::ServiceSpec& spec = services::service(name);
 
@@ -103,8 +101,6 @@ int main(int argc, char** argv) {
                 probe.bandwidth_utilization * 100);
   }
 
-  if (!trace_out.empty() || !metrics_out.empty()) {
-    run_observed_session(spec, trace_out, metrics_out);
-  }
+  if (outputs.wanted()) run_observed_session(spec, outputs);
   return 0;
 }

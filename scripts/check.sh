@@ -8,7 +8,7 @@
 #                                          # the batch/sweep tests
 #   ./scripts/check.sh --labels unit       # only tests with a matching
 #                                          # ctest label (unit|integration|
-#                                          # golden; regex accepted)
+#                                          # golden|faults; regex accepted)
 #   BUILD_DIR=out ./scripts/check.sh       # custom build directory
 set -euo pipefail
 
@@ -35,7 +35,7 @@ while [[ $# -gt 0 ]]; do
       BUILD_DIR="${BUILD_DIR}-tsan"
       CMAKE_ARGS+=(-DVODX_SANITIZE=thread)
       export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
-      NAME_FILTER='^(BatchPool|SweepEngine|SweepDeterminism|SeedSensitivity)'
+      NAME_FILTER='^(BatchPool|SweepEngine|SweepDeterminism|SeedSensitivity|FaultSweepDeterminism)'
       ;;
     --labels)
       [[ $# -ge 2 ]] || { echo "error: --labels needs a regex" >&2; exit 2; }

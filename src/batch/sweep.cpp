@@ -6,6 +6,7 @@
 #include "common/strings.h"
 #include "core/qoe.h"
 #include "core/report.h"
+#include "faults/fault_plan.h"
 
 namespace vodx::batch {
 
@@ -41,16 +42,30 @@ std::uint64_t content_seed_for(std::uint64_t sweep_seed) {
   return derive_seed(kLegacyContentSeed, sweep_seed, /*b=*/2);
 }
 
+std::uint64_t fault_seed_for(std::uint64_t sweep_seed, int service_index,
+                             int profile_index, int fault_index) {
+  // Chained so the fault schedule decorrelates across *all* coordinates:
+  // the same scenario on a neighbouring profile draws a different schedule.
+  return derive_seed(derive_seed(sweep_seed, /*a=*/3),
+                     static_cast<std::uint64_t>(service_index),
+                     static_cast<std::uint64_t>(profile_index),
+                     static_cast<std::uint64_t>(fault_index));
+}
+
 std::string CellResult::coordinates() const {
-  return format("(%s, profile %d, seed %llu)", service.c_str(), profile_id,
-                static_cast<unsigned long long>(seed));
+  std::string out =
+      format("(%s, profile %d, seed %llu", service.c_str(), profile_id,
+             static_cast<unsigned long long>(seed));
+  if (fault != "none") out += format(", fault %s", fault.c_str());
+  return out + ")";
 }
 
 SweepResult run_sweep(const SweepConfig& config) {
   const std::size_t n_services = config.services.size();
   const std::size_t n_profiles = config.profiles.size();
   const std::size_t n_seeds = config.seeds.size();
-  const std::size_t total = n_services * n_profiles * n_seeds;
+  const std::size_t n_faults = config.fault_scenarios.size();
+  const std::size_t total = n_services * n_profiles * n_seeds * n_faults;
 
   SweepResult out;
   out.cells.resize(total);
@@ -77,12 +92,15 @@ SweepResult run_sweep(const SweepConfig& config) {
   std::size_t done = 0;
 
   parallel_for(total, config.jobs, [&](std::size_t index) {
-    const std::size_t per_service = n_profiles * n_seeds;
+    const std::size_t per_service = n_profiles * n_seeds * n_faults;
+    const std::size_t per_profile = n_seeds * n_faults;
     CellResult& cell = out.cells[index];
     cell.cell.service_index = static_cast<int>(index / per_service);
     cell.cell.profile_index =
-        static_cast<int>((index % per_service) / n_seeds);
-    cell.cell.seed_index = static_cast<int>(index % n_seeds);
+        static_cast<int>((index % per_service) / per_profile);
+    cell.cell.seed_index =
+        static_cast<int>((index % per_profile) / n_faults);
+    cell.cell.fault_index = static_cast<int>(index % n_faults);
 
     const services::ServiceSpec& spec =
         config.services[static_cast<std::size_t>(cell.cell.service_index)];
@@ -90,6 +108,8 @@ SweepResult run_sweep(const SweepConfig& config) {
     cell.profile_id =
         config.profiles[static_cast<std::size_t>(cell.cell.profile_index)];
     cell.seed = config.seeds[static_cast<std::size_t>(cell.cell.seed_index)];
+    cell.fault = config.fault_scenarios[static_cast<std::size_t>(
+        cell.cell.fault_index)];
 
     if (cell.profile_id < 1 || cell.profile_id > trace::kProfileCount) {
       cell.error = format("profile id %d out of range [1, %d]",
@@ -104,6 +124,15 @@ SweepResult run_sweep(const SweepConfig& config) {
         session.content_duration = config.content_duration;
         session.content_seed = content_seed_for(cell.seed);
         session.qoe_options = config.qoe_options;
+        if (cell.fault != "none") {
+          // Unknown scenario names throw ConfigError here and become a
+          // per-cell failure with coordinates, like a bad profile id.
+          faults::FaultPlan plan = faults::scenario(cell.fault);
+          plan.seed = fault_seed_for(cell.seed, cell.cell.service_index,
+                                     cell.cell.profile_index,
+                                     cell.cell.fault_index);
+          session.fault_plan = std::move(plan);
+        }
         if (config.observe) session.observer = observers[index].get();
         cell.result = core::run_session(session);
         cell.ok = true;
@@ -149,12 +178,13 @@ std::string sweep_csv(const SweepResult& result) {
   std::string header = core::qoe_csv_header();
   const std::string label_prefix = "label,";
   if (starts_with(header, label_prefix)) header.erase(0, label_prefix.size());
-  std::string out = "service,profile,seed," + header;
+  std::string out = "service,profile,seed,fault," + header;
   for (const CellResult& cell : result.cells) {
     if (!cell.ok) continue;
     out += core::qoe_csv_row(
-        format("%s,%d,%llu", cell.service.c_str(), cell.profile_id,
-               static_cast<unsigned long long>(cell.seed)),
+        format("%s,%d,%llu,%s", cell.service.c_str(), cell.profile_id,
+               static_cast<unsigned long long>(cell.seed),
+               cell.fault.c_str()),
         cell.result);
   }
   return out;
@@ -163,9 +193,10 @@ std::string sweep_csv(const SweepResult& result) {
 std::string sweep_jsonl(const SweepResult& result) {
   std::string out;
   for (const CellResult& cell : result.cells) {
-    out += format(R"({"service":"%s","profile":%d,"seed":%llu,)",
+    out += format(R"({"service":"%s","profile":%d,"seed":%llu,"fault":"%s",)",
                   cell.service.c_str(), cell.profile_id,
-                  static_cast<unsigned long long>(cell.seed));
+                  static_cast<unsigned long long>(cell.seed),
+                  cell.fault.c_str());
     if (!cell.ok) {
       // Error text is free-form; escape the two characters that can break
       // a JSON string literal coming from our own error messages.

@@ -1,8 +1,8 @@
 // Deterministic parallel sweep engine.
 //
-// A sweep is the cross-product (service × cellular profile × sweep seed)
-// run through core::run_session, one independent simulation per cell. The
-// engine guarantees:
+// A sweep is the cross-product (service × cellular profile × sweep seed ×
+// fault scenario) run through core::run_session, one independent simulation
+// per cell. The engine guarantees:
 //
 //   * Determinism: a cell's entire RNG material (bandwidth-trace seed,
 //     content seed) derives from the cell's coordinates and the sweep seed —
@@ -53,12 +53,19 @@ std::uint64_t trace_seed_for(std::uint64_t sweep_seed);
 /// The content seed for sweep seed `s` (s == 0 -> kLegacyContentSeed).
 std::uint64_t content_seed_for(std::uint64_t sweep_seed);
 
+/// The FaultPlan seed for one cell: a pure function of the sweep seed and
+/// the cell's grid coordinates, so every (service, profile, fault) cell
+/// draws an independent but reproducible fault schedule.
+std::uint64_t fault_seed_for(std::uint64_t sweep_seed, int service_index,
+                             int profile_index, int fault_index);
+
 /// Grid coordinates of one experiment cell (indices into SweepConfig's
-/// services / profiles / seeds vectors).
+/// services / profiles / seeds / fault_scenarios vectors).
 struct Cell {
   int service_index = 0;
   int profile_index = 0;
   int seed_index = 0;
+  int fault_index = 0;
 };
 
 struct CellResult {
@@ -66,13 +73,15 @@ struct CellResult {
   std::string service;     ///< spec name (or the raw token if unresolvable)
   int profile_id = 0;      ///< 1-based profile id as requested
   std::uint64_t seed = 0;  ///< sweep seed value
+  std::string fault = "none";  ///< fault scenario name
 
   bool ok = false;
   std::string error;  ///< populated when !ok
 
   core::SessionResult result;  ///< valid only when ok
 
-  /// "(H1, profile 7, seed 0)" — the coordinate string used in diagnostics.
+  /// "(H1, profile 7, seed 0)" — the coordinate string used in diagnostics;
+  /// ", fault <name>" is appended when a non-trivial scenario is set.
   std::string coordinates() const;
 };
 
@@ -80,6 +89,11 @@ struct SweepConfig {
   std::vector<services::ServiceSpec> services;
   std::vector<int> profiles;               ///< 1-based Fig.-3 profile ids
   std::vector<std::uint64_t> seeds = {0};  ///< 0 = paper-default seeds
+
+  /// Fault scenarios by catalog name (faults::scenario()); "none" runs the
+  /// cell without a fault plan. The fault axis is innermost, so the default
+  /// single-entry vector leaves the legacy grid order untouched.
+  std::vector<std::string> fault_scenarios = {"none"};
 
   Seconds session_duration = 600;
   Seconds content_duration = 600;
@@ -116,8 +130,8 @@ SweepConfig full_grid();
 /// {1, 2, ..., trace::kProfileCount}.
 std::vector<int> all_profile_ids();
 
-/// CSV of all successful cells in grid order: "service,profile,seed," +
-/// the core QoE columns. Byte-stable across job counts and repeat runs.
+/// CSV of all successful cells in grid order: "service,profile,seed,fault,"
+/// + the core QoE columns. Byte-stable across job counts and repeat runs.
 std::string sweep_csv(const SweepResult& result);
 
 /// One JSON object per cell (including failed cells, which carry an

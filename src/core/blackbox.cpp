@@ -52,32 +52,53 @@ SteadyStats steady_stats(const AnalyzedTraffic& traffic, Seconds warmup,
 
 }  // namespace
 
-std::function<http::Proxy::RejectHook(http::Proxy&)>
-reject_after_n_video_segments(int allow) {
-  return [allow](http::Proxy& proxy) -> http::Proxy::RejectHook {
-    auto classifier = std::make_shared<SegmentClassifier>(proxy.log());
-    auto allowed = std::make_shared<std::set<int>>();
-    return [classifier, allowed, allow](const http::Request& request) {
-      std::optional<SegmentRef> ref =
-          classifier->classify(request.url, request.range);
-      if (!ref || ref->type != media::ContentType::kVideo) return false;
-      if (allowed->count(ref->index) > 0) return false;
-      if (static_cast<int>(allowed->size()) < allow) {
-        allowed->insert(ref->index);
-        return false;
-      }
-      return true;
-    };
-  };
+namespace {
+
+/// Interceptor behind reject_after_n_video_segments: binds a
+/// SegmentClassifier to the proxy's live traffic log at attach() time, then
+/// rejects every video segment beyond the first `allow` distinct indices.
+class RejectAfterNVideoSegments : public http::Interceptor {
+ public:
+  explicit RejectAfterNVideoSegments(int allow) : allow_(allow) {}
+
+  void attach(http::Proxy& proxy) override {
+    classifier_ = std::make_unique<SegmentClassifier>(proxy.log());
+  }
+
+  std::optional<http::Response> on_request(const http::Request& request,
+                                           Seconds /*now*/) override {
+    VODX_ASSERT(classifier_ != nullptr,
+                "interceptor used before being attached to a proxy");
+    std::optional<SegmentRef> ref =
+        classifier_->classify(request.url, request.range);
+    if (!ref || ref->type != media::ContentType::kVideo) return std::nullopt;
+    if (allowed_.count(ref->index) > 0) return std::nullopt;
+    if (static_cast<int>(allowed_.size()) < allow_) {
+      allowed_.insert(ref->index);
+      return std::nullopt;
+    }
+    return http::make_error(403, "rejected by proxy");
+  }
+
+ private:
+  int allow_;
+  std::unique_ptr<SegmentClassifier> classifier_;
+  std::set<int> allowed_;
+};
+
+}  // namespace
+
+http::InterceptorPtr reject_after_n_video_segments(int allow) {
+  return std::make_shared<RejectAfterNVideoSegments>(allow);
 }
 
 StartupProbe probe_startup(const services::ServiceSpec& spec,
-                           Bps probe_bandwidth, int max_segments) {
+                           const StartupProbeOptions& options) {
   StartupProbe probe;
-  for (int n = 1; n <= max_segments; ++n) {
+  for (int n = 1; n <= options.max_segments; ++n) {
     SessionConfig config = base_session(
-        spec, net::BandwidthTrace::constant(probe_bandwidth, 120), 90);
-    config.reject_hook_factory = reject_after_n_video_segments(n);
+        spec, net::BandwidthTrace::constant(options.probe_bandwidth, 120), 90);
+    config.interceptors.push_back(reject_after_n_video_segments(n));
     SessionResult result = run_session(config);
     if (result.ui.startup_delay < 0) continue;  // still not playing
     probe.playback_achievable = true;
@@ -96,7 +117,9 @@ StartupProbe probe_startup(const services::ServiceSpec& spec,
 }
 
 ThresholdProbe probe_thresholds(const services::ServiceSpec& spec,
-                                Bps bandwidth, Seconds duration) {
+                                const ThresholdProbeOptions& options) {
+  const Bps bandwidth = options.bandwidth;
+  const Seconds duration = options.duration;
   SessionConfig config = base_session(
       spec, net::BandwidthTrace::constant(bandwidth, duration), duration);
   SessionResult result = run_session(config);
@@ -140,12 +163,14 @@ ThresholdProbe probe_thresholds(const services::ServiceSpec& spec,
 }
 
 SteadyStateProbe probe_steady_state(const services::ServiceSpec& spec,
-                                    Bps bandwidth, Seconds duration,
-                                    Seconds warmup) {
+                                    const SteadyStateProbeOptions& options) {
+  VODX_ASSERT(options.bandwidth > 0, "steady-state probe needs a bandwidth");
+  const Bps bandwidth = options.bandwidth;
+  const Seconds duration = options.duration;
   SessionConfig config = base_session(
       spec, net::BandwidthTrace::constant(bandwidth, duration), duration);
   SessionResult result = run_session(config);
-  SteadyStats stats = steady_stats(result.traffic, warmup);
+  SteadyStats stats = steady_stats(result.traffic, options.warmup);
 
   SteadyStateProbe probe;
   probe.distinct_levels = static_cast<int>(stats.seconds_by_level.size());
@@ -168,11 +193,14 @@ SteadyStateProbe probe_steady_state(const services::ServiceSpec& spec,
   return probe;
 }
 
-StepProbe probe_step_response(const services::ServiceSpec& spec, Bps high,
-                              Bps low, Seconds step_at, Seconds duration,
-                              Seconds immediate_cutoff) {
+StepProbe probe_step_response(const services::ServiceSpec& spec,
+                              const StepProbeOptions& options) {
+  const Seconds step_at = options.step_at;
+  const Seconds duration = options.duration;
   SessionConfig config = base_session(
-      spec, net::BandwidthTrace::step(high, low, step_at, duration), duration);
+      spec,
+      net::BandwidthTrace::step(options.high, options.low, step_at, duration),
+      duration);
   SessionResult result = run_session(config);
 
   // The level the player had settled on before the step.
@@ -196,7 +224,7 @@ StepProbe probe_step_response(const services::ServiceSpec& spec, Bps high,
         static_cast<std::size_t>(std::clamp(d.requested_at, 0.0, duration));
     probe.buffer_at_downswitch =
         slot < result.buffer.size() ? result.buffer[slot].video_buffer : 0;
-    probe.immediate = probe.buffer_at_downswitch > immediate_cutoff;
+    probe.immediate = probe.buffer_at_downswitch > options.immediate_cutoff;
     break;
   }
   return probe;
@@ -439,29 +467,31 @@ std::string rewrite_mpd(const std::string& body, bool shift) {
 
 }  // namespace
 
-http::Proxy::ManifestTransform shift_tracks_variant() {
-  return [](const std::string& url, const std::string& body) {
+http::InterceptorPtr shift_tracks_variant() {
+  return http::transform_manifest([](const std::string& url, std::string body) {
     if (url.find(".mpd") == std::string::npos) return body;
     return rewrite_mpd(body, /*shift=*/true);
-  };
+  });
 }
 
-http::Proxy::ManifestTransform drop_lowest_variant() {
-  return [](const std::string& url, const std::string& body) {
+http::InterceptorPtr drop_lowest_variant() {
+  return http::transform_manifest([](const std::string& url, std::string body) {
     if (url.find(".mpd") == std::string::npos) return body;
     return rewrite_mpd(body, /*shift=*/false);
-  };
+  });
 }
 
 DeclaredVsActualProbe probe_declared_vs_actual(
-    const services::ServiceSpec& spec, Bps bandwidth, Seconds duration,
-    Seconds warmup) {
+    const services::ServiceSpec& spec, const DeclaredVsActualOptions& options) {
   VODX_ASSERT(spec.protocol == manifest::Protocol::kDash,
               "the Fig.-12 probe rewrites DASH MPDs");
-  auto run_variant = [&](http::Proxy::ManifestTransform transform) {
+  const Bps bandwidth = options.bandwidth;
+  const Seconds duration = options.duration;
+  const Seconds warmup = options.warmup;
+  auto run_variant = [&](http::InterceptorPtr transform) {
     SessionConfig config = base_session(
         spec, net::BandwidthTrace::constant(bandwidth, duration), duration);
-    config.manifest_transform = std::move(transform);
+    config.interceptors.push_back(std::move(transform));
     SessionResult result = run_session(config);
     SteadyStats stats = steady_stats(result.traffic, warmup);
     Seconds best = 0;

@@ -21,6 +21,9 @@
 //                           (same declared ladder, shifted actual bitrates);
 //                           identical track choices prove the ABR ignores
 //                           actual bitrates (§4.2).
+//
+// Probes perturb traffic through the Interceptor chain (http/interceptor.h)
+// and take their tunables as per-probe Options structs with named fields.
 #pragma once
 
 #include <optional>
@@ -31,8 +34,13 @@ namespace vodx::core {
 
 /// Rejects video segment requests once `allow` distinct segments have been
 /// let through (manifests, playlists, sidx and audio stay unrestricted).
-std::function<http::Proxy::RejectHook(http::Proxy&)>
-reject_after_n_video_segments(int allow);
+/// Classifies requests against the live proxy's traffic log.
+http::InterceptorPtr reject_after_n_video_segments(int allow);
+
+struct StartupProbeOptions {
+  Bps probe_bandwidth = 8 * kMbps;  ///< ample, so rejection is the only limit
+  int max_segments = 16;            ///< give up past this many admitted segments
+};
 
 struct StartupProbe {
   bool playback_achievable = false;
@@ -41,8 +49,12 @@ struct StartupProbe {
   Bps startup_bitrate = 0;      ///< declared bitrate of the first segment
 };
 StartupProbe probe_startup(const services::ServiceSpec& spec,
-                           Bps probe_bandwidth = 8 * kMbps,
-                           int max_segments = 16);
+                           const StartupProbeOptions& options = {});
+
+struct ThresholdProbeOptions {
+  Bps bandwidth = 10 * kMbps;  ///< fast enough that pausing must kick in
+  Seconds duration = 600;      ///< session length (seconds)
+};
 
 struct ThresholdProbe {
   int pause_cycles = 0;
@@ -50,8 +62,13 @@ struct ThresholdProbe {
   Seconds resuming_threshold = 0;  ///< mean buffer level when they resume
 };
 ThresholdProbe probe_thresholds(const services::ServiceSpec& spec,
-                                Bps bandwidth = 10 * kMbps,
-                                Seconds duration = 600);
+                                const ThresholdProbeOptions& options = {});
+
+struct SteadyStateProbeOptions {
+  Bps bandwidth = 0;       ///< constant link rate (bits/second); required
+  Seconds duration = 600;  ///< session length (seconds)
+  Seconds warmup = 120;    ///< seconds excluded from steady-state stats
+};
 
 struct SteadyStateProbe {
   bool converged = false;        ///< one track covers >= 90% of steady time
@@ -61,8 +78,17 @@ struct SteadyStateProbe {
   double declared_over_bandwidth = 0;  ///< Fig.-9 y/x ratio
 };
 SteadyStateProbe probe_steady_state(const services::ServiceSpec& spec,
-                                    Bps bandwidth, Seconds duration = 600,
-                                    Seconds warmup = 120);
+                                    const SteadyStateProbeOptions& options);
+
+struct StepProbeOptions {
+  Bps high = 6 * kMbps;          ///< rate before the step
+  Bps low = 1.5 * kMbps;         ///< rate after the step
+  Seconds step_at = 150;         ///< when the drop happens
+  Seconds duration = 500;        ///< session length (seconds)
+  /// A down-switch with more than this many seconds still buffered counts
+  /// as "immediate" (the player did not spend its buffer first).
+  Seconds immediate_cutoff = 60;
+};
 
 struct StepProbe {
   bool switched_down = false;
@@ -72,9 +98,7 @@ struct StepProbe {
   bool immediate = false;
 };
 StepProbe probe_step_response(const services::ServiceSpec& spec,
-                              Bps high = 6 * kMbps, Bps low = 1.5 * kMbps,
-                              Seconds step_at = 150, Seconds duration = 500,
-                              Seconds immediate_cutoff = 60);
+                              const StepProbeOptions& options = {});
 
 /// §3.1's encoding analysis: gather the actual/declared bitrate ratios of
 /// the highest video track the way the methodology does — DASH exposes
@@ -92,9 +116,15 @@ struct EncodingProbe {
 };
 EncodingProbe probe_encoding(const services::ServiceSpec& spec);
 
-/// Fig.-12 manifest rewrites (DASH only).
-http::Proxy::ManifestTransform shift_tracks_variant();
-http::Proxy::ManifestTransform drop_lowest_variant();
+/// Fig.-12 manifest rewrites (DASH only), as manifest-stage interceptors.
+http::InterceptorPtr shift_tracks_variant();
+http::InterceptorPtr drop_lowest_variant();
+
+struct DeclaredVsActualOptions {
+  Bps bandwidth = 2 * kMbps;  ///< constant link rate (bits/second)
+  Seconds duration = 600;     ///< session length (seconds)
+  Seconds warmup = 120;       ///< seconds excluded from steady-state stats
+};
 
 struct DeclaredVsActualProbe {
   Bps selected_declared_variant1 = 0;  ///< steady-state modal declared
@@ -105,7 +135,7 @@ struct DeclaredVsActualProbe {
   double bandwidth_utilization = 0;  ///< §4.2's 33.7% figure (variant-free run)
 };
 DeclaredVsActualProbe probe_declared_vs_actual(
-    const services::ServiceSpec& spec, Bps bandwidth = 2 * kMbps,
-    Seconds duration = 600, Seconds warmup = 120);
+    const services::ServiceSpec& spec,
+    const DeclaredVsActualOptions& options = {});
 
 }  // namespace vodx::core

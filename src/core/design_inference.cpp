@@ -58,7 +58,8 @@ InferredDesign infer_design(const services::ServiceSpec& spec) {
     const double frac = static_cast<double>(i) / (sweep_points - 1);
     const Bps bw = ladder_low * 1.4 *
                    std::pow(ladder_high * 0.9 / (ladder_low * 1.4), frac);
-    const SteadyStateProbe steady = probe_steady_state(spec, bw);
+    const SteadyStateProbe steady =
+        probe_steady_state(spec, SteadyStateProbeOptions{.bandwidth = bw});
     out.stable = out.stable && steady.converged;
     max_ratio = std::max(max_ratio, steady.declared_over_bandwidth);
   }

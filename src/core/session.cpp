@@ -125,7 +125,16 @@ void emit_session_summary(obs::Observer* obs, const SessionResult& result,
 
 SessionResult run_session(const SessionConfig& config) {
   net::Simulator sim(config.tick);
-  net::Link link(sim, config.trace, config.rtt);
+  // Blackout windows act on the link, not the proxy: the trace the session
+  // actually runs over has them carved out.
+  const bool has_blackouts =
+      config.fault_plan && !config.fault_plan->blackouts.empty();
+  net::Link link(sim,
+                 has_blackouts
+                     ? faults::apply_blackouts(config.trace,
+                                               config.fault_plan->blackouts)
+                     : config.trace,
+                 config.rtt);
   obs::Observer* obs = config.observer;
   int session_track = 0;
   if (obs != nullptr) {
@@ -142,12 +151,16 @@ SessionResult run_session(const SessionConfig& config) {
   http::OriginServer origin = services::make_origin(
       config.spec, config.content_duration, config.content_seed);
   http::Proxy proxy(origin);
-  if (config.manifest_transform) {
-    proxy.set_manifest_transform(config.manifest_transform);
+  for (const http::InterceptorPtr& interceptor : config.interceptors) {
+    proxy.use(interceptor);
   }
-  if (config.reject_hook) proxy.set_reject_hook(config.reject_hook);
-  if (config.reject_hook_factory) {
-    proxy.set_reject_hook(config.reject_hook_factory(proxy));
+  // The fault injector goes last: probes see requests first, faults mutate
+  // responses first (reverse-order response stage).
+  std::shared_ptr<faults::FaultInjector> injector;
+  if (config.fault_plan) {
+    injector = std::make_shared<faults::FaultInjector>(*config.fault_plan);
+    injector->set_observer(obs);
+    proxy.use(injector);
   }
 
   player::PlayerConfig player_config = config.spec.player;
@@ -178,6 +191,7 @@ SessionResult run_session(const SessionConfig& config) {
   result.ground_truth = qoe_from_events(result.events, result.traffic,
                                         result.session_end,
                                         config.qoe_options);
+  if (injector != nullptr) result.faults = injector->stats();
 
   if (obs != nullptr) {
     if (obs->trace.enabled(obs::Category::kSession)) {

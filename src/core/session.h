@@ -16,6 +16,9 @@
 #include "core/qoe.h"
 #include "core/traffic_analyzer.h"
 #include "core/ui_monitor.h"
+#include "faults/fault_injector.h"
+#include "faults/fault_plan.h"
+#include "http/interceptor.h"
 #include "http/proxy.h"
 #include "net/bandwidth_trace.h"
 #include "obs/observer.h"
@@ -33,12 +36,15 @@ struct SessionConfig {
   Seconds rtt = 0.07;
   std::uint64_t content_seed = 42;
 
-  // Black-box hooks.
-  http::Proxy::ManifestTransform manifest_transform;
-  http::Proxy::RejectHook reject_hook;
-  /// Like reject_hook but constructed against the live proxy, so the hook
-  /// can consult the traffic observed so far (e.g. SegmentClassifier).
-  std::function<http::Proxy::RejectHook(http::Proxy&)> reject_hook_factory;
+  /// Interceptors registered on the proxy in order (black-box probe hooks,
+  /// middleware). Each is attach()ed to the live proxy before the session
+  /// starts; see http/interceptor.h for stage semantics.
+  http::InterceptorChain interceptors;
+
+  /// Scripted fault injection. Blackout windows are applied to `trace`
+  /// before the link is built; the remaining faults run as a FaultInjector
+  /// registered after `interceptors`.
+  std::optional<faults::FaultPlan> fault_plan;
 
   QoeOptions qoe_options;
 
@@ -63,6 +69,9 @@ struct SessionResult {
   player::PlayerState final_state = player::PlayerState::kIdle;
   Seconds final_position = 0;
   QoeReport ground_truth;
+
+  /// Faults actually fired (zeros when no fault plan was configured).
+  faults::FaultInjector::Stats faults;
 
   Seconds session_end = 0;
 };

@@ -1,0 +1,116 @@
+#include "faults/fault_injector.h"
+
+#include <algorithm>
+
+namespace vodx::faults {
+
+namespace {
+
+// splitmix64 finalizer — the same mixer vodx::batch uses for seed derivation.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Decision tags: each (kind, purpose) pair draws from its own lane so fault
+// evaluation order can never alias two decisions.
+constexpr std::uint64_t kTagError = 0xE1;
+constexpr std::uint64_t kTagReset = 0x4E;
+constexpr std::uint64_t kTagReject = 0x4A;
+constexpr std::uint64_t kTagLatencyHit = 0x1A;
+constexpr std::uint64_t kTagLatencyJitter = 0x1B;
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), reject_seen_(plan_.rejects.size(), 0) {}
+
+void FaultInjector::set_observer(obs::Observer* observer) {
+  obs_ = observer;
+  if (obs_ == nullptr) {
+    injected_metric_ = nullptr;
+    return;
+  }
+  obs_track_ = obs_->trace.track("faults");
+  injected_metric_ = &obs_->metrics.counter("faults.injected");
+}
+
+double FaultInjector::draw(std::uint64_t tag, std::size_t index) const {
+  const std::uint64_t h = mix64(
+      mix64(mix64(plan_.seed + tag) + ordinal_) + static_cast<std::uint64_t>(index));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+void FaultInjector::record(const char* name, const http::Request& request,
+                           Seconds now, double magnitude) {
+  if (injected_metric_ != nullptr) injected_metric_->add();
+  if (obs::trace_on(obs_, obs::Category::kFault)) {
+    obs_->trace.instant(now, obs::Category::kFault, name, obs_track_,
+                        {obs::Field::t("url", request.url),
+                         obs::Field::n("magnitude", magnitude)});
+  }
+}
+
+std::optional<http::Response> FaultInjector::on_request(
+    const http::Request& request, Seconds now) {
+  for (std::size_t i = 0; i < plan_.rejects.size(); ++i) {
+    const RejectFault& fault = plan_.rejects[i];
+    if (!fault.match.covers(request.url, now)) continue;
+    const std::uint64_t seen = ++reject_seen_[i];
+    const bool nth_hit = fault.every_nth > 0 &&
+                         seen % static_cast<std::uint64_t>(fault.every_nth) == 0;
+    const bool chance_hit =
+        fault.probability > 0 && draw(kTagReject, i) < fault.probability;
+    if (nth_hit || chance_hit) {
+      ++stats_.rejected;
+      record("fault.reject", request, now, 403);
+      return http::make_error(403, "rejected by fault plan");
+    }
+  }
+  for (std::size_t i = 0; i < plan_.errors.size(); ++i) {
+    const ErrorFault& fault = plan_.errors[i];
+    if (!fault.match.covers(request.url, now)) continue;
+    if (draw(kTagError, i) < fault.probability) {
+      ++stats_.errors;
+      record("fault.error", request, now, fault.status);
+      return http::make_error(fault.status, "injected fault");
+    }
+  }
+  return std::nullopt;
+}
+
+void FaultInjector::on_response(const http::Request& request,
+                                http::Response& response, Seconds now) {
+  for (std::size_t i = 0; i < plan_.latency.size(); ++i) {
+    const LatencyFault& fault = plan_.latency[i];
+    if (!fault.match.covers(request.url, now)) continue;
+    if (draw(kTagLatencyHit, i) < fault.probability) {
+      const Seconds extra =
+          fault.base + fault.jitter * draw(kTagLatencyJitter, i);
+      response.added_latency += extra;
+      ++stats_.delayed;
+      record("fault.latency", request, now, extra);
+    }
+  }
+  // Resets only make sense on responses that still move wire bytes.
+  if (response.ok()) {
+    for (std::size_t i = 0; i < plan_.resets.size(); ++i) {
+      const ResetFault& fault = plan_.resets[i];
+      if (!fault.match.covers(request.url, now)) continue;
+      if (draw(kTagReset, i) < fault.probability) {
+        const double fraction = std::clamp(fault.after_fraction, 0.0, 1.0);
+        response.reset_after =
+            static_cast<Bytes>(fraction * static_cast<double>(response.wire_size()));
+        ++stats_.resets;
+        record("fault.reset", request, now,
+               static_cast<double>(response.reset_after));
+        break;  // one reset point per response
+      }
+    }
+  }
+  ++ordinal_;  // exactly once per proxied request (response stage always runs)
+}
+
+}  // namespace vodx::faults

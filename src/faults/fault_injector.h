@@ -1,0 +1,62 @@
+// The interceptor that executes a FaultPlan.
+//
+// Registered (by core/session) as the last interceptor in the chain, so its
+// request stage runs after every probe hook and its response stage runs
+// first. All probabilistic decisions are pure functions of
+// (plan seed, request ordinal, fault index, kind tag) via a splitmix64-style
+// hash — re-running the same session draws the same schedule regardless of
+// thread, process, or what other cells a sweep is running.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/fault_plan.h"
+#include "http/interceptor.h"
+#include "obs/observer.h"
+
+namespace vodx::faults {
+
+class FaultInjector : public http::Interceptor {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Counts of faults actually fired (for reports and tests).
+  struct Stats {
+    int rejected = 0;
+    int errors = 0;
+    int resets = 0;
+    int delayed = 0;
+  };
+
+  void set_observer(obs::Observer* observer);
+  const Stats& stats() const { return stats_; }
+  const FaultPlan& plan() const { return plan_; }
+
+  std::optional<http::Response> on_request(const http::Request& request,
+                                           Seconds now) override;
+  void on_response(const http::Request& request, http::Response& response,
+                   Seconds now) override;
+
+ private:
+  /// Uniform [0,1) draw for decision `tag` of fault `index` at the current
+  /// request ordinal. Pure — no stream state.
+  double draw(std::uint64_t tag, std::size_t index) const;
+  void record(const char* name, const http::Request& request, Seconds now,
+              double magnitude);
+
+  FaultPlan plan_;
+  Stats stats_;
+  /// One ordinal per proxied request; advanced in on_response, which runs
+  /// exactly once per resolve() (on_request can be skipped when an earlier
+  /// interceptor short-circuits).
+  std::uint64_t ordinal_ = 0;
+  /// Matching-request counters backing RejectFault::every_nth.
+  std::vector<std::uint64_t> reject_seen_;
+
+  obs::Observer* obs_ = nullptr;
+  int obs_track_ = 0;
+  obs::Counter* injected_metric_ = nullptr;
+};
+
+}  // namespace vodx::faults

@@ -1,0 +1,133 @@
+#include "faults/fault_plan.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace vodx::faults {
+
+net::BandwidthTrace apply_blackouts(
+    const net::BandwidthTrace& trace,
+    const std::vector<BlackoutFault>& blackouts) {
+  if (blackouts.empty()) return trace;
+  const Seconds duration = trace.duration();
+  const auto blacked_out = [&](Seconds t) {
+    for (const BlackoutFault& b : blackouts) {
+      if (t >= b.start && t < b.start + b.duration) return true;
+    }
+    return false;
+  };
+
+  // Piecewise-constant output changes only at original sample starts and
+  // blackout edges; evaluate once per boundary.
+  std::vector<Seconds> cuts;
+  for (const auto& sample : trace.samples()) cuts.push_back(sample.start);
+  for (const BlackoutFault& b : blackouts) {
+    if (b.start >= 0 && b.start < duration) cuts.push_back(b.start);
+    const Seconds end = b.start + b.duration;
+    if (end > 0 && end < duration) cuts.push_back(end);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  std::vector<net::BandwidthTrace::Sample> samples;
+  samples.reserve(cuts.size());
+  for (Seconds t : cuts) {
+    samples.push_back({t, blacked_out(t) ? 0 : trace.at(t)});
+  }
+  net::BandwidthTrace result =
+      net::BandwidthTrace::from_samples(std::move(samples), duration);
+  result.set_name(trace.name().empty() ? "blackout"
+                                       : trace.name() + "+blackout");
+  return result;
+}
+
+const std::vector<Scenario>& scenario_catalog() {
+  static const std::vector<Scenario> catalog = [] {
+    std::vector<Scenario> scenarios;
+
+    scenarios.push_back({"none", "no injected faults (baseline)", {}});
+
+    {
+      Scenario s;
+      s.name = "flaky-origin";
+      s.description = "origin answers 503 with p=0.15 after startup";
+      s.plan.name = s.name;
+      ErrorFault fault;
+      fault.match.start = 5;  // let manifest resolution through
+      fault.status = 503;
+      fault.probability = 0.15;
+      s.plan.errors.push_back(fault);
+      scenarios.push_back(std::move(s));
+    }
+    {
+      Scenario s;
+      s.name = "slow-origin";
+      s.description = "every response delayed 0.3s + up to 0.4s jitter";
+      s.plan.name = s.name;
+      LatencyFault fault;
+      fault.match.start = 5;
+      fault.base = 0.3;
+      fault.jitter = 0.4;
+      s.plan.latency.push_back(fault);
+      scenarios.push_back(std::move(s));
+    }
+    {
+      Scenario s;
+      s.name = "resets";
+      s.description = "connection reset at 60% of the wire bytes, p=0.12";
+      s.plan.name = s.name;
+      ResetFault fault;
+      fault.match.start = 5;
+      fault.after_fraction = 0.6;
+      fault.probability = 0.12;
+      s.plan.resets.push_back(fault);
+      scenarios.push_back(std::move(s));
+    }
+    {
+      Scenario s;
+      s.name = "blackout";
+      s.description = "zero-bandwidth windows at 120s (20s) and 300s (15s)";
+      s.plan.name = s.name;
+      s.plan.blackouts.push_back({120, 20});
+      s.plan.blackouts.push_back({300, 15});
+      scenarios.push_back(std::move(s));
+    }
+    {
+      Scenario s;
+      s.name = "reject-window";
+      s.description = "proxy rejects every request during [60s, 68s)";
+      s.plan.name = s.name;
+      RejectFault fault;
+      fault.match.start = 60;
+      fault.match.end = 68;
+      fault.probability = 1;
+      s.plan.rejects.push_back(fault);
+      scenarios.push_back(std::move(s));
+    }
+    return scenarios;
+  }();
+  return catalog;
+}
+
+FaultPlan scenario(const std::string& name) {
+  for (const Scenario& s : scenario_catalog()) {
+    if (s.name == name) return s.plan;
+  }
+  throw ConfigError("unknown fault scenario \"" + name + "\"");
+}
+
+player::PlayerConfig hardened(player::PlayerConfig config, std::uint64_t seed) {
+  config.name += "+hardened";
+  config.fetch_timeout = 12;
+  config.fetch_retries = std::max(config.fetch_retries, 8);
+  config.retry_backoff = std::max(config.retry_backoff, 1.0);
+  config.retry_jitter = 0.5;
+  config.abandon_downswitch = true;
+  config.resilience_seed = seed;
+  config.manifest_retries = 3;
+  config.tolerate_variant_loss = true;
+  return config;
+}
+
+}  // namespace vodx::faults

@@ -1,0 +1,115 @@
+// Scripted, seed-derived fault plans.
+//
+// The paper reverse-engineers players by perturbing their traffic (§2.2);
+// real cellular links add their own pathologies on top — resets, dead air,
+// slow origins (ROADMAP north star: "handle as many scenarios as you can
+// imagine"). A FaultPlan scripts those pathologies as data: each fault kind
+// has a URL/time-window match and, where behaviour is probabilistic, a
+// probability evaluated from a pure hash of (plan seed, per-session request
+// ordinal, fault index, kind tag). No wall clock, no thread identity, no
+// shared RNG stream — the schedule a session experiences depends only on the
+// plan and the order of its own requests, so sweep grids replay byte-
+// identically at any --jobs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "net/bandwidth_trace.h"
+#include "player/config.h"
+
+namespace vodx::faults {
+
+/// Selects the requests a fault applies to: substring match on the URL
+/// (empty = all) within a simulated-time window [start, end).
+struct Match {
+  std::string url_contains;
+  Seconds start = 0;
+  Seconds end = -1;  ///< -1 = until the end of the session
+
+  bool covers(Seconds now) const {
+    return now >= start && (end < 0 || now < end);
+  }
+  bool covers(const std::string& url, Seconds now) const {
+    return covers(now) &&
+           (url_contains.empty() || url.find(url_contains) != std::string::npos);
+  }
+};
+
+/// Adds first-byte latency to matching responses (slow origin / CDN miss).
+struct LatencyFault {
+  Match match;
+  Seconds base = 0.2;     ///< deterministic floor added to every hit
+  Seconds jitter = 0;     ///< uniform extra in [0, jitter), seed-derived
+  double probability = 1; ///< chance a matching request is delayed
+};
+
+/// Replaces the origin's answer with an HTTP error (overloaded origin).
+struct ErrorFault {
+  Match match;
+  int status = 503;
+  double probability = 0.1;
+};
+
+/// Resets the connection mid-response after a fraction of the wire bytes.
+struct ResetFault {
+  Match match;
+  double after_fraction = 0.5;  ///< of the response's wire size, clamped >= 0
+  double probability = 0.05;
+};
+
+/// Rejects matching requests outright (403), like the §3.3.1 startup probe.
+struct RejectFault {
+  Match match;
+  int every_nth = 0;       ///< reject every nth matching request (0 = off)
+  double probability = 0;  ///< additionally, independent per-request chance
+};
+
+/// A window where the bottleneck delivers nothing (tunnel, handover gap).
+/// Applied to the bandwidth trace before the session starts.
+struct BlackoutFault {
+  Seconds start = 0;
+  Seconds duration = 10;
+};
+
+struct FaultPlan {
+  std::string name = "none";
+  std::uint64_t seed = 1;
+  std::vector<LatencyFault> latency;
+  std::vector<ErrorFault> errors;
+  std::vector<ResetFault> resets;
+  std::vector<RejectFault> rejects;
+  std::vector<BlackoutFault> blackouts;
+
+  bool empty() const {
+    return latency.empty() && errors.empty() && resets.empty() &&
+           rejects.empty() && blackouts.empty();
+  }
+};
+
+/// Returns `trace` with the plan's blackout windows forced to zero bandwidth.
+net::BandwidthTrace apply_blackouts(const net::BandwidthTrace& trace,
+                                    const std::vector<BlackoutFault>& blackouts);
+
+/// A named, documented fault scenario for CLI / sweep axes.
+struct Scenario {
+  std::string name;
+  std::string description;
+  FaultPlan plan;
+};
+
+/// The built-in scenarios: "none" plus the canonical pathologies
+/// (flaky-origin, slow-origin, resets, blackout, reject-window).
+const std::vector<Scenario>& scenario_catalog();
+
+/// Looks up a catalog scenario's plan by name; throws ConfigError on unknown.
+FaultPlan scenario(const std::string& name);
+
+/// A fault-tolerant variant of `config`: per-request timeouts, extra retries
+/// with seeded jittered backoff, manifest retry + variant-loss tolerance, and
+/// abandon-and-downswitch. `seed` drives the retry jitter stream.
+player::PlayerConfig hardened(player::PlayerConfig config, std::uint64_t seed);
+
+}  // namespace vodx::faults

@@ -37,11 +37,13 @@ void HttpClient::set_observer(obs::Observer* observer) {
   for (auto& connection : connections_) connection->set_observer(observer);
   if (obs_ == nullptr) {
     requests_metric_ = aborts_metric_ = bytes_metric_ = nullptr;
+    resets_metric_ = nullptr;
     return;
   }
   requests_metric_ = &obs_->metrics.counter("http.requests");
   aborts_metric_ = &obs_->metrics.counter("http.aborts");
   bytes_metric_ = &obs_->metrics.counter("http.bytes_received");
+  resets_metric_ = &obs_->metrics.counter("http.resets");
 }
 
 net::TcpConnection* HttpClient::acquire_connection() {
@@ -71,7 +73,7 @@ int HttpClient::fetch(const Request& request, ResponseFn on_done) {
   const std::string wire_name =
       format("%s.%d", connection->label().c_str(), usage.generation);
 
-  Response response = proxy_.resolve(request);
+  Response response = proxy_.resolve(request, sim_.now());
   const int id = proxy_.log().open(request.method, request.url, request.range,
                                    sim_.now(), response, wire_name,
                                    usage.requests_on_generation);
@@ -87,14 +89,24 @@ int HttpClient::fetch(const Request& request, ResponseFn on_done) {
          obs::Field::n("status", response.status),
          obs::Field::n("bytes", static_cast<double>(response.payload_size))});
   }
+  // Reset faults truncate the wire transfer: the connection delivers bytes
+  // up to the reset point, then the client observes a hard failure.
+  const Bytes full_wire = response.wire_size();
+  const bool reset =
+      response.reset_after >= 0 && response.reset_after < full_wire;
+  const Bytes wire = reset ? std::max<Bytes>(1, response.reset_after)
+                           : full_wire;
+  const Seconds extra_wait = std::max<Seconds>(0, response.added_latency);
+
   Pending pending;
   pending.connection = connection;
   pending.response = std::move(response);
   pending.on_done = std::move(on_done);
+  pending.reset = reset;
   in_flight_.emplace(id, std::move(pending));
 
-  connection->start_transfer(sim_.now(), in_flight_.at(id).response.wire_size(),
-                             [this, id] { finish(id); });
+  connection->start_transfer(sim_.now(), wire, [this, id] { finish(id); },
+                             extra_wait);
   return id;
 }
 
@@ -105,6 +117,27 @@ void HttpClient::finish(int transfer_id) {
   Response response = std::move(it->second.response);
   ResponseFn on_done = std::move(it->second.on_done);
   net::TcpConnection* connection = it->second.connection;
+  if (it->second.reset) {
+    // The truncated wire transfer finished — surface it as a mid-response
+    // connection reset: partial payload logged as an abort, connection
+    // closed, caller sees a transport-level error (status 0).
+    const Bytes received = std::max<Bytes>(
+        0, connection->transfer_delivered() - kHttpHeaderOverhead);
+    proxy_.log().abort(transfer_id, received);
+    if (bytes_metric_ != nullptr) bytes_metric_->add(received);
+    if (resets_metric_ != nullptr) resets_metric_->add();
+    connection->close();
+    if (obs::trace_on(obs_, obs::Category::kHttp)) {
+      obs_->trace.end(
+          sim_.now(), obs::Category::kHttp, "http.request",
+          connection->obs_track(),
+          {obs::Field::n("id", transfer_id), obs::Field::n("reset", 1),
+           obs::Field::n("bytes_received", static_cast<double>(received))});
+    }
+    in_flight_.erase(it);
+    if (on_done) on_done(make_error(0, "connection reset by peer"));
+    return;
+  }
   proxy_.log().complete(transfer_id, sim_.now(), response.payload_size);
   if (bytes_metric_ != nullptr) bytes_metric_->add(response.payload_size);
   if (obs::trace_on(obs_, obs::Category::kHttp)) {

@@ -65,6 +65,9 @@ class HttpClient {
     net::TcpConnection* connection = nullptr;
     Response response;
     ResponseFn on_done;
+    /// True when the response carries a reset_after below its wire size: the
+    /// truncated transfer ends in a connection reset, not a completion.
+    bool reset = false;
   };
 
   /// Observable identity of a connection: a handshake (re)starts a new
@@ -89,6 +92,7 @@ class HttpClient {
   obs::Counter* requests_metric_ = nullptr;
   obs::Counter* aborts_metric_ = nullptr;
   obs::Counter* bytes_metric_ = nullptr;
+  obs::Counter* resets_metric_ = nullptr;
 };
 
 }  // namespace vodx::http

@@ -36,6 +36,15 @@ struct Response {
   /// For HEAD responses: the size a GET would have returned.
   Bytes head_content_length = 0;
 
+  // Wire-level fault effects, set by response-stage interceptors and honoured
+  // by HttpClient. Neither affects wire_size().
+  /// Extra first-byte delay (seconds) before the transfer starts moving.
+  Seconds added_latency = 0;
+  /// If >= 0: the connection is reset after this many wire bytes have been
+  /// delivered; the client observes a truncated transfer and a status-0
+  /// "connection reset by peer" error. -1 disables.
+  Bytes reset_after = -1;
+
   bool ok() const { return status >= 200 && status < 300; }
 
   /// Bytes that actually travel on the wire for this response.

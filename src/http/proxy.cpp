@@ -1,5 +1,7 @@
 #include "http/proxy.h"
 
+#include <utility>
+
 namespace vodx::http {
 
 bool Proxy::is_manifest_content(const std::string& content_type) {
@@ -8,21 +10,34 @@ bool Proxy::is_manifest_content(const std::string& content_type) {
          content_type == "text/xml";
 }
 
-Response Proxy::resolve(const Request& request) const {
-  if (reject_hook_ && reject_hook_(request)) {
-    return make_error(403, "rejected by proxy");
-  }
-  if (fault_hook_) {
-    if (const int status = fault_hook_(request); status != 0) {
-      return make_error(status, "injected fault");
+void Proxy::use(InterceptorPtr interceptor) {
+  interceptor->attach(*this);
+  chain_.push_back(std::move(interceptor));
+}
+
+Response Proxy::resolve(const Request& request, Seconds now) const {
+  Response response;
+  bool short_circuited = false;
+  for (const auto& interceptor : chain_) {
+    if (auto injected = interceptor->on_request(request, now)) {
+      response = std::move(*injected);
+      short_circuited = true;
+      break;
     }
   }
-  Response response = origin_->handle(request);
-  if (manifest_transform_ && response.ok() &&
-      is_manifest_content(response.content_type)) {
-    std::string rewritten = manifest_transform_(request.url, response.body);
-    response.payload_size = static_cast<Bytes>(rewritten.size());
-    response.body = std::move(rewritten);
+  if (!short_circuited) response = origin_->handle(request);
+
+  if (response.ok() && is_manifest_content(response.content_type)) {
+    std::string body = std::move(response.body);
+    for (const auto& interceptor : chain_) {
+      body = interceptor->on_manifest(request.url, std::move(body));
+    }
+    response.payload_size = static_cast<Bytes>(body.size());
+    response.body = std::move(body);
+  }
+
+  for (auto it = chain_.rbegin(); it != chain_.rend(); ++it) {
+    (*it)->on_response(request, response, now);
   }
   return response;
 }

@@ -1,18 +1,17 @@
 // Man-in-the-middle proxy (§2.2, Figure 2).
 //
 // Sits between the simulated client and the origin. Everything the client
-// fetches flows through here, which gives the methodology its three powers:
+// fetches flows through here, which gives the methodology its powers:
 //
 //  * passive traffic capture into a TrafficLog (the Traffic Analyzer's input),
-//  * the Manifest Modifier: rewrite manifest bodies in flight (the Fig. 12
-//    declared-vs-actual probe),
-//  * the request rejector: refuse segment requests after the first n (the
-//    startup-buffer probing experiment, §3.3.1).
+//  * an ordered Interceptor chain (http/interceptor.h) through which request
+//    rejection, manifest rewriting (the Fig. 12 declared-vs-actual probe),
+//    fault injection and any future middleware are all expressed.
 #pragma once
 
-#include <functional>
 #include <string>
 
+#include "http/interceptor.h"
 #include "http/message.h"
 #include "http/origin_server.h"
 #include "http/traffic_log.h"
@@ -23,40 +22,27 @@ class Proxy {
  public:
   explicit Proxy(const OriginServer& origin) : origin_(&origin) {}
 
-  /// Rewrites manifest-like bodies (anything with a parseable content type).
-  /// Receives the URL and the original body; returns the replacement body.
-  using ManifestTransform =
-      std::function<std::string(const std::string& url, const std::string&)>;
-  void set_manifest_transform(ManifestTransform transform) {
-    manifest_transform_ = std::move(transform);
-  }
+  /// Appends an interceptor to the chain and attaches it to this proxy.
+  /// Chain position determines stage ordering — see http/interceptor.h.
+  void use(InterceptorPtr interceptor);
 
-  /// Return true to reject the request (the proxy answers 403).
-  using RejectHook = std::function<bool(const Request&)>;
-  void set_reject_hook(RejectHook hook) { reject_hook_ = std::move(hook); }
-
-  /// Failure injection: return an HTTP status (e.g. 503) to replace the
-  /// origin's answer for this request, or 0 to pass through. Evaluated
-  /// before the origin is consulted.
-  using FaultHook = std::function<int(const Request&)>;
-  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
-
-  /// Resolves a request against the origin, applying hooks.
-  Response resolve(const Request& request) const;
+  /// Resolves a request at simulated time `now`: request stage (first
+  /// short-circuit wins) → origin → manifest stage (ok manifest bodies) →
+  /// response stage in reverse registration order.
+  Response resolve(const Request& request, Seconds now) const;
 
   TrafficLog& log() { return log_; }
   const TrafficLog& log() const { return log_; }
 
   const OriginServer& origin() const { return *origin_; }
 
- private:
+  /// True for content types the manifest stage rewrites.
   static bool is_manifest_content(const std::string& content_type);
 
+ private:
   const OriginServer* origin_;
   TrafficLog log_;
-  ManifestTransform manifest_transform_;
-  RejectHook reject_hook_;
-  FaultHook fault_hook_;
+  InterceptorChain chain_;
 };
 
 }  // namespace vodx::http

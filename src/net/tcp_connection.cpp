@@ -32,7 +32,8 @@ void TcpConnection::set_observer(obs::Observer* observer) {
 }
 
 void TcpConnection::start_transfer(Seconds now, Bytes bytes,
-                                   CompletionFn on_complete) {
+                                   CompletionFn on_complete,
+                                   Seconds extra_wait) {
   VODX_ASSERT(!busy(), "transfer already in flight on " + label_);
   VODX_ASSERT(bytes > 0, "transfer needs payload");
   transfer_size_ = bytes;
@@ -51,7 +52,7 @@ void TcpConnection::start_transfer(Seconds now, Bytes bytes,
     cwnd_ = config_.initial_cwnd;
     ssthresh_ = std::numeric_limits<double>::infinity();
     phase_ = Phase::kHandshake;
-    wait_remaining_ = config_.rtt * config_.handshake_rtts;
+    wait_remaining_ = config_.rtt * config_.handshake_rtts + extra_wait;
     if (handshakes_metric_ != nullptr) handshakes_metric_->add();
     if (tracing) {
       obs_->trace.instant(now, obs::Category::kTcp, "tcp.handshake",
@@ -75,7 +76,15 @@ void TcpConnection::start_transfer(Seconds now, Bytes bytes,
     }
   }
   phase_ = Phase::kRequestWait;
-  wait_remaining_ = config_.rtt;
+  wait_remaining_ = config_.rtt + extra_wait;
+}
+
+void TcpConnection::close() {
+  if (busy()) {
+    abort_transfer();
+    return;
+  }
+  phase_ = Phase::kClosed;
 }
 
 void TcpConnection::abort_transfer() {

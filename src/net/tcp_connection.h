@@ -55,15 +55,23 @@ class TcpConnection {
 
   /// Starts fetching `bytes` of response payload. If the connection is
   /// closed a handshake is performed first; every request then waits one RTT
-  /// for the first byte. `on_complete` fires (synchronously, inside the
-  /// link's tick) once the final byte arrives. Must not be busy.
-  void start_transfer(Seconds now, Bytes bytes, CompletionFn on_complete);
+  /// for the first byte. `extra_wait` adds server-side first-byte latency on
+  /// top of the protocol RTTs (fault injection). `on_complete` fires
+  /// (synchronously, inside the link's tick) once the final byte arrives.
+  /// Must not be busy.
+  void start_transfer(Seconds now, Bytes bytes, CompletionFn on_complete,
+                      Seconds extra_wait = 0);
 
   /// Abandons the in-flight transfer without firing its callback. Bytes
   /// already delivered stay counted in lifetime_delivered(). The connection
   /// is closed: a real client cannot cleanly reuse a connection with an
   /// abandoned response in flight.
   void abort_transfer();
+
+  /// Hard-closes the connection (e.g. after a mid-transfer reset observed by
+  /// the HTTP layer). Aborts any in-flight transfer; a subsequent
+  /// start_transfer re-pays the handshake.
+  void close();
 
   bool busy() const { return phase_ != Phase::kClosed && phase_ != Phase::kIdle; }
   bool connected() const { return phase_ != Phase::kClosed; }

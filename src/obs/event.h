@@ -27,6 +27,7 @@ enum class Category : std::uint32_t {
   kPlayer = 1u << 4,   ///< state machine, stalls, buffer, replacement
   kAbr = 1u << 5,      ///< adaptation decisions with their inputs
   kSession = 1u << 6,  ///< session milestones, truth-vs-inference divergence
+  kFault = 1u << 7,    ///< injected faults (rejects, errors, resets, latency)
 };
 
 constexpr std::uint32_t kAllCategories = 0xffffffffu;

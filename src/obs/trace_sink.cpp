@@ -15,6 +15,7 @@ const char* to_string(Category category) {
     case Category::kPlayer: return "player";
     case Category::kAbr: return "abr";
     case Category::kSession: return "session";
+    case Category::kFault: return "fault";
   }
   return "?";
 }

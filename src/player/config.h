@@ -6,6 +6,7 @@
 // being told them.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "common/units.h"
@@ -115,6 +116,28 @@ struct PlayerConfig {
 
   // --- A/V coordination (§3.2) ------------------------------------------
   AvScheduling av_scheduling = AvScheduling::kSynced;
+
+  // --- Resilience (vodx::faults hardening; every default is inert, so a
+  // --- stock Table-1 config behaves exactly as before) -------------------
+  /// Abort a segment fetch that has not completed after this many seconds
+  /// and treat it as a failed attempt (0 = never time out).
+  Seconds fetch_timeout = 0;
+  /// Adds a seeded uniform extra of up to retry_jitter * retry_backoff to
+  /// each retry delay, decorrelating retry storms (0 = deterministic linear
+  /// backoff, no RNG consulted).
+  double retry_jitter = 0;
+  /// Seed for the retry-jitter stream (only read when retry_jitter > 0).
+  std::uint64_t resilience_seed = 0x5EEDF001;
+  /// When a segment exhausts its retries at level > 0, spend one final
+  /// attempt at the lowest level instead of abandoning the pipeline.
+  bool abandon_downswitch = false;
+  /// Extra attempts for manifest-path resources (master/MPD, playlists,
+  /// sidx) before the session fails (0 = first failure is fatal).
+  int manifest_retries = 0;
+  /// After manifest_retries, skip an unfetchable variant playlist / sidx
+  /// track instead of failing the session, as long as one video track
+  /// survives (stale-manifest fallback).
+  bool tolerate_variant_loss = false;
 
   // --- Data saver ---------------------------------------------------------
   /// Cap selection at the highest track whose resolution height does not

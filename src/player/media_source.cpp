@@ -41,8 +41,14 @@ void MediaSource::resolve(const std::string& manifest_url, ReadyFn on_ready,
   pump();
 }
 
-void MediaSource::enqueue(http::Request request, Handler handler) {
-  queue_.emplace_back(std::move(request), std::move(handler));
+void MediaSource::enqueue(http::Request request, Handler handler,
+                          bool droppable) {
+  PendingFetch entry;
+  entry.request = std::move(request);
+  entry.handler = std::move(handler);
+  entry.droppable = droppable;
+  entry.attempts_left = options_.retries;
+  queue_.push_back(std::move(entry));
 }
 
 void MediaSource::pump() {
@@ -51,18 +57,34 @@ void MediaSource::pump() {
     finish();
     return;
   }
-  auto [request, handler] = std::move(queue_.front());
+  PendingFetch entry = std::move(queue_.front());
   queue_.pop_front();
+  issue(std::move(entry));
+}
+
+void MediaSource::issue(PendingFetch entry) {
   in_flight_ = true;
+  const http::Request request = entry.request;
   const int id = client_.fetch(
-      request, [this, handler = std::move(handler)](const http::Response& r) {
+      request, [this, entry = std::move(entry)](const http::Response& r) mutable {
         in_flight_ = false;
         if (!r.ok()) {
+          if (entry.attempts_left > 0) {
+            --entry.attempts_left;
+            issue(std::move(entry));  // each re-issue still costs >= 1 RTT
+            return;
+          }
+          if (entry.droppable && options_.tolerate_variant_loss) {
+            // Stale-manifest fallback: carry on without this track; the
+            // session only fails later if no video track survived.
+            pump();
+            return;
+          }
           fail(format("manifest fetch failed with status %d", r.status));
           return;
         }
         try {
-          handler(r);
+          entry.handler(r);
         } catch (const Error& e) {
           fail(e.what());
           return;
@@ -114,7 +136,8 @@ void MediaSource::handle_hls_master(const std::string& url,
           track.sizes_known =
               !track.segments.empty() && track.segments.front().size > 0;
           presentation_.video.push_back(std::move(track));
-        });
+        },
+        /*droppable=*/true);
   }
 }
 
@@ -197,7 +220,8 @@ void MediaSource::handle_dash_mpd(const std::string& url,
               auto& ladder =
                   is_video ? presentation_.video : presentation_.audio;
               ladder.push_back(std::move(track));
-            });
+            },
+            /*droppable=*/true);
       } else {
         throw ParseError("representation without segment information");
       }

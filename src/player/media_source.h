@@ -26,6 +26,12 @@ class MediaSource {
   struct Options {
     manifest::Protocol protocol = manifest::Protocol::kHls;
     bool can_descramble = false;
+    /// Extra attempts per manifest-path fetch before it counts as failed
+    /// (0 = first failure is final).
+    int retries = 0;
+    /// Stale-manifest fallback: skip an unfetchable variant playlist / sidx
+    /// track (droppable fetches) instead of failing the whole resolution.
+    bool tolerate_variant_loss = false;
   };
 
   MediaSource(http::HttpClient& client, Options options);
@@ -40,8 +46,18 @@ class MediaSource {
  private:
   using Handler = std::function<void(const http::Response&)>;
 
-  void enqueue(http::Request request, Handler handler);
+  /// A queued manifest-path fetch. `droppable` marks per-track resources
+  /// (variant playlists, sidx boxes) the resolution can survive without.
+  struct PendingFetch {
+    http::Request request;
+    Handler handler;
+    bool droppable = false;
+    int attempts_left = 0;
+  };
+
+  void enqueue(http::Request request, Handler handler, bool droppable = false);
   void pump();
+  void issue(PendingFetch entry);
   void fail(const std::string& reason);
   void finish();
 
@@ -51,7 +67,7 @@ class MediaSource {
 
   http::HttpClient& client_;
   Options options_;
-  std::deque<std::pair<http::Request, Handler>> queue_;
+  std::deque<PendingFetch> queue_;
   bool in_flight_ = false;
   bool failed_ = false;
   manifest::Presentation presentation_;

@@ -39,14 +39,17 @@ Player::Player(net::Simulator& sim, net::Link& link, http::Proxy& proxy,
       protocol_(protocol),
       estimator_(config_.estimator_alpha),
       video_buffer_(/*allow_mid_replacement=*/true),
-      audio_buffer_(/*allow_mid_replacement=*/true) {
+      audio_buffer_(/*allow_mid_replacement=*/true),
+      retry_rng_(config_.resilience_seed) {
   http::HttpClient::Options options;
   options.max_connections = config_.max_connections;
   options.tcp = config_.tcp;
   options.tcp.persistent = config_.persistent_connections;
   client_ = std::make_unique<http::HttpClient>(sim_, link, proxy, options);
-  media_source_ = std::make_unique<MediaSource>(
-      *client_, MediaSource::Options{protocol, /*can_descramble=*/true});
+  MediaSource::Options source_options{protocol, /*can_descramble=*/true};
+  source_options.retries = config_.manifest_retries;
+  source_options.tolerate_variant_loss = config_.tolerate_variant_loss;
+  media_source_ = std::make_unique<MediaSource>(*client_, source_options);
   abr_ = make_abr(config_);
   if (config_.sr != SrPolicy::kNone && config_.sr != SrPolicy::kPerSegment) {
     VODX_ASSERT(config_.max_connections == 1 || config_.av_scheduling ==
@@ -294,6 +297,7 @@ void Player::tick(Seconds dt) {
     meter_last_seen_ = flowed;
   }
   if (state_ == PlayerState::kPlaying && !user_paused_) advance_playback(dt);
+  check_fetch_timeouts();
   update_state();
   schedule_downloads();
   emit_seekbar();
@@ -682,44 +686,101 @@ void Player::on_segment_done(int fetch_key, const http::Response& response) {
   fetches_.erase(it);
   --in_flight_count_[done.pipeline];
   if (done.failed) {
-    if (fetch_failures_metric_ != nullptr) fetch_failures_metric_->add();
-    if (obs::trace_on(obs_, obs::Category::kPlayer)) {
-      obs_->trace.instant(
-          sim_.now(), obs::Category::kPlayer, "fetch.failed", player_track_,
-          {obs::Field::n("index", done.index),
-           obs::Field::n("level", done.level),
-           obs::Field::n("attempt", done.attempt),
-           obs::Field::n("replacement", done.replacement ? 1 : 0)});
-    }
-    // Transient failures get retried with linear backoff; replacement
-    // downloads are opportunistic and are simply dropped. Once the retry
-    // budget is exhausted the pipeline stops advancing — no further
-    // content will arrive (which is exactly what the black-box startup
-    // probe needs to observe).
-    if (!done.replacement && done.attempt + 1 < config_.fetch_retries) {
-      FetchInfo retry = done;
-      retry.transfer_ids.clear();
-      retry.accumulated_bytes = 0;
-      retry.subrequests_remaining = 0;
-      ++retry.attempt;
-      retries_[done.pipeline].push_back(
-          {retry, sim_.now() + config_.retry_backoff * retry.attempt});
-      return;
-    }
-    if (!done.replacement &&
-        obs::trace_on(obs_, obs::Category::kPlayer)) {
-      obs_->trace.instant(sim_.now(), obs::Category::kPlayer,
-                          "pipeline.giveup", player_track_,
-                          {obs::Field::n("pipeline", done.pipeline),
-                           obs::Field::n("index", done.index)});
-    }
-    next_index_[done.pipeline] =
-        static_cast<int>((done.pipeline == kVideoPipe ? video_track(0)
-                                                      : audio_track())
-                             .segments.size());
+    handle_fetch_failure(done);
     return;
   }
   complete_segment(done);
+}
+
+void Player::handle_fetch_failure(const FetchInfo& done) {
+  if (fetch_failures_metric_ != nullptr) fetch_failures_metric_->add();
+  if (obs::trace_on(obs_, obs::Category::kPlayer)) {
+    obs_->trace.instant(
+        sim_.now(), obs::Category::kPlayer, "fetch.failed", player_track_,
+        {obs::Field::n("index", done.index),
+         obs::Field::n("level", done.level),
+         obs::Field::n("attempt", done.attempt),
+         obs::Field::n("replacement", done.replacement ? 1 : 0)});
+  }
+  // Transient failures get retried with linear backoff; replacement
+  // downloads are opportunistic and are simply dropped. Once the retry
+  // budget is exhausted the pipeline stops advancing — no further
+  // content will arrive (which is exactly what the black-box startup
+  // probe needs to observe).
+  if (!done.replacement && done.attempt + 1 < config_.fetch_retries) {
+    FetchInfo retry = done;
+    retry.transfer_ids.clear();
+    retry.accumulated_bytes = 0;
+    retry.subrequests_remaining = 0;
+    ++retry.attempt;
+    Seconds backoff = config_.retry_backoff * retry.attempt;
+    if (config_.retry_jitter > 0) {
+      // Seeded jitter decorrelates retry storms; the stream is only ever
+      // consumed here, so enabling it cannot perturb anything else.
+      backoff += config_.retry_jitter * config_.retry_backoff *
+                 retry_rng_.uniform(0, 1);
+    }
+    retries_[done.pipeline].push_back({retry, sim_.now() + backoff});
+    return;
+  }
+  // Graceful abandon-and-downswitch: instead of giving the pipeline up,
+  // spend one last attempt on the cheapest rendition. A level-0 failure
+  // falls through to the give-up below.
+  if (!done.replacement && config_.abandon_downswitch && done.level > 0) {
+    FetchInfo retry = done;
+    retry.transfer_ids.clear();
+    retry.accumulated_bytes = 0;
+    retry.subrequests_remaining = 0;
+    retry.level = 0;
+    retry.attempt = std::max(0, config_.fetch_retries - 1);
+    if (obs::trace_on(obs_, obs::Category::kPlayer)) {
+      obs_->trace.instant(sim_.now(), obs::Category::kPlayer,
+                          "fetch.downswitch", player_track_,
+                          {obs::Field::n("index", done.index),
+                           obs::Field::n("from_level", done.level)});
+    }
+    retries_[done.pipeline].push_back(
+        {retry, sim_.now() + config_.retry_backoff});
+    return;
+  }
+  if (!done.replacement && obs::trace_on(obs_, obs::Category::kPlayer)) {
+    obs_->trace.instant(sim_.now(), obs::Category::kPlayer,
+                        "pipeline.giveup", player_track_,
+                        {obs::Field::n("pipeline", done.pipeline),
+                         obs::Field::n("index", done.index)});
+  }
+  next_index_[done.pipeline] =
+      static_cast<int>((done.pipeline == kVideoPipe ? video_track(0)
+                                                    : audio_track())
+                           .segments.size());
+}
+
+void Player::check_fetch_timeouts() {
+  if (config_.fetch_timeout <= 0 || fetches_.empty()) return;
+  const Seconds deadline = sim_.now() - config_.fetch_timeout;
+  // Collect first: aborting mutates client state, and handle_fetch_failure
+  // may push retries that schedule_downloads turns into new fetches_.
+  std::vector<int> expired;
+  for (const auto& [key, info] : fetches_) {
+    if (info.issued_at <= deadline) expired.push_back(key);
+  }
+  for (int key : expired) {
+    auto it = fetches_.find(key);
+    if (it == fetches_.end()) continue;
+    FetchInfo done = it->second;
+    for (int id : done.transfer_ids) client_->abort(id);
+    fetches_.erase(it);
+    --in_flight_count_[done.pipeline];
+    if (obs::trace_on(obs_, obs::Category::kPlayer)) {
+      obs_->trace.instant(
+          sim_.now(), obs::Category::kPlayer, "fetch.timeout", player_track_,
+          {obs::Field::n("index", done.index),
+           obs::Field::n("level", done.level),
+           obs::Field::n("waited_s", sim_.now() - done.issued_at)});
+    }
+    done.failed = true;
+    handle_fetch_failure(done);
+  }
 }
 
 void Player::complete_segment(FetchInfo info) {

@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/rng.h"
 #include "http/http_client.h"
 #include "manifest/presentation.h"
 #include "obs/observer.h"
@@ -193,6 +194,12 @@ class Player {
   /// issued or the pipeline must wait for one (blocking future fetches).
   bool service_retries(int pipeline, int parallelism, bool* blocked);
   void on_segment_done(int fetch_key, const http::Response& response);
+  /// Retry / downswitch / give-up policy for a fetch whose last attempt
+  /// failed (HTTP error, reset, or timeout).
+  void handle_fetch_failure(const FetchInfo& done);
+  /// Aborts in-flight fetches older than config_.fetch_timeout and funnels
+  /// them through handle_fetch_failure. No-op when the timeout is 0.
+  void check_fetch_timeouts();
   void complete_segment(FetchInfo info);
 
   int select_video_level_for(int next_index);
@@ -228,6 +235,9 @@ class Player {
   int in_flight_count_[2] = {0, 0};
   std::map<int, FetchInfo> fetches_;  ///< by fetch key
   std::deque<PendingRetry> retries_[2];
+  /// Jitter stream for retry backoff; consulted only when retry_jitter > 0,
+  /// so stock configs never touch it.
+  Rng retry_rng_;
   int next_fetch_key_ = 0;
   Seconds next_seekbar_at_ = 0;
   int last_display_index_ = -1;

@@ -62,7 +62,7 @@ TEST(SteadyState, OnlyD1IsUnstable) {
   for (const char* name : {"H1", "D1", "D2", "S2"}) {
     const services::ServiceSpec& spec = services::service(name);
     const Bps bw = 0.6 * spec.video_ladder.back();
-    SteadyStateProbe probe = probe_steady_state(spec, bw);
+    SteadyStateProbe probe = probe_steady_state(spec, {.bandwidth = bw});
     if (std::string(name) == "D1") {
       EXPECT_FALSE(probe.converged) << name;
       EXPECT_GT(probe.steady_switches, 5) << name;
@@ -80,9 +80,9 @@ TEST(SteadyState, AggressivenessSeparatesServices) {
   double d2_max = 0;
   for (double bw : {1.2e6, 2.1e6, 3.6e6}) {
     d3_max = std::max(d3_max,
-                      probe_steady_state(d3, bw).declared_over_bandwidth);
+                      probe_steady_state(d3, {.bandwidth = bw}).declared_over_bandwidth);
     d2_max = std::max(d2_max,
-                      probe_steady_state(d2, bw).declared_over_bandwidth);
+                      probe_steady_state(d2, {.bandwidth = bw}).declared_over_bandwidth);
   }
   EXPECT_GE(d3_max, 1.0);  // selects declared at/above the link rate
   EXPECT_LT(d2_max, 0.6);
@@ -107,7 +107,8 @@ TEST(ManifestVariants, ShiftKeepsDeclaredChangesActual) {
       services::make_origin(spec, 600, 42);
   const std::string original =
       origin.handle({http::Method::kGet, "/manifest.mpd", {}}).body;
-  const std::string shifted = shift_tracks_variant()("/manifest.mpd", original);
+  const std::string shifted =
+      shift_tracks_variant()->on_manifest("/manifest.mpd", original);
   manifest::DashMpd before = manifest::DashMpd::parse(original);
   manifest::DashMpd after = manifest::DashMpd::parse(shifted);
   const auto& reps_before = before.adaptation_sets[0].representations;
@@ -127,7 +128,7 @@ TEST(ManifestVariants, D2ProvedDeclaredOnly) {
   EXPECT_LT(probe.bandwidth_utilization, 0.55);
 }
 
-TEST(RejectHook, OnlyVideoSegmentsAreRejected) {
+TEST(RejectInterceptor, OnlyVideoSegmentsAreRejected) {
   // A probe with allow=2 lets exactly two distinct video segments through
   // while audio flows freely.
   SessionConfig config;
@@ -135,7 +136,7 @@ TEST(RejectHook, OnlyVideoSegmentsAreRejected) {
   config.trace = net::BandwidthTrace::constant(8e6, 60);
   config.session_duration = 60;
   config.content_duration = 600;
-  config.reject_hook_factory = reject_after_n_video_segments(2);
+  config.interceptors.push_back(reject_after_n_video_segments(2));
   SessionResult r = run_session(config);
   std::set<int> video_indexes;
   int audio_count = 0;

@@ -1,0 +1,173 @@
+// vodx::faults unit coverage: the scenario catalog, blackout trace carving,
+// the hardened player profile, and the injector's seed-derived decisions.
+#include "faults/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "faults/fault_injector.h"
+#include "http/message.h"
+
+namespace vodx::faults {
+namespace {
+
+TEST(ScenarioCatalog, NoneBaselinePlusAtLeastFourPathologies) {
+  const std::vector<Scenario>& catalog = scenario_catalog();
+  ASSERT_FALSE(catalog.empty());
+  EXPECT_EQ(catalog.front().name, "none");
+  EXPECT_TRUE(catalog.front().plan.empty());
+  int pathologies = 0;
+  for (const Scenario& s : catalog) {
+    EXPECT_FALSE(s.description.empty()) << s.name;
+    if (!s.plan.empty()) ++pathologies;
+  }
+  EXPECT_GE(pathologies, 4);
+}
+
+TEST(ScenarioCatalog, LookupByNameAndUnknownThrows) {
+  EXPECT_FALSE(scenario("resets").resets.empty());
+  EXPECT_FALSE(scenario("blackout").blackouts.empty());
+  EXPECT_TRUE(scenario("none").empty());
+  EXPECT_THROW(scenario("no-such-scenario"), ConfigError);
+}
+
+TEST(ApplyBlackouts, CarvesZeroBandwidthWindows) {
+  const net::BandwidthTrace trace = net::BandwidthTrace::constant(5e6, 600);
+  const net::BandwidthTrace cut =
+      apply_blackouts(trace, {{120, 20}, {300, 15}});
+  EXPECT_DOUBLE_EQ(cut.duration(), trace.duration());
+  EXPECT_DOUBLE_EQ(cut.at(119), 5e6);
+  EXPECT_DOUBLE_EQ(cut.at(121), 0);
+  EXPECT_DOUBLE_EQ(cut.at(139.5), 0);
+  EXPECT_DOUBLE_EQ(cut.at(141), 5e6);
+  EXPECT_DOUBLE_EQ(cut.at(310), 0);
+  EXPECT_DOUBLE_EQ(cut.at(316), 5e6);
+}
+
+TEST(HardenedConfig, EnablesEveryResilienceKnob) {
+  player::PlayerConfig base;
+  player::PlayerConfig h = hardened(base, 0xABCDEF);
+  EXPECT_GT(h.fetch_timeout, 0);
+  EXPECT_GT(h.fetch_retries, base.fetch_retries);
+  EXPECT_GT(h.retry_jitter, 0);
+  EXPECT_TRUE(h.abandon_downswitch);
+  EXPECT_EQ(h.resilience_seed, 0xABCDEFu);
+  EXPECT_GT(h.manifest_retries, 0);
+  EXPECT_TRUE(h.tolerate_variant_loss);
+}
+
+http::Request seg_request(int i) {
+  return {http::Method::kGet, "/video/0/seg" + std::to_string(i) + ".ts", {}};
+}
+
+/// Runs `n` requests through the injector and fingerprints every decision.
+std::string decisions(FaultInjector& injector, int n, Seconds now = 100) {
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    const http::Request request = seg_request(i);
+    std::optional<http::Response> injected =
+        injector.on_request(request, now);
+    http::Response response =
+        injected ? *injected : http::make_media("video/mp2t", 40000);
+    injector.on_response(request, response, now);
+    out += injected ? 'E' : '.';
+    out += response.reset_after >= 0 ? 'R' : '.';
+    out += response.added_latency > 0 ? 'L' : '.';
+  }
+  return out;
+}
+
+FaultPlan mixed_plan(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.name = "mixed";
+  plan.seed = seed;
+  plan.errors.push_back({{}, 503, 0.2});
+  plan.resets.push_back({{}, 0.5, 0.2});
+  plan.latency.push_back({{}, 0.3, 0.2, 0.4});
+  return plan;
+}
+
+TEST(FaultInjector, SameSeedSameSchedule) {
+  FaultInjector a(mixed_plan(17));
+  FaultInjector b(mixed_plan(17));
+  const std::string da = decisions(a, 200);
+  EXPECT_EQ(da, decisions(b, 200));
+  EXPECT_EQ(a.stats().errors, b.stats().errors);
+  EXPECT_EQ(a.stats().resets, b.stats().resets);
+  EXPECT_EQ(a.stats().delayed, b.stats().delayed);
+  // ~20% rates actually fire over 200 draws.
+  EXPECT_GT(a.stats().errors, 10);
+  EXPECT_GT(a.stats().resets, 10);
+  EXPECT_GT(a.stats().delayed, 10);
+}
+
+TEST(FaultInjector, DifferentSeedDifferentSchedule) {
+  FaultInjector a(mixed_plan(17));
+  FaultInjector b(mixed_plan(18));
+  EXPECT_NE(decisions(a, 200), decisions(b, 200));
+}
+
+TEST(FaultInjector, EveryNthRejectCountsOnlyMatches) {
+  FaultPlan plan;
+  plan.rejects.push_back({{/*url_contains=*/"seg"}, /*every_nth=*/3});
+  FaultInjector injector(plan);
+  int rejected = 0;
+  for (int i = 0; i < 9; ++i) {
+    // Non-matching traffic interleaved: it must not advance the counter.
+    http::Request manifest{http::Method::kGet, "/master.m3u8", {}};
+    EXPECT_FALSE(injector.on_request(manifest, 0).has_value());
+    http::Response pass = http::make_ok("application/vnd.apple.mpegurl", "#");
+    injector.on_response(manifest, pass, 0);
+
+    const http::Request request = seg_request(i);
+    std::optional<http::Response> injected = injector.on_request(request, 0);
+    if (injected) {
+      ++rejected;
+      EXPECT_EQ(injected->status, 403);
+    }
+    http::Response response =
+        injected ? *injected : http::make_media("video/mp2t", 1000);
+    injector.on_response(request, response, 0);
+  }
+  EXPECT_EQ(rejected, 3);  // every 3rd of 9 matching requests
+  EXPECT_EQ(injector.stats().rejected, 3);
+}
+
+TEST(FaultInjector, DeterministicLatencyAndResetMagnitudes) {
+  FaultPlan plan;
+  plan.latency.push_back({{}, /*base=*/0.2, /*jitter=*/0, /*probability=*/1});
+  plan.resets.push_back({{}, /*after_fraction=*/0.5, /*probability=*/1});
+  FaultInjector injector(plan);
+  const http::Request request = seg_request(0);
+  http::Response response = http::make_media("video/mp2t", 40000);
+  const Bytes wire = response.wire_size();
+  injector.on_response(request, response, 0);
+  EXPECT_DOUBLE_EQ(response.added_latency, 0.2);
+  EXPECT_EQ(response.reset_after, wire / 2);
+
+  // Error responses move no media bytes: latency still applies, resets don't.
+  http::Response error = http::make_error(503, "x");
+  injector.on_response(request, error, 0);
+  EXPECT_DOUBLE_EQ(error.added_latency, 0.2);
+  EXPECT_EQ(error.reset_after, -1);
+}
+
+TEST(FaultInjector, TimeWindowGatesFaults) {
+  FaultPlan plan;
+  ErrorFault fault;
+  fault.match.start = 10;
+  fault.match.end = 20;
+  fault.probability = 1;
+  plan.errors.push_back(fault);
+  FaultInjector injector(plan);
+  EXPECT_FALSE(injector.on_request(seg_request(0), 5).has_value());
+  EXPECT_TRUE(injector.on_request(seg_request(0), 15).has_value());
+  EXPECT_FALSE(injector.on_request(seg_request(0), 25).has_value());
+  EXPECT_EQ(injector.stats().errors, 1);
+}
+
+}  // namespace
+}  // namespace vodx::faults

@@ -1,0 +1,94 @@
+// The determinism contract extended to the fault axis: a (service × profile
+// × seed × fault-scenario) grid serializes byte-identically at any --jobs,
+// the fault schedule derives only from the cell coordinates, and unknown
+// scenario names degrade to per-cell failures.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "batch/sweep.h"
+#include "faults/fault_plan.h"
+
+namespace vodx::batch {
+namespace {
+
+SweepConfig fault_grid(int jobs) {
+  SweepConfig config;
+  const std::vector<services::ServiceSpec>& catalog = services::catalog();
+  config.services = {catalog[0], catalog[4], catalog[8], catalog[11]};
+  config.profiles = {7};
+  config.fault_scenarios.clear();
+  for (const faults::Scenario& s : faults::scenario_catalog()) {
+    config.fault_scenarios.push_back(s.name);
+  }
+  config.session_duration = 120;
+  config.jobs = jobs;
+  return config;
+}
+
+TEST(FaultSweepDeterminism, FaultAxisByteIdenticalAcrossJobCounts) {
+  const SweepResult serial = run_sweep(fault_grid(1));
+  ASSERT_EQ(serial.cells.size(),
+            4 * faults::scenario_catalog().size());
+  ASSERT_EQ(serial.failed, 0);
+  const std::string csv1 = sweep_csv(serial);
+  const std::string jsonl1 = sweep_jsonl(serial);
+
+  for (int jobs : {2, 8}) {
+    const SweepResult parallel = run_sweep(fault_grid(jobs));
+    EXPECT_EQ(parallel.failed, 0);
+    EXPECT_EQ(sweep_csv(parallel), csv1) << "jobs=" << jobs;
+    EXPECT_EQ(sweep_jsonl(parallel), jsonl1) << "jobs=" << jobs;
+  }
+}
+
+TEST(FaultSweepDeterminism, FaultSeedIsAPureFunctionOfCoordinates) {
+  EXPECT_EQ(fault_seed_for(0, 1, 2, 3), fault_seed_for(0, 1, 2, 3));
+  // Every coordinate perturbs the schedule seed.
+  EXPECT_NE(fault_seed_for(0, 1, 2, 3), fault_seed_for(1, 1, 2, 3));
+  EXPECT_NE(fault_seed_for(0, 1, 2, 3), fault_seed_for(0, 2, 2, 3));
+  EXPECT_NE(fault_seed_for(0, 1, 2, 3), fault_seed_for(0, 1, 3, 3));
+  EXPECT_NE(fault_seed_for(0, 1, 2, 3), fault_seed_for(0, 1, 2, 4));
+}
+
+TEST(FaultSweepDeterminism, UnknownScenarioIsAPerCellFailure) {
+  SweepConfig config;
+  config.services = {services::catalog()[0]};
+  config.profiles = {7};
+  config.fault_scenarios = {"none", "no-such-scenario"};
+  config.session_duration = 30;
+  config.jobs = 2;
+  const SweepResult result = run_sweep(config);
+  ASSERT_EQ(result.cells.size(), 2u);
+  EXPECT_EQ(result.failed, 1);
+  EXPECT_TRUE(result.cells[0].ok);
+  EXPECT_FALSE(result.cells[1].ok);
+  EXPECT_NE(result.cells[1].error.find("unknown fault scenario"),
+            std::string::npos);
+  // Failed coordinates name the scenario for the diagnostics line.
+  EXPECT_NE(result.cells[1].coordinates().find("no-such-scenario"),
+            std::string::npos);
+}
+
+TEST(FaultSweepDeterminism, DefaultAxisKeepsLegacyGridShape) {
+  // No fault axis requested: one implicit "none" entry, indices and CSV
+  // coordinates exactly as the pre-fault engine produced them.
+  SweepConfig config;
+  config.services = {services::catalog()[0]};
+  config.profiles = {3, 7};
+  config.session_duration = 30;
+  const SweepResult result = run_sweep(config);
+  ASSERT_EQ(result.cells.size(), 2u);
+  EXPECT_EQ(result.cells[0].profile_id, 3);
+  EXPECT_EQ(result.cells[1].profile_id, 7);
+  for (const CellResult& cell : result.cells) {
+    EXPECT_EQ(cell.fault, "none");
+    EXPECT_EQ(cell.cell.fault_index, 0);
+    // "none" cells run without a fault plan at all.
+    EXPECT_EQ(cell.result.faults.rejected, 0);
+    EXPECT_EQ(cell.coordinates().find("fault"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace vodx::batch

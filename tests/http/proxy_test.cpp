@@ -12,7 +12,7 @@ using vodx::testing::small_asset;
 TEST(Proxy, PassesThroughByDefault) {
   OriginServer origin(small_asset(), {manifest::Protocol::kHls});
   Proxy proxy(origin);
-  Response r = proxy.resolve({Method::kGet, "/master.m3u8", {}});
+  Response r = proxy.resolve({Method::kGet, "/master.m3u8", {}}, 0);
   EXPECT_TRUE(r.ok());
   EXPECT_NE(r.body.find("#EXTM3U"), std::string::npos);
 }
@@ -20,9 +20,9 @@ TEST(Proxy, PassesThroughByDefault) {
 TEST(Proxy, ManifestTransformRewritesBodyAndSize) {
   OriginServer origin(small_asset(), {manifest::Protocol::kHls});
   Proxy proxy(origin);
-  proxy.set_manifest_transform(
-      [](const std::string&, const std::string&) { return std::string("#X"); });
-  Response r = proxy.resolve({Method::kGet, "/master.m3u8", {}});
+  proxy.use(transform_manifest(
+      [](const std::string&, std::string) { return std::string("#X"); }));
+  Response r = proxy.resolve({Method::kGet, "/master.m3u8", {}}, 0);
   EXPECT_EQ(r.body, "#X");
   EXPECT_EQ(r.payload_size, 2);
 }
@@ -30,21 +30,22 @@ TEST(Proxy, ManifestTransformRewritesBodyAndSize) {
 TEST(Proxy, TransformDoesNotTouchMedia) {
   OriginServer origin(small_asset(), {manifest::Protocol::kHls});
   Proxy proxy(origin);
-  proxy.set_manifest_transform(
-      [](const std::string&, const std::string&) { return std::string(); });
-  Response r = proxy.resolve({Method::kGet, "/video/0/seg0.ts", {}});
+  proxy.use(transform_manifest(
+      [](const std::string&, std::string) { return std::string(); }));
+  Response r = proxy.resolve({Method::kGet, "/video/0/seg0.ts", {}}, 0);
   EXPECT_TRUE(r.ok());
   EXPECT_GT(r.payload_size, 0);
 }
 
-TEST(Proxy, RejectHookAnswers403) {
+TEST(Proxy, RejectInterceptorAnswers403) {
   OriginServer origin(small_asset(), {manifest::Protocol::kHls});
   Proxy proxy(origin);
-  proxy.set_reject_hook([](const Request& request) {
+  proxy.use(reject_if([](const Request& request) {
     return request.url.find("seg") != std::string::npos;
-  });
-  EXPECT_EQ(proxy.resolve({Method::kGet, "/video/0/seg0.ts", {}}).status, 403);
-  EXPECT_TRUE(proxy.resolve({Method::kGet, "/master.m3u8", {}}).ok());
+  }));
+  EXPECT_EQ(proxy.resolve({Method::kGet, "/video/0/seg0.ts", {}}, 0).status,
+            403);
+  EXPECT_TRUE(proxy.resolve({Method::kGet, "/master.m3u8", {}}, 0).ok());
 }
 
 TEST(TrafficLogTest, RecordsLifecycle) {

@@ -10,13 +10,15 @@
 //   vodx trace <profile> [out]     — emit a cellular profile as text
 //   vodx energy <svc> [profile]    — RRC radio-energy analysis (§3.3.2)
 //   vodx sweep [...]               — parallel (service × profile × seed) grid
+//   vodx faults [...]              — fault-scenario grid (service × scenario)
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "arg_parse.h"
 #include "batch/sweep.h"
 #include "common/error.h"
 #include "common/strings.h"
@@ -26,12 +28,13 @@
 #include "core/radio_energy.h"
 #include "core/report.h"
 #include "core/session.h"
-#include "obs/export.h"
+#include "faults/fault_plan.h"
 #include "obs/observer.h"
 #include "trace/cellular_profiles.h"
 #include "trace/trace_io.h"
 
 using namespace vodx;
+using tools::Args;
 
 namespace {
 
@@ -47,62 +50,22 @@ int usage() {
       "  vodx trace <profile> [out.txt]\n"
       "  vodx energy <service> [profile=7]\n"
       "  vodx sweep [--services all|H1,D2,...] [--profiles all|1-14|2,5]\n"
-      "             [--seeds 0|0-4|1,7] [--jobs N] [--duration secs]\n"
+      "             [--seeds 0|0-4|1,7] [--faults none|all|resets,...]\n"
+      "             [--jobs N] [--duration secs]\n"
       "             [--csv out.csv] [--jsonl out.jsonl] [--progress]\n"
       "        runs the grid in parallel; output is byte-identical for\n"
       "        every --jobs value. Default: full 12x14 grid, seed 0,\n"
-      "        one worker per hardware thread, CSV on stdout.\n");
+      "        one worker per hardware thread, CSV on stdout.\n"
+      "  vodx faults [--list] [--services all|H1,...] [--scenarios all|...]\n"
+      "              [--profiles 7|...] [--seeds 0|...] [--hardened]\n"
+      "              [--jobs N] [--duration secs]\n"
+      "              [--csv out.csv] [--jsonl out.jsonl] [--progress]\n"
+      "        runs every service under scripted fault scenarios and prints\n"
+      "        a resilience table. --hardened plays the same grid with the\n"
+      "        fault-tolerant player configuration. Deterministic: the fault\n"
+      "        schedule derives from (seed, cell), never from --jobs.\n");
   return 2;
 }
-
-/// Observability outputs requested on the command line. The observer is
-/// created lazily: a session without any -out flag runs untraced (and thus
-/// at full speed).
-struct ObsOutputs {
-  std::string chrome_trace_path;  ///< --trace-out (chrome://tracing JSON)
-  std::string jsonl_path;         ///< --events-out (one event per line)
-  std::string metrics_path;       ///< --metrics-out (text table)
-
-  bool wanted() const {
-    return !chrome_trace_path.empty() || !jsonl_path.empty() ||
-           !metrics_path.empty();
-  }
-
-  /// Consumes `--trace-out f` style pairs; returns true if argv[i] matched
-  /// (i is advanced past the value).
-  bool parse(int argc, char** argv, int& i) {
-    auto take = [&](const char* flag, std::string& out) {
-      if (std::strcmp(argv[i], flag) != 0 || i + 1 >= argc) return false;
-      out = argv[++i];
-      return true;
-    };
-    return take("--trace-out", chrome_trace_path) ||
-           take("--events-out", jsonl_path) ||
-           take("--metrics-out", metrics_path);
-  }
-
-  void write(const obs::Observer& observer, Seconds session_end) const {
-    auto open = [](const std::string& path) {
-      std::ofstream out(path);
-      if (!out) throw Error(format("cannot write %s", path.c_str()));
-      return out;
-    };
-    if (!chrome_trace_path.empty()) {
-      std::ofstream out = open(chrome_trace_path);
-      obs::write_chrome_trace(observer.trace, out);
-      std::fprintf(stderr, "wrote %s (%zu events; open in chrome://tracing)\n",
-                   chrome_trace_path.c_str(), observer.trace.size());
-    }
-    if (!jsonl_path.empty()) {
-      std::ofstream out = open(jsonl_path);
-      obs::write_jsonl(observer.trace, out);
-    }
-    if (!metrics_path.empty()) {
-      std::ofstream out = open(metrics_path);
-      out << obs::metrics_report(observer.metrics.snapshot(session_end));
-    }
-  }
-};
 
 int cmd_list() {
   Table table({"service", "protocol", "tracks", "segdur", "audio",
@@ -140,28 +103,27 @@ core::SessionResult run(const services::ServiceSpec& spec,
   return core::run_session(config);
 }
 
-int cmd_play(const std::string& service, int argc, char** argv) {
+int cmd_play(const std::string& service, Args& args) {
   net::BandwidthTrace trace = trace::cellular_profile(7);
   bool csv = false;
   bool buffer_csv_out = false;
-  ObsOutputs outputs;
-  for (int i = 0; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
-      trace = trace::load_trace(argv[++i]);
-    } else if (std::strcmp(argv[i], "--csv") == 0) {
+  tools::ObsOutputs outputs;
+  while (!args.done()) {
+    if (const char* v = args.value("--trace")) {
+      trace = trace::load_trace(v);
+    } else if (args.flag("--csv")) {
       csv = true;
-    } else if (std::strcmp(argv[i], "--buffer-csv") == 0) {
+    } else if (args.flag("--buffer-csv")) {
       buffer_csv_out = true;
-    } else if (outputs.parse(argc, argv, i)) {
+    } else if (outputs.parse(args)) {
       // consumed a --*-out flag and its value
-    } else if (argv[i][0] == '-') {
-      std::fprintf(stderr, "error: unknown or incomplete option %s\n",
-                   argv[i]);
-      return usage();
+    } else if (const char* profile = args.positional()) {
+      trace = trace::cellular_profile(std::atoi(profile));
     } else {
-      trace = trace::cellular_profile(std::atoi(argv[i]));
+      args.unknown();
     }
   }
+  if (args.failed()) return usage();
   const services::ServiceSpec& spec = services::service(service);
   std::unique_ptr<obs::Observer> observer;
   if (outputs.wanted()) observer = std::make_unique<obs::Observer>();
@@ -237,105 +199,82 @@ int cmd_energy(const std::string& service, int profile) {
   return 0;
 }
 
-/// Expands "all", "3", "1-5" and comma-joined mixes of those into a list of
-/// integers; malformed tokens are reported to stderr and skipped.
-std::vector<std::int64_t> parse_int_list(const std::string& text,
-                                         std::int64_t all_lo,
-                                         std::int64_t all_hi,
-                                         const char* what) {
-  std::vector<std::int64_t> out;
-  for (const std::string& token : split(text, ',')) {
-    const std::string t(trim(token));
-    if (t.empty()) continue;
-    if (t == "all") {
-      for (std::int64_t v = all_lo; v <= all_hi; ++v) out.push_back(v);
+/// All scenario names in catalog order (for "--scenarios all" and --list).
+std::vector<std::string> scenario_names() {
+  std::vector<std::string> names;
+  for (const faults::Scenario& s : faults::scenario_catalog()) {
+    names.push_back(s.name);
+  }
+  return names;
+}
+
+void parse_services(batch::SweepConfig& config, const char* v,
+                    const char* tool) {
+  config.services.clear();
+  for (const std::string& token : split(v, ',')) {
+    const std::string name(trim(token));
+    if (name.empty()) continue;
+    if (name == "all") {
+      config.services = services::catalog();
       continue;
     }
     try {
-      const std::size_t dash = t.find('-', 1);  // allow negative first number
-      if (dash == std::string::npos) {
-        out.push_back(parse_int(t));
-      } else {
-        const std::int64_t lo = parse_int(t.substr(0, dash));
-        const std::int64_t hi = parse_int(t.substr(dash + 1));
-        for (std::int64_t v = lo; v <= hi; ++v) out.push_back(v);
-      }
-    } catch (const Error&) {
-      std::fprintf(stderr, "sweep: bad %s token \"%s\" — skipped\n", what,
-                   t.c_str());
+      config.services.push_back(services::service(name));
+    } catch (const Error& e) {
+      std::fprintf(stderr, "%s: cell (%s, *, *): %s — skipped\n", tool,
+                   name.c_str(), e.what());
     }
   }
-  return out;
 }
 
-int cmd_sweep(int argc, char** argv) {
-  batch::SweepConfig config = batch::full_grid();
-  config.jobs = 0;  // one worker per hardware thread
+/// The grid flags `sweep` and `faults` share; parse() consumes one of them
+/// per call and returns false when the cursor points at something else.
+struct GridFlags {
   std::string csv_path;
   std::string jsonl_path;
   bool progress = false;
 
-  for (int i = 0; i < argc; ++i) {
-    auto value = [&](const char* flag) -> const char* {
-      if (std::strcmp(argv[i], flag) != 0) return nullptr;
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "error: %s needs a value\n", flag);
-        return nullptr;
-      }
-      return argv[++i];
-    };
-    if (const char* v = value("--services")) {
-      config.services.clear();
-      for (const std::string& token : split(v, ',')) {
-        const std::string name(trim(token));
-        if (name.empty()) continue;
-        if (name == "all") {
-          config.services = services::catalog();
-          continue;
-        }
-        try {
-          config.services.push_back(services::service(name));
-        } catch (const Error& e) {
-          std::fprintf(stderr, "sweep: cell (%s, *, *): %s — skipped\n",
-                       name.c_str(), e.what());
-        }
-      }
-    } else if (const char* v = value("--profiles")) {
+  bool parse(Args& args, batch::SweepConfig& config, const char* tool) {
+    if (const char* v = args.value("--services")) {
+      parse_services(config, v, tool);
+    } else if (const char* v = args.value("--profiles")) {
       // Out-of-range ids are kept: they become per-cell failures reported
       // with their coordinates, so one bad id never aborts the grid.
       config.profiles.clear();
       for (std::int64_t id :
-           parse_int_list(v, 1, trace::kProfileCount, "profile")) {
+           tools::parse_int_list(v, 1, trace::kProfileCount, "profile")) {
         config.profiles.push_back(static_cast<int>(id));
       }
-    } else if (const char* v = value("--seeds")) {
+    } else if (const char* v = args.value("--seeds")) {
       config.seeds.clear();
-      for (std::int64_t seed : parse_int_list(v, 0, 0, "seed")) {
+      for (std::int64_t seed : tools::parse_int_list(v, 0, 0, "seed")) {
         config.seeds.push_back(static_cast<std::uint64_t>(seed));
       }
-    } else if (const char* v = value("--jobs")) {
+    } else if (const char* v = args.value("--jobs")) {
       config.jobs = std::atoi(v);
-    } else if (const char* v = value("--duration")) {
+    } else if (const char* v = args.value("--duration")) {
       config.session_duration = parse_double(v);
-    } else if (const char* v = value("--csv")) {
+    } else if (const char* v = args.value("--csv")) {
       csv_path = v;
-    } else if (const char* v = value("--jsonl")) {
+    } else if (const char* v = args.value("--jsonl")) {
       jsonl_path = v;
-    } else if (std::strcmp(argv[i], "--progress") == 0) {
+    } else if (args.flag("--progress")) {
       progress = true;
     } else {
-      std::fprintf(stderr, "error: unknown or incomplete option %s\n",
-                   argv[i]);
-      return usage();
+      return false;
     }
+    return true;
   }
+};
+
+int run_grid(batch::SweepConfig& config, const GridFlags& flags,
+             bool print_table) {
   if (config.services.empty() || config.profiles.empty() ||
-      config.seeds.empty()) {
+      config.seeds.empty() || config.fault_scenarios.empty()) {
     std::fprintf(stderr, "error: empty sweep grid\n");
     return 2;
   }
-
-  if (progress) {
+  if (flags.progress) {
     config.progress = [](const batch::CellResult& cell, std::size_t done,
                          std::size_t total) {
       std::fprintf(stderr, "\r[%zu/%zu] %s%s", done, total,
@@ -352,23 +291,102 @@ int cmd_sweep(int argc, char** argv) {
     }
   }
 
-  const std::string csv = batch::sweep_csv(result);
-  if (csv_path.empty()) {
-    std::fputs(csv.c_str(), stdout);
-  } else {
-    std::ofstream out(csv_path);
-    if (!out) throw Error(format("cannot write %s", csv_path.c_str()));
-    out << csv;
-    std::fprintf(stderr, "wrote %s (%zu cells, %d failed)\n", csv_path.c_str(),
-                 result.cells.size(), result.failed);
+  if (print_table) {
+    // Per-cell resilience summary in grid order — byte-identical for every
+    // --jobs value (the grid order never depends on scheduling).
+    Table table({"service", "fault", "state", "startup", "stalls", "stall_s",
+                 "rej", "err", "rst", "lat", "qoe"});
+    for (const batch::CellResult& cell : result.cells) {
+      if (!cell.ok) {
+        table.add_row({cell.service, cell.fault, "FAILED", "-", "-", "-", "-",
+                       "-", "-", "-", "-"});
+        continue;
+      }
+      const core::QoeReport& q = cell.result.qoe;
+      const faults::FaultInjector::Stats& f = cell.result.faults;
+      table.add_row(
+          {cell.service, cell.fault,
+           player::to_string(cell.result.final_state),
+           format("%.1f", q.startup_delay), std::to_string(q.stall_count),
+           format("%.1f", q.total_stall), std::to_string(f.rejected),
+           std::to_string(f.errors), std::to_string(f.resets),
+           std::to_string(f.delayed),
+           format("%.2f", core::qoe_score(q, cell.result.session_end))});
+    }
+    table.print();
   }
-  if (!jsonl_path.empty()) {
-    std::ofstream out(jsonl_path);
-    if (!out) throw Error(format("cannot write %s", jsonl_path.c_str()));
+
+  const std::string csv = batch::sweep_csv(result);
+  if (!print_table && flags.csv_path.empty()) {
+    std::fputs(csv.c_str(), stdout);
+  } else if (!flags.csv_path.empty()) {
+    std::ofstream out(flags.csv_path);
+    if (!out) throw Error(format("cannot write %s", flags.csv_path.c_str()));
+    out << csv;
+    std::fprintf(stderr, "wrote %s (%zu cells, %d failed)\n",
+                 flags.csv_path.c_str(), result.cells.size(), result.failed);
+  }
+  if (!flags.jsonl_path.empty()) {
+    std::ofstream out(flags.jsonl_path);
+    if (!out) {
+      throw Error(format("cannot write %s", flags.jsonl_path.c_str()));
+    }
     out << batch::sweep_jsonl(result);
-    std::fprintf(stderr, "wrote %s\n", jsonl_path.c_str());
+    std::fprintf(stderr, "wrote %s\n", flags.jsonl_path.c_str());
   }
   return result.failed > 0 ? 1 : 0;
+}
+
+int cmd_sweep(Args& args) {
+  batch::SweepConfig config = batch::full_grid();
+  config.jobs = 0;  // one worker per hardware thread
+  GridFlags flags;
+  while (!args.done()) {
+    if (const char* v = args.value("--faults")) {
+      config.fault_scenarios = tools::parse_name_list(v, scenario_names());
+    } else if (!flags.parse(args, config, "sweep")) {
+      args.unknown();
+    }
+  }
+  if (args.failed()) return usage();
+  return run_grid(config, flags, /*print_table=*/false);
+}
+
+int cmd_faults(Args& args) {
+  batch::SweepConfig config;
+  config.services = services::catalog();
+  config.profiles = {7};
+  config.fault_scenarios = scenario_names();  // "none" baseline + pathologies
+  config.session_duration = 300;
+  config.jobs = 0;
+  GridFlags flags;
+  bool hardened = false;
+  while (!args.done()) {
+    if (args.flag("--list")) {
+      Table table({"scenario", "description"});
+      for (const faults::Scenario& s : faults::scenario_catalog()) {
+        table.add_row({s.name, s.description});
+      }
+      table.print();
+      return 0;
+    } else if (const char* v = args.value("--scenarios")) {
+      config.fault_scenarios = tools::parse_name_list(v, scenario_names());
+    } else if (args.flag("--hardened")) {
+      hardened = true;
+    } else if (!flags.parse(args, config, "faults")) {
+      args.unknown();
+    }
+  }
+  if (args.failed()) return usage();
+  if (hardened) {
+    // The jitter seed only decorrelates retry storms across services; the
+    // per-cell fault schedule comes from the plan seed, not from here.
+    for (std::size_t i = 0; i < config.services.size(); ++i) {
+      config.services[i].player =
+          faults::hardened(config.services[i].player, batch::derive_seed(0, i));
+    }
+  }
+  return run_grid(config, flags, /*print_table=*/true);
 }
 
 }  // namespace
@@ -379,7 +397,8 @@ int main(int argc, char** argv) {
   try {
     if (command == "list") return cmd_list();
     if (command == "play" && argc >= 3) {
-      return cmd_play(argv[2], argc - 3, argv + 3);
+      Args args(argc - 3, argv + 3);
+      return cmd_play(argv[2], args);
     }
     if (command == "dissect" && argc >= 3) return cmd_dissect(argv[2]);
     if (command == "trace" && argc >= 3) {
@@ -388,7 +407,14 @@ int main(int argc, char** argv) {
     if (command == "energy" && argc >= 3) {
       return cmd_energy(argv[2], argc >= 4 ? std::atoi(argv[3]) : 7);
     }
-    if (command == "sweep") return cmd_sweep(argc - 2, argv + 2);
+    if (command == "sweep") {
+      Args args(argc - 2, argv + 2);
+      return cmd_sweep(args);
+    }
+    if (command == "faults") {
+      Args args(argc - 2, argv + 2);
+      return cmd_faults(args);
+    }
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
