@@ -1,0 +1,226 @@
+// Perf-regression harness: runs a fixed sweep workload with the wall-clock
+// profiler enabled and reports throughput (cells/second), peak RSS and the
+// per-zone timing breakdown. Results go to stdout as a table and to
+// BENCH_PERF.json for machines:
+//
+//   {"git_rev":..,"date":..,"workload":..,"jobs":..,"cells":..,"wall_s":..,
+//    "cells_per_s":..,"peak_rss_mb":..,
+//    "zones":{"<name>":{"count":..,"total_s":..,"self_s":..},...}}
+//
+// Everything here is wall-clock and machine-dependent by design — the
+// simulated results stay deterministic (the profiler never feeds sim
+// logic), only the timings vary. --check compares throughput against a
+// recorded baseline and fails on a >3x regression; the factor is loose on
+// purpose so the gate survives noisy CI neighbours while still catching
+// accidental quadratic blowups.
+//
+//   bench_perf [--smoke] [--jobs N] [--out BENCH_PERF.json]
+//              [--check baseline.json] [--git-rev rev]
+#include "support.h"
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "batch/sweep.h"
+#include "obs/profiler.h"
+
+using namespace vodx;
+
+namespace {
+
+struct Options {
+  bool smoke = false;
+  int jobs = 0;  ///< 0 = one worker per hardware thread
+  std::string out_path = "BENCH_PERF.json";
+  std::string check_path;
+  std::string git_rev = "unknown";
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_perf [--smoke] [--jobs N] [--out file.json]\n"
+               "                  [--check baseline.json] [--git-rev rev]\n");
+  return 2;
+}
+
+/// The fixed workload. Full mode is sized to run long enough (seconds) for
+/// stable zone ratios; smoke mode finishes in well under a second so it can
+/// gate every CI run under the `perf` ctest label.
+batch::SweepConfig workload(const Options& options) {
+  batch::SweepConfig config;
+  config.services = services::catalog();
+  if (options.smoke) {
+    config.profiles = {7};
+    config.session_duration = 120;
+    config.content_duration = 120;
+  } else {
+    config.profiles = {3, 7, 11};
+    config.seeds = {0, 1};
+    config.session_duration = 600;
+    config.content_duration = 600;
+  }
+  config.collect_metrics = true;
+  config.jobs = options.jobs;
+  return config;
+}
+
+std::string iso_date() {
+  std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buf;
+}
+
+double peak_rss_mb() {
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  // ru_maxrss is kilobytes on Linux.
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+std::string render_json(const Options& options, std::size_t cells,
+                        double wall_s, double cells_per_s,
+                        const std::vector<obs::ZoneStats>& zones) {
+  std::string out = format(
+      "{\"git_rev\":\"%s\",\"date\":\"%s\",\"workload\":\"%s\","
+      "\"jobs\":%d,\"cells\":%zu,\"wall_s\":%.3f,\"cells_per_s\":%.1f,"
+      "\"peak_rss_mb\":%.1f,\"zones\":{",
+      options.git_rev.c_str(), iso_date().c_str(),
+      options.smoke ? "smoke" : "full", options.jobs, cells, wall_s,
+      cells_per_s, peak_rss_mb());
+  for (std::size_t i = 0; i < zones.size(); ++i) {
+    const obs::ZoneStats& z = zones[i];
+    out += format("%s\"%s\":{\"count\":%llu,\"total_s\":%.4f,"
+                  "\"self_s\":%.4f}",
+                  i == 0 ? "" : ",", z.name.c_str(),
+                  static_cast<unsigned long long>(z.count),
+                  static_cast<double>(z.total_ns) / 1e9,
+                  static_cast<double>(z.self_ns) / 1e9);
+  }
+  out += "}}\n";
+  return out;
+}
+
+/// Pulls "cells_per_s": <number> out of a baseline BENCH_PERF.json without a
+/// JSON parser; returns < 0 when the key is missing.
+double baseline_cells_per_s(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return -1;
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const std::string key = "\"cells_per_s\":";
+  std::size_t pos = text.find(key);
+  if (pos == std::string::npos) return -1;
+  return std::atof(text.c_str() + pos + key.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(arg, "--smoke") == 0) {
+      options.smoke = true;
+    } else if (std::strcmp(arg, "--jobs") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      options.jobs = std::atoi(v);
+    } else if (std::strcmp(arg, "--out") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      options.out_path = v;
+    } else if (std::strcmp(arg, "--check") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      options.check_path = v;
+    } else if (std::strcmp(arg, "--git-rev") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      options.git_rev = v;
+    } else {
+      std::fprintf(stderr, "bench_perf: unknown option %s\n", arg);
+      return usage();
+    }
+  }
+
+#ifdef VODX_PROFILER_DISABLED
+  std::fprintf(stderr,
+               "bench_perf: built with -DVODX_PROFILER=OFF — zone timings "
+               "will be empty\n");
+#endif
+
+  obs::profiler_reset();
+  obs::set_profiling_enabled(true);
+
+  const batch::SweepConfig config = workload(options);
+  const auto start = std::chrono::steady_clock::now();
+  const batch::SweepResult result = batch::run_sweep(config);
+  const auto stop = std::chrono::steady_clock::now();
+  obs::set_profiling_enabled(false);
+
+  if (result.failed > 0) {
+    std::fprintf(stderr, "bench_perf: %d cells failed\n", result.failed);
+    return 1;
+  }
+
+  const double wall_s =
+      std::chrono::duration<double>(stop - start).count();
+  const std::size_t cells = result.cells.size();
+  const double cells_per_s = wall_s > 0 ? cells / wall_s : 0;
+  const std::vector<obs::ZoneStats> zones = obs::profiler_report();
+
+  std::printf("bench_perf: %s workload, %zu cells, jobs=%d\n",
+              options.smoke ? "smoke" : "full", cells, options.jobs);
+  std::printf("  wall        %.3f s\n", wall_s);
+  std::printf("  throughput  %.1f cells/s\n", cells_per_s);
+  std::printf("  peak RSS    %.1f MB\n\n", peak_rss_mb());
+  Table table({"zone", "count", "total_s", "self_s"});
+  for (const obs::ZoneStats& z : zones) {
+    table.add_row({z.name, std::to_string(z.count),
+                   format("%.4f", static_cast<double>(z.total_ns) / 1e9),
+                   format("%.4f", static_cast<double>(z.self_ns) / 1e9)});
+  }
+  table.print();
+
+  std::ofstream out(options.out_path);
+  if (!out) {
+    std::fprintf(stderr, "bench_perf: cannot write %s\n",
+                 options.out_path.c_str());
+    return 1;
+  }
+  out << render_json(options, cells, wall_s, cells_per_s, zones);
+  std::fprintf(stderr, "wrote %s\n", options.out_path.c_str());
+
+  if (!options.check_path.empty()) {
+    const double baseline = baseline_cells_per_s(options.check_path);
+    if (baseline <= 0) {
+      std::fprintf(stderr, "bench_perf: no cells_per_s in baseline %s\n",
+                   options.check_path.c_str());
+      return 1;
+    }
+    if (cells_per_s < baseline / 3.0) {
+      std::fprintf(stderr,
+                   "bench_perf: REGRESSION — %.1f cells/s is more than 3x "
+                   "below the %.1f cells/s baseline\n",
+                   cells_per_s, baseline);
+      return 1;
+    }
+    std::fprintf(stderr, "bench_perf: ok — %.1f cells/s vs %.1f baseline\n",
+                 cells_per_s, baseline);
+  }
+  return 0;
+}

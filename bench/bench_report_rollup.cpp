@@ -1,0 +1,58 @@
+// Aggregated sweep metrics: the 12-service catalog over cellular profiles
+// {3, 7, 11} with per-cell metric collection, folded into the overall /
+// per-service / per-profile rollups of batch/report.h.
+//
+// This is the golden regression for the mergeable-snapshot contract: the
+// harness runs the same grid at --jobs 1 and --jobs 8 and refuses to print
+// anything unless the rendered text report AND the report JSONL are
+// byte-identical between the two runs. The snapshot in tests/golden/ then
+// pins the merged values themselves.
+#include "support.h"
+
+#include <cstdio>
+
+#include "batch/report.h"
+#include "batch/sweep.h"
+
+using namespace vodx;
+
+namespace {
+
+batch::SweepConfig grid(int jobs) {
+  batch::SweepConfig config;
+  config.services = services::catalog();
+  config.profiles = {3, 7, 11};
+  config.session_duration = 120;
+  config.content_duration = 120;
+  config.collect_metrics = true;
+  config.jobs = jobs;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Report",
+                "merged metrics rollups — 12 services x profiles {3,7,11}");
+
+  const batch::SweepResult serial = batch::run_sweep(grid(1));
+  const batch::SweepResult threaded = batch::run_sweep(grid(8));
+  if (serial.failed || threaded.failed) {
+    std::fprintf(stderr, "sweep failed (%d + %d cells)\n", serial.failed,
+                 threaded.failed);
+    return 1;
+  }
+
+  const batch::SweepMetrics m1 = batch::aggregate_metrics(serial);
+  const batch::SweepMetrics m8 = batch::aggregate_metrics(threaded);
+  if (batch::report_text(m1) != batch::report_text(m8) ||
+      batch::report_jsonl(serial, m1) != batch::report_jsonl(threaded, m8)) {
+    std::fprintf(stderr,
+                 "jobs=1 and jobs=8 aggregates differ — merge is not "
+                 "schedule-independent\n");
+    return 1;
+  }
+
+  std::fputs(batch::report_text(m1).c_str(), stdout);
+  return 0;
+}

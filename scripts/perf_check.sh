@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Wall-clock perf gate around bench_perf (DESIGN.md §10).
+#
+#   ./scripts/perf_check.sh            # smoke workload vs the checked-in
+#                                      # baseline; fails on a >3x regression
+#   ./scripts/perf_check.sh --full     # full workload, no gate — refreshes
+#                                      # BENCH_PERF.json for inspection
+#   BUILD_DIR=out ./scripts/perf_check.sh
+#
+# The 3x factor is deliberately loose: throughput is machine- and
+# load-dependent, and this gate exists to catch accidental quadratic
+# blowups, not 10% drifts. To re-record the baseline after an intentional
+# change (or on new reference hardware):
+#
+#   build/bench/bench_perf --smoke --jobs 4 --git-rev "$(git rev-parse \
+#     --short HEAD)" --out bench/perf_baseline.json
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+
+MODE="smoke"
+if [[ "${1:-}" == "--full" ]]; then
+  MODE="full"
+  shift
+fi
+[[ $# -eq 0 ]] || { echo "usage: $0 [--full]" >&2; exit 2; }
+
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_perf
+
+REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+if [[ "$MODE" == "smoke" ]]; then
+  # Same jobs count as the recorded baseline so cells/s is comparable.
+  "$BUILD_DIR/bench/bench_perf" --smoke --jobs 4 --git-rev "$REV" \
+    --out BENCH_PERF.json --check bench/perf_baseline.json
+else
+  "$BUILD_DIR/bench/bench_perf" --git-rev "$REV" --out BENCH_PERF.json
+fi

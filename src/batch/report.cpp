@@ -1,0 +1,252 @@
+#include "batch/report.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "obs/export.h"
+
+namespace vodx::batch {
+
+namespace {
+
+Rollup& rollup_for(std::vector<Rollup>& rollups, const std::string& key) {
+  for (Rollup& rollup : rollups) {
+    if (rollup.key == key) return rollup;
+  }
+  rollups.push_back(Rollup{key, 0, {}});
+  return rollups.back();
+}
+
+void fold(Rollup& rollup, const obs::MetricsSnapshot& snapshot) {
+  rollup.metrics.merge_from(snapshot);
+  ++rollup.cells;
+}
+
+// --- Headline columns ------------------------------------------------------
+//
+// Rollup snapshots are generic bags of metrics; the per-dimension tables
+// pull out the headline subset every instrumented session registers. A
+// metric a dimension never saw renders as "-" (e.g. faults.injected on a
+// fault-free sweep).
+
+std::string counter_cell(const obs::MetricsSnapshot& snapshot,
+                         const char* name) {
+  const obs::MetricsSnapshot::Entry* entry = snapshot.find(name);
+  if (entry == nullptr) return "-";
+  return format("%lld", static_cast<long long>(entry->count));
+}
+
+std::string counter_mb_cell(const obs::MetricsSnapshot& snapshot,
+                            const char* name) {
+  const obs::MetricsSnapshot::Entry* entry = snapshot.find(name);
+  if (entry == nullptr) return "-";
+  return format("%.1f", static_cast<double>(entry->count) / 1e6);
+}
+
+std::string histogram_p50_cell(const obs::MetricsSnapshot& snapshot,
+                               const char* name) {
+  const obs::MetricsSnapshot::Entry* entry = snapshot.find(name);
+  if (entry == nullptr || entry->count == 0) return "-";
+  return format("%.2f", entry->p50);
+}
+
+const std::vector<std::string>& headline_header() {
+  static const std::vector<std::string> header = {
+      "key",       "cells",     "stalls",       "switches",
+      "MB",        "wasted_MB", "fetch_fail",   "faults",
+      "goodput_p50"};
+  return header;
+}
+
+std::vector<std::string> headline_row(const Rollup& rollup) {
+  const obs::MetricsSnapshot& m = rollup.metrics;
+  return {rollup.key,
+          std::to_string(rollup.cells),
+          counter_cell(m, "session.stalls"),
+          counter_cell(m, "session.switches"),
+          counter_mb_cell(m, "session.total_bytes"),
+          counter_mb_cell(m, "session.wasted_bytes"),
+          counter_cell(m, "player.fetch_failures"),
+          counter_cell(m, "faults.injected"),
+          histogram_p50_cell(m, "tcp.goodput_mbps")};
+}
+
+struct Dimension {
+  const char* title;
+  const char* scope;  ///< JSONL "scope" value
+  const std::vector<Rollup>* rollups;
+};
+
+std::vector<Dimension> dimensions(const SweepMetrics& metrics) {
+  return {{"by service", "service", &metrics.by_service},
+          {"by profile", "profile", &metrics.by_profile},
+          {"by fault", "fault", &metrics.by_fault}};
+}
+
+std::string html_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void append_html_table(std::string& out,
+                       const std::vector<std::string>& header,
+                       const std::vector<std::vector<std::string>>& rows) {
+  out += "<table><tr>";
+  for (const std::string& cell : header) {
+    out += "<th>" + html_escape(cell) + "</th>";
+  }
+  out += "</tr>\n";
+  for (const std::vector<std::string>& row : rows) {
+    out += "<tr>";
+    for (const std::string& cell : row) {
+      out += "<td>" + html_escape(cell) + "</td>";
+    }
+    out += "</tr>\n";
+  }
+  out += "</table>\n";
+}
+
+std::vector<std::vector<std::string>> overall_rows(
+    const obs::MetricsSnapshot& snapshot) {
+  std::vector<std::vector<std::string>> rows;
+  for (const obs::MetricsSnapshot::Entry& entry : snapshot.entries) {
+    switch (entry.type) {
+      case obs::MetricsSnapshot::Type::kCounter:
+        rows.push_back({entry.name, "counter",
+                        format("%lld", static_cast<long long>(entry.count)),
+                        "-", "-", "-", "-", "-", "-"});
+        break;
+      case obs::MetricsSnapshot::Type::kGauge:
+        rows.push_back({entry.name, "gauge", "-",
+                        format("%.3f", entry.value), "-", "-", "-", "-",
+                        "-"});
+        break;
+      case obs::MetricsSnapshot::Type::kHistogram:
+        rows.push_back({entry.name, "histogram",
+                        format("%lld", static_cast<long long>(entry.count)),
+                        format("%.3f", entry.value),
+                        format("%.3f", entry.mean),
+                        format("%.3f", entry.p50), format("%.3f", entry.p90),
+                        format("%.3f", entry.p99),
+                        format("%.3f", entry.max)});
+        break;
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+SweepMetrics aggregate_metrics(const SweepResult& result) {
+  SweepMetrics out;
+  out.overall.key = "overall";
+  out.total_cells = static_cast<int>(result.cells.size());
+  out.failed = result.failed;
+  for (const CellResult& cell : result.cells) {
+    if (!cell.has_metrics) continue;
+    fold(out.overall, cell.metrics);
+    fold(rollup_for(out.by_service, cell.service), cell.metrics);
+    fold(rollup_for(out.by_profile, format("profile %d", cell.profile_id)),
+         cell.metrics);
+    fold(rollup_for(out.by_fault, cell.fault), cell.metrics);
+  }
+  return out;
+}
+
+std::string report_text(const SweepMetrics& metrics) {
+  std::string out = format(
+      "sweep metrics: %d cells (%d failed), %d merged\n\n== overall ==\n",
+      metrics.total_cells, metrics.failed, metrics.overall.cells);
+  out += obs::metrics_table(metrics.overall.metrics).render();
+  for (const Dimension& dim : dimensions(metrics)) {
+    out += format("\n== %s ==\n", dim.title);
+    Table table(headline_header());
+    for (const Rollup& rollup : *dim.rollups) {
+      table.add_row(headline_row(rollup));
+    }
+    out += table.render();
+  }
+  return out;
+}
+
+std::string report_jsonl(const SweepResult& result,
+                         const SweepMetrics& metrics) {
+  std::string out =
+      format("{\"scope\":\"sweep\",\"cells\":%d,\"failed\":%d,"
+             "\"merged\":%d}\n",
+             metrics.total_cells, metrics.failed, metrics.overall.cells);
+  for (const CellResult& cell : result.cells) {
+    out += format(
+        "{\"scope\":\"cell\",\"service\":\"%s\",\"profile\":%d,"
+        "\"seed\":%llu,\"fault\":\"%s\",\"ok\":%s",
+        obs::json_escape(cell.service).c_str(), cell.profile_id,
+        static_cast<unsigned long long>(cell.seed),
+        obs::json_escape(cell.fault).c_str(), cell.ok ? "true" : "false");
+    if (cell.has_metrics) {
+      out += ",\"snapshot\":" + obs::metrics_json(cell.metrics);
+    }
+    out += "}\n";
+  }
+  for (const Dimension& dim : dimensions(metrics)) {
+    for (const Rollup& rollup : *dim.rollups) {
+      out += format("{\"scope\":\"%s\",\"key\":\"%s\",\"cells\":%d,"
+                    "\"snapshot\":",
+                    dim.scope, obs::json_escape(rollup.key).c_str(),
+                    rollup.cells);
+      out += obs::metrics_json(rollup.metrics);
+      out += "}\n";
+    }
+  }
+  out += format("{\"scope\":\"overall\",\"key\":\"overall\",\"cells\":%d,"
+                "\"snapshot\":",
+                metrics.overall.cells);
+  out += obs::metrics_json(metrics.overall.metrics);
+  out += "}\n";
+  return out;
+}
+
+std::string report_html(const SweepMetrics& metrics) {
+  std::string out =
+      "<!doctype html><html><head><meta charset=\"utf-8\">"
+      "<title>vodx sweep report</title><style>\n"
+      "body{font:14px/1.4 system-ui,sans-serif;margin:2em;color:#222}\n"
+      "h1{font-size:1.4em}h2{font-size:1.1em;margin-top:1.5em}\n"
+      "table{border-collapse:collapse;margin:.5em 0}\n"
+      "th,td{border:1px solid #ccc;padding:3px 9px;text-align:right;"
+      "font-variant-numeric:tabular-nums}\n"
+      "th{background:#f0f0f0}\n"
+      "th:first-child,td:first-child{text-align:left;font-family:monospace}\n"
+      "</style></head><body>\n";
+  out += format("<h1>vodx sweep report</h1>\n"
+                "<p>%d cells (%d failed), %d merged into the rollups "
+                "below.</p>\n",
+                metrics.total_cells, metrics.failed, metrics.overall.cells);
+  out += "<h2>overall</h2>\n";
+  append_html_table(out,
+                    {"metric", "type", "count", "value", "mean", "p50",
+                     "p90", "p99", "max"},
+                    overall_rows(metrics.overall.metrics));
+  for (const Dimension& dim : dimensions(metrics)) {
+    out += format("<h2>%s</h2>\n", dim.title);
+    std::vector<std::vector<std::string>> rows;
+    for (const Rollup& rollup : *dim.rollups) {
+      rows.push_back(headline_row(rollup));
+    }
+    append_html_table(out, headline_header(), rows);
+  }
+  out += "</body></html>\n";
+  return out;
+}
+
+}  // namespace vodx::batch

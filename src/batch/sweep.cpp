@@ -4,6 +4,7 @@
 
 #include "batch/thread_pool.h"
 #include "common/strings.h"
+#include "obs/profiler.h"
 #include "core/qoe.h"
 #include "core/report.h"
 #include "faults/fault_plan.h"
@@ -81,17 +82,24 @@ SweepResult run_sweep(const SweepConfig& config) {
   }
 
   // One observer per cell when requested, allocated up front so a worker
-  // only ever touches the observer owned by its claimed index.
+  // only ever touches the observer owned by its claimed index. Metrics-only
+  // collection keeps the event ring off: counters and histograms are what
+  // the aggregation layer folds, and tracing every cell of a large grid
+  // would dominate the run's memory.
   std::vector<std::unique_ptr<obs::Observer>> observers;
-  if (config.observe) {
+  if (config.observe || config.collect_metrics) {
     observers.resize(total);
-    for (auto& o : observers) o = std::make_unique<obs::Observer>();
+    for (auto& o : observers) {
+      o = std::make_unique<obs::Observer>();
+      if (!config.observe) o->trace.set_enabled(false);
+    }
   }
 
   std::mutex progress_mutex;
   std::size_t done = 0;
 
   parallel_for(total, config.jobs, [&](std::size_t index) {
+    VODX_PROFILE_ZONE("sweep.cell");
     const std::size_t per_service = n_profiles * n_seeds * n_faults;
     const std::size_t per_profile = n_seeds * n_faults;
     CellResult& cell = out.cells[index];
@@ -133,9 +141,14 @@ SweepResult run_sweep(const SweepConfig& config) {
                                      cell.cell.fault_index);
           session.fault_plan = std::move(plan);
         }
-        if (config.observe) session.observer = observers[index].get();
+        if (!observers.empty()) session.observer = observers[index].get();
         cell.result = core::run_session(session);
         cell.ok = true;
+        if (!observers.empty()) {
+          cell.metrics =
+              observers[index]->metrics.snapshot(cell.result.session_end);
+          cell.has_metrics = true;
+        }
       } catch (const std::exception& e) {
         cell.error = e.what();
       }

@@ -80,6 +80,12 @@ struct CellResult {
 
   core::SessionResult result;  ///< valid only when ok
 
+  /// Per-cell metrics captured at session end (SweepConfig::collect_metrics
+  /// or an observe callback). Deterministic, so merging these in grid order
+  /// (batch/report.h) is byte-identical at any `jobs`.
+  bool has_metrics = false;
+  obs::MetricsSnapshot metrics;
+
   /// "(H1, profile 7, seed 0)" — the coordinate string used in diagnostics;
   /// ", fault <name>" is appended when a non-trivial scenario is set.
   std::string coordinates() const;
@@ -102,6 +108,12 @@ struct SweepConfig {
   /// Worker threads; 0 = one per hardware thread. Output is identical for
   /// every value.
   int jobs = 1;
+
+  /// Capture a per-cell MetricsSnapshot into CellResult::metrics. Each cell
+  /// gets its own registry (event tracing stays off unless `observe` is also
+  /// set); snapshots are taken in the worker at session end, which is safe —
+  /// the cell owns its observer — and deterministic.
+  bool collect_metrics = false;
 
   /// When set, each cell runs with its own obs::Observer and the callback is
   /// invoked once per cell *after* the whole grid has finished, in grid

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "obs/profiler.h"
 
 namespace vodx::net {
 
@@ -77,6 +78,7 @@ Bytes Link::total_delivered() const {
 }
 
 void Link::tick(Seconds dt) {
+  VODX_PROFILE_ZONE("link.tick");
   // Snapshot: completion callbacks inside advance() may attach/detach
   // connections; newly attached ones start participating next tick.
   std::vector<TcpConnection*> snapshot = connections_;
@@ -85,7 +87,11 @@ void Link::tick(Seconds dt) {
     demands[i] = snapshot[i]->demand();
   }
   const Bps capacity = trace_.at(sim_.now());
-  std::vector<Bps> grants = max_min_allocate(demands, capacity);
+  std::vector<Bps> grants;
+  {
+    VODX_PROFILE_ZONE("link.fair_share");
+    grants = max_min_allocate(demands, capacity);
+  }
 
   if (obs::trace_on(obs_, obs::Category::kLink)) {
     // Counter tracks are sampled on change, not per tick: a 600 s session

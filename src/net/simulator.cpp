@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "obs/profiler.h"
 
 namespace vodx::net {
 
@@ -56,7 +57,9 @@ void Simulator::fire_due_events() {
 }
 
 void Simulator::run_until(Seconds end) {
+  VODX_PROFILE_ZONE("sim.run");
   while (now_ + tick_ <= end + 1e-12) {
+    VODX_PROFILE_ZONE("sim.tick");
     now_ += tick_;
     if (ticks_metric_ != nullptr) ticks_metric_->add();
     fire_due_events();

@@ -88,6 +88,11 @@ void write_jsonl(const TraceSink& sink, std::ostream& out) {
     line += "}\n";
     out << line;
   });
+  out << format(
+      "{\"kind\":\"summary\",\"name\":\"obs.dropped\",\"emitted\":%llu,"
+      "\"dropped\":%llu,\"retained\":%zu}\n",
+      static_cast<unsigned long long>(sink.emitted()),
+      static_cast<unsigned long long>(sink.dropped()), sink.size());
 }
 
 void write_chrome_trace(const TraceSink& sink, std::ostream& out) {
@@ -179,6 +184,53 @@ Table metrics_table(const MetricsSnapshot& snapshot) {
 std::string metrics_report(const MetricsSnapshot& snapshot) {
   std::string out = format("metrics @ sim t=%.3f s\n", snapshot.sim_time);
   out += metrics_table(snapshot).render();
+  return out;
+}
+
+std::string metrics_json(const MetricsSnapshot& snapshot) {
+  std::string out =
+      format("{\"sim_time\":%s,\"metrics\":{",
+             json_number(snapshot.sim_time).c_str());
+  bool first = true;
+  for (const MetricsSnapshot::Entry& entry : snapshot.entries) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(entry.name) + "\":";
+    switch (entry.type) {
+      case MetricsSnapshot::Type::kCounter:
+        out += format("{\"type\":\"counter\",\"count\":%lld}",
+                      static_cast<long long>(entry.count));
+        break;
+      case MetricsSnapshot::Type::kGauge:
+        out += format("{\"type\":\"gauge\",\"value\":%s,\"time\":%s}",
+                      json_number(entry.value).c_str(),
+                      json_number(entry.time).c_str());
+        break;
+      case MetricsSnapshot::Type::kHistogram: {
+        out += format(
+            "{\"type\":\"histogram\",\"count\":%lld,\"sum\":%s,"
+            "\"min\":%s,\"mean\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s,"
+            "\"max\":%s,\"bounds\":[",
+            static_cast<long long>(entry.count),
+            json_number(entry.value).c_str(), json_number(entry.min).c_str(),
+            json_number(entry.mean).c_str(), json_number(entry.p50).c_str(),
+            json_number(entry.p90).c_str(), json_number(entry.p99).c_str(),
+            json_number(entry.max).c_str());
+        for (std::size_t i = 0; i < entry.bounds.size(); ++i) {
+          if (i > 0) out += ",";
+          out += json_number(entry.bounds[i]);
+        }
+        out += "],\"buckets\":[";
+        for (std::size_t i = 0; i < entry.buckets.size(); ++i) {
+          if (i > 0) out += ",";
+          out += format("%lld", static_cast<long long>(entry.buckets[i]));
+        }
+        out += "]}";
+        break;
+      }
+    }
+  }
+  out += "}}";
   return out;
 }
 

@@ -19,7 +19,10 @@
 namespace vodx::obs {
 
 /// One event per line: {"t":..,"seq":..,"cat":..,"kind":..,"name":..,
-/// "track":..,<fields>}.
+/// "track":..,<fields>}. Ends with a summary line
+/// {"kind":"summary","name":"obs.dropped",...} carrying the sink's
+/// emitted/dropped/retained counts, so ring overflow is visible in this
+/// format too (not just the Chrome exporter's metadata).
 void write_jsonl(const TraceSink& sink, std::ostream& out);
 
 /// Chrome trace_event JSON ({"traceEvents":[...]}). Timestamps are sim time
@@ -33,6 +36,12 @@ Table metrics_table(const MetricsSnapshot& snapshot);
 
 /// metrics_table plus a sim-time header, rendered to a string.
 std::string metrics_report(const MetricsSnapshot& snapshot);
+
+/// Canonical single-line JSON rendering of a snapshot:
+/// {"sim_time":..,"metrics":{"<name>":{"type":..,...},...}} in entry order.
+/// Byte-stable for identical snapshots — the merge/determinism tests and
+/// the sweep report JSONL compare and embed exactly this string.
+std::string metrics_json(const MetricsSnapshot& snapshot);
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
 std::string json_escape(const std::string& raw);

@@ -26,17 +26,36 @@ void Histogram::record(double value) {
 }
 
 double Histogram::quantile(double q) const {
-  if (count_ == 0) return 0;
+  return bucket_quantile(bounds_, buckets_, count_, min(), max(), q);
+}
+
+double bucket_quantile(const std::vector<double>& bounds,
+                       const std::vector<std::int64_t>& buckets,
+                       std::int64_t count, double min, double max, double q) {
+  if (count == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
-  const double target = q * static_cast<double>(count_);
+  const double target = q * static_cast<double>(count);
   std::int64_t seen = 0;
-  for (std::size_t i = 0; i < buckets_.size(); ++i) {
-    seen += buckets_[i];
-    if (static_cast<double>(seen) >= target && buckets_[i] > 0) {
-      return i < bounds_.size() ? std::min(bounds_[i], max_) : max_;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const std::int64_t before = seen;
+    seen += buckets[i];
+    if (static_cast<double>(seen) >= target) {
+      // Interpolate within the winning bucket rather than reporting its
+      // upper bound: bucket edges clamp to the observed [min, max] so a
+      // single-sample bucket reports the neighbourhood of the sample, not
+      // an edge it never reached.
+      double lo = i == 0 ? min : std::max(bounds[i - 1], min);
+      double hi = i < bounds.size() ? std::min(bounds[i], max) : max;
+      if (hi < lo) hi = lo;
+      const double frac = std::clamp(
+          (target - static_cast<double>(before)) /
+              static_cast<double>(buckets[i]),
+          0.0, 1.0);
+      return lo + frac * (hi - lo);
     }
   }
-  return max_;
+  return max;
 }
 
 const MetricsSnapshot::Entry* MetricsSnapshot::find(
@@ -45,6 +64,92 @@ const MetricsSnapshot::Entry* MetricsSnapshot::find(
     if (entry.name == name) return &entry;
   }
   return nullptr;
+}
+
+namespace {
+
+void refresh_histogram_stats(MetricsSnapshot::Entry& entry) {
+  entry.mean = entry.count > 0
+                   ? entry.value / static_cast<double>(entry.count)
+                   : 0;
+  entry.p50 = bucket_quantile(entry.bounds, entry.buckets, entry.count,
+                              entry.min, entry.max, 0.5);
+  entry.p90 = bucket_quantile(entry.bounds, entry.buckets, entry.count,
+                              entry.min, entry.max, 0.9);
+  entry.p99 = bucket_quantile(entry.bounds, entry.buckets, entry.count,
+                              entry.min, entry.max, 0.99);
+}
+
+void merge_entry(MetricsSnapshot::Entry& mine,
+                 const MetricsSnapshot::Entry& theirs) {
+  if (mine.type != theirs.type) {
+    throw ConfigError("metric '" + mine.name +
+                      "' merged across different types");
+  }
+  switch (mine.type) {
+    case MetricsSnapshot::Type::kCounter:
+      mine.count += theirs.count;
+      mine.time = std::max(mine.time, theirs.time);
+      break;
+    case MetricsSnapshot::Type::kGauge:
+      // Last write by sim time; the right operand wins ties, which together
+      // with per-entry times keeps the merge associative even when a gauge
+      // is absent from some snapshots.
+      if (theirs.time >= mine.time) {
+        mine.value = theirs.value;
+        mine.time = theirs.time;
+      }
+      break;
+    case MetricsSnapshot::Type::kHistogram: {
+      if (theirs.count == 0) break;  // empty histogram is the identity
+      if (mine.count == 0) {
+        const std::string name = mine.name;
+        mine = theirs;
+        mine.name = name;
+        break;
+      }
+      if (mine.bounds != theirs.bounds) {
+        throw ConfigError("histogram '" + mine.name +
+                          "' merged across different bucket bounds");
+      }
+      for (std::size_t i = 0; i < mine.buckets.size(); ++i) {
+        mine.buckets[i] += theirs.buckets[i];
+      }
+      mine.count += theirs.count;
+      mine.value += theirs.value;
+      mine.min = std::min(mine.min, theirs.min);
+      mine.max = std::max(mine.max, theirs.max);
+      mine.time = std::max(mine.time, theirs.time);
+      refresh_histogram_stats(mine);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+void MetricsSnapshot::merge_from(const MetricsSnapshot& other) {
+  sim_time = std::max(sim_time, other.sim_time);
+  for (const Entry& theirs : other.entries) {
+    Entry* mine = nullptr;
+    for (Entry& entry : entries) {
+      if (entry.name == theirs.name) {
+        mine = &entry;
+        break;
+      }
+    }
+    if (mine == nullptr) {
+      entries.push_back(theirs);
+    } else {
+      merge_entry(*mine, theirs);
+    }
+  }
+}
+
+MetricsSnapshot merge(const MetricsSnapshot& a, const MetricsSnapshot& b) {
+  MetricsSnapshot out = a;
+  out.merge_from(b);
+  return out;
 }
 
 MetricsRegistry::Named* MetricsRegistry::find(const std::string& name) {
@@ -105,6 +210,7 @@ MetricsSnapshot MetricsRegistry::snapshot(Seconds sim_time) const {
     MetricsSnapshot::Entry entry;
     entry.name = named.name;
     entry.type = named.type;
+    entry.time = sim_time;
     switch (named.type) {
       case MetricsSnapshot::Type::kCounter:
         entry.count = named.counter->value();

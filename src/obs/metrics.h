@@ -55,8 +55,8 @@ class Histogram {
   /// bounds().size() + 1 entries; the last is the overflow bucket.
   const std::vector<std::int64_t>& buckets() const { return buckets_; }
 
-  /// Bucket-resolution quantile (upper bound of the bucket holding the
-  /// q-th sample; max() for the overflow bucket). 0 with no samples.
+  /// Quantile with linear interpolation inside the winning bucket (see
+  /// bucket_quantile below). 0 with no samples.
   double quantile(double q) const;
 
  private:
@@ -68,7 +68,26 @@ class Histogram {
   double max_ = 0;
 };
 
+/// Interpolated quantile over fixed buckets: finds the bucket holding the
+/// q-th sample and interpolates linearly within it, clamping the bucket's
+/// edges to the observed [min, max]. This is the one quantile definition the
+/// whole tree uses (Histogram::quantile, merged-snapshot recompute, report
+/// renderers), so per-cell and aggregated percentiles agree.
+double bucket_quantile(const std::vector<double>& bounds,
+                       const std::vector<std::int64_t>& buckets,
+                       std::int64_t count, double min, double max, double q);
+
 /// Deep-copied view of the registry at one moment.
+///
+/// A snapshot is also a *mergeable value type* — the unit of cross-run
+/// aggregation. merge_from folds another snapshot in: counters add, gauges
+/// keep the last write by sim time (per-entry `time`, right operand wins
+/// ties), histograms merge bucket-wise (identical bounds required; empty
+/// histograms are the identity) with derived stats recomputed. The
+/// operation is associative and a default-constructed snapshot is its
+/// identity, so any fold order over the same multiset of snapshots yields
+/// the same value; folding in grid order makes sweep aggregates
+/// byte-identical at any --jobs.
 struct MetricsSnapshot {
   enum class Type { kCounter, kGauge, kHistogram };
   struct Entry {
@@ -77,6 +96,9 @@ struct MetricsSnapshot {
     std::int64_t count = 0;  ///< counter value / histogram sample count
     double value = 0;        ///< gauge value / histogram sum
     double min = 0, mean = 0, p50 = 0, p90 = 0, p99 = 0, max = 0;
+    /// Sim time of the snapshot the value was captured at; the merge
+    /// tie-breaker for gauges (newest wins).
+    Seconds time = 0;
     std::vector<double> bounds;
     std::vector<std::int64_t> buckets;
   };
@@ -86,7 +108,15 @@ struct MetricsSnapshot {
 
   /// nullptr when `name` is absent.
   const Entry* find(const std::string& name) const;
+
+  /// Folds `other` into this snapshot (see the semantics above). Entries
+  /// absent here are appended in `other`'s order; a name merged across
+  /// different metric types or histogram bounds throws ConfigError.
+  void merge_from(const MetricsSnapshot& other);
 };
+
+/// Convenience: a ⊕ b without mutating either operand.
+MetricsSnapshot merge(const MetricsSnapshot& a, const MetricsSnapshot& b);
 
 class MetricsRegistry {
  public:

@@ -1,0 +1,120 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+
+namespace vodx::obs {
+
+namespace internal {
+
+std::atomic<bool> g_profiling_enabled{false};
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Function-local statics: threads can flush during static destruction
+// without ordering hazards.
+std::mutex& global_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::vector<ZoneStats>& global_zones() {
+  static std::vector<ZoneStats> zones;
+  return zones;
+}
+
+void merge_zone(std::vector<ZoneStats>& into, const ZoneStats& stats) {
+  for (ZoneStats& zone : into) {
+    if (zone.name == stats.name) {
+      zone.count += stats.count;
+      zone.total_ns += stats.total_ns;
+      zone.self_ns += stats.self_ns;
+      return;
+    }
+  }
+  into.push_back(stats);
+}
+
+}  // namespace
+
+ThreadProfiler& ThreadProfiler::instance() {
+  thread_local ThreadProfiler profiler;
+  return profiler;
+}
+
+ThreadProfiler::~ThreadProfiler() { flush(); }
+
+void ThreadProfiler::enter(const char* name) {
+  stack_.push_back(Frame{name, now_ns(), 0});
+}
+
+void ThreadProfiler::leave() {
+  const Frame frame = stack_.back();
+  stack_.pop_back();
+  const std::uint64_t elapsed = now_ns() - frame.start_ns;
+  const std::uint64_t self =
+      elapsed > frame.child_ns ? elapsed - frame.child_ns : 0;
+  bool found = false;
+  for (ZoneStats& zone : zones_) {
+    if (zone.name == frame.name) {
+      ++zone.count;
+      zone.total_ns += elapsed;
+      zone.self_ns += self;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    ZoneStats zone;
+    zone.name = frame.name;
+    zone.count = 1;
+    zone.total_ns = elapsed;
+    zone.self_ns = self;
+    zones_.push_back(std::move(zone));
+  }
+  if (!stack_.empty()) stack_.back().child_ns += elapsed;
+}
+
+void ThreadProfiler::flush() {
+  if (zones_.empty()) return;
+  std::lock_guard<std::mutex> lock(global_mutex());
+  for (const ZoneStats& zone : zones_) merge_zone(global_zones(), zone);
+  zones_.clear();
+}
+
+}  // namespace internal
+
+void set_profiling_enabled(bool on) {
+  internal::g_profiling_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::vector<ZoneStats> profiler_report() {
+  internal::ThreadProfiler::instance().flush();
+  std::vector<ZoneStats> out;
+  {
+    std::lock_guard<std::mutex> lock(internal::global_mutex());
+    out = internal::global_zones();
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ZoneStats& a, const ZoneStats& b) {
+              if (a.total_ns != b.total_ns) return a.total_ns > b.total_ns;
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void profiler_reset() {
+  internal::ThreadProfiler::instance().discard();
+  std::lock_guard<std::mutex> lock(internal::global_mutex());
+  internal::global_zones().clear();
+}
+
+}  // namespace vodx::obs

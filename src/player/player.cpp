@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "obs/profiler.h"
 
 namespace vodx::player {
 
@@ -501,6 +502,7 @@ bool Player::try_issue_video_fetch() {
 }
 
 int Player::select_video_level_for(int next_index) {
+  VODX_PROFILE_ZONE("abr.decide");
   AbrContext context;
   context.presentation = &presentation_;
   context.bandwidth_estimate = estimator_.estimate();

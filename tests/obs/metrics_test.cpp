@@ -27,15 +27,26 @@ TEST(Histogram, BucketingLandsSamplesAtUpperEdges) {
   EXPECT_DOUBLE_EQ(h.max(), 100.0);
 }
 
-TEST(Histogram, QuantilesAreBucketResolution) {
+TEST(Histogram, QuantilesInterpolateWithinTheWinningBucket) {
   Histogram h({1.0, 2.0, 4.0, 8.0});
   for (int i = 0; i < 90; ++i) h.record(0.5);  // bucket 0
   for (int i = 0; i < 9; ++i) h.record(3.0);   // bucket 2
   h.record(50.0);                              // overflow
 
-  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);   // within bucket 0 -> its bound
-  EXPECT_DOUBLE_EQ(h.quantile(0.95), 4.0);  // bucket 2's bound
-  EXPECT_DOUBLE_EQ(h.quantile(1.0), 50.0);  // overflow reports observed max
+  // Bucket 0 spans [min, 1]: the 50th of 90 samples lands 5/9 through it.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.5 + (5.0 / 9.0) * 0.5);
+  // Bucket 2 spans (2, 4]: the 95th sample is 5/9 through its 9 samples.
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 2.0 + (5.0 / 9.0) * 2.0);
+  // The overflow bucket tops out at the observed max, not at infinity.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 50.0);
+}
+
+TEST(Histogram, SingleSampleBucketQuantileStaysNearTheSample) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.record(3.0);
+  // One sample: every quantile clamps into [min, max] = [3, 3].
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 3.0);
 }
 
 TEST(Histogram, EmptyHistogramIsAllZeroes) {

@@ -11,6 +11,8 @@
 //   vodx energy <svc> [profile]    — RRC radio-energy analysis (§3.3.2)
 //   vodx sweep [...]               — parallel (service × profile × seed) grid
 //   vodx faults [...]              — fault-scenario grid (service × scenario)
+//   vodx report [...]              — merged metrics rollups for a grid
+//                                    (table / JSONL / single-file HTML)
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -19,6 +21,7 @@
 #include <vector>
 
 #include "arg_parse.h"
+#include "batch/report.h"
 #include "batch/sweep.h"
 #include "common/error.h"
 #include "common/strings.h"
@@ -52,18 +55,28 @@ int usage() {
       "  vodx sweep [--services all|H1,D2,...] [--profiles all|1-14|2,5]\n"
       "             [--seeds 0|0-4|1,7] [--faults none|all|resets,...]\n"
       "             [--jobs N] [--duration secs]\n"
-      "             [--csv out.csv] [--jsonl out.jsonl] [--progress]\n"
+      "             [--csv out.csv] [--jsonl out.jsonl]\n"
+      "             [--metrics-out report.jsonl] [--progress]\n"
       "        runs the grid in parallel; output is byte-identical for\n"
       "        every --jobs value. Default: full 12x14 grid, seed 0,\n"
       "        one worker per hardware thread, CSV on stdout.\n"
       "  vodx faults [--list] [--services all|H1,...] [--scenarios all|...]\n"
       "              [--profiles 7|...] [--seeds 0|...] [--hardened]\n"
       "              [--jobs N] [--duration secs]\n"
-      "              [--csv out.csv] [--jsonl out.jsonl] [--progress]\n"
+      "              [--csv out.csv] [--jsonl out.jsonl]\n"
+      "              [--metrics-out report.jsonl] [--progress]\n"
       "        runs every service under scripted fault scenarios and prints\n"
       "        a resilience table. --hardened plays the same grid with the\n"
       "        fault-tolerant player configuration. Deterministic: the fault\n"
-      "        schedule derives from (seed, cell), never from --jobs.\n");
+      "        schedule derives from (seed, cell), never from --jobs.\n"
+      "  vodx report [--services ...] [--profiles ...] [--seeds ...]\n"
+      "              [--faults ...] [--jobs N] [--duration secs]\n"
+      "              [--out report.txt] [--jsonl report.jsonl]\n"
+      "              [--html report.html] [--csv cells.csv] [--progress]\n"
+      "        runs the grid with per-cell metrics collection and renders\n"
+      "        overall / per-service / per-profile / per-fault rollups.\n"
+      "        Text report goes to stdout unless --out is given; the merged\n"
+      "        aggregate is byte-identical for every --jobs value.\n");
   return 2;
 }
 
@@ -227,11 +240,19 @@ void parse_services(batch::SweepConfig& config, const char* v,
   }
 }
 
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) throw Error(format("cannot write %s", path.c_str()));
+  out << content;
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+}
+
 /// The grid flags `sweep` and `faults` share; parse() consumes one of them
 /// per call and returns false when the cursor points at something else.
 struct GridFlags {
   std::string csv_path;
   std::string jsonl_path;
+  tools::ObsOutputs outputs;  ///< grids honour --metrics-out only
   bool progress = false;
 
   bool parse(Args& args, batch::SweepConfig& config, const char* tool) {
@@ -258,6 +279,8 @@ struct GridFlags {
       csv_path = v;
     } else if (const char* v = args.value("--jsonl")) {
       jsonl_path = v;
+    } else if (outputs.parse(args)) {
+      // consumed a --*-out flag and its value
     } else if (args.flag("--progress")) {
       progress = true;
     } else {
@@ -274,6 +297,14 @@ int run_grid(batch::SweepConfig& config, const GridFlags& flags,
     std::fprintf(stderr, "error: empty sweep grid\n");
     return 2;
   }
+  if (!flags.outputs.chrome_trace_path.empty() ||
+      !flags.outputs.jsonl_path.empty()) {
+    std::fprintf(stderr,
+                 "error: --trace-out/--events-out are per-session outputs; "
+                 "use `vodx play` (grids support --metrics-out)\n");
+    return 2;
+  }
+  if (!flags.outputs.metrics_path.empty()) config.collect_metrics = true;
   if (flags.progress) {
     config.progress = [](const batch::CellResult& cell, std::size_t done,
                          std::size_t total) {
@@ -327,12 +358,14 @@ int run_grid(batch::SweepConfig& config, const GridFlags& flags,
                  flags.csv_path.c_str(), result.cells.size(), result.failed);
   }
   if (!flags.jsonl_path.empty()) {
-    std::ofstream out(flags.jsonl_path);
-    if (!out) {
-      throw Error(format("cannot write %s", flags.jsonl_path.c_str()));
-    }
-    out << batch::sweep_jsonl(result);
-    std::fprintf(stderr, "wrote %s\n", flags.jsonl_path.c_str());
+    write_file(flags.jsonl_path, batch::sweep_jsonl(result));
+  }
+  if (!flags.outputs.metrics_path.empty()) {
+    // Per-cell and merged metrics in one file: the report JSONL carries a
+    // {"scope":"cell"} line per cell plus every rollup snapshot.
+    batch::SweepMetrics metrics = batch::aggregate_metrics(result);
+    write_file(flags.outputs.metrics_path,
+               batch::report_jsonl(result, metrics));
   }
   return result.failed > 0 ? 1 : 0;
 }
@@ -389,6 +422,77 @@ int cmd_faults(Args& args) {
   return run_grid(config, flags, /*print_table=*/true);
 }
 
+int cmd_report(Args& args) {
+  batch::SweepConfig config = batch::full_grid();
+  config.jobs = 0;
+  config.collect_metrics = true;
+  GridFlags flags;
+  std::string text_path, jsonl_path, html_path;
+  while (!args.done()) {
+    // Own output flags come before GridFlags: --jsonl here means the report
+    // JSONL (cells + rollups), not the per-cell QoE rows `sweep` writes.
+    if (const char* v = args.value("--faults")) {
+      config.fault_scenarios = tools::parse_name_list(v, scenario_names());
+    } else if (const char* v = args.value("--out")) {
+      text_path = v;
+    } else if (const char* v = args.value("--jsonl")) {
+      jsonl_path = v;
+    } else if (const char* v = args.value("--html")) {
+      html_path = v;
+    } else if (!flags.parse(args, config, "report")) {
+      args.unknown();
+    }
+  }
+  if (args.failed()) return usage();
+  if (config.services.empty() || config.profiles.empty() ||
+      config.seeds.empty() || config.fault_scenarios.empty()) {
+    std::fprintf(stderr, "error: empty sweep grid\n");
+    return 2;
+  }
+  if (!flags.outputs.chrome_trace_path.empty() ||
+      !flags.outputs.jsonl_path.empty()) {
+    std::fprintf(stderr,
+                 "error: --trace-out/--events-out are per-session outputs; "
+                 "use `vodx play`\n");
+    return 2;
+  }
+  // --metrics-out is an alias for --jsonl here; both mean the report JSONL.
+  if (jsonl_path.empty()) jsonl_path = flags.outputs.metrics_path;
+  if (flags.progress) {
+    config.progress = [](const batch::CellResult& cell, std::size_t done,
+                         std::size_t total) {
+      std::fprintf(stderr, "\r[%zu/%zu] %s%s", done, total,
+                   cell.coordinates().c_str(), done == total ? "\n" : "   ");
+    };
+  }
+
+  batch::SweepResult result = batch::run_sweep(config);
+  for (const batch::CellResult& cell : result.cells) {
+    if (!cell.ok) {
+      std::fprintf(stderr, "report: cell %s failed: %s\n",
+                   cell.coordinates().c_str(), cell.error.c_str());
+    }
+  }
+
+  batch::SweepMetrics metrics = batch::aggregate_metrics(result);
+  const std::string text = batch::report_text(metrics);
+  if (text_path.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    write_file(text_path, text);
+  }
+  if (!jsonl_path.empty()) {
+    write_file(jsonl_path, batch::report_jsonl(result, metrics));
+  }
+  if (!html_path.empty()) {
+    write_file(html_path, batch::report_html(metrics));
+  }
+  if (!flags.csv_path.empty()) {
+    write_file(flags.csv_path, batch::sweep_csv(result));
+  }
+  return result.failed > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -414,6 +518,10 @@ int main(int argc, char** argv) {
     if (command == "faults") {
       Args args(argc - 2, argv + 2);
       return cmd_faults(args);
+    }
+    if (command == "report") {
+      Args args(argc - 2, argv + 2);
+      return cmd_report(args);
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
