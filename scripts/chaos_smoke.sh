@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Fixed-budget fuzz smoke for vodx::chaos: 64 seeds through the chaos engine
+# must produce zero invariant violations, zero watchdog aborts, and a report
+# that is byte-identical across --jobs (the engine's determinism contract).
+#
+#   ./scripts/chaos_smoke.sh [path/to/vodx]
+#
+# Run by ctest as the `chaos_smoke` test (label: chaos). The seed budget and
+# duration are pinned so the smoke is a fixed, reproducible workload — widen
+# the net with `vodx chaos --seeds 0..1023` manually, not here.
+set -euo pipefail
+
+VODX="${1:-}"
+if [[ -z "$VODX" ]]; then
+  cd "$(dirname "$0")/.."
+  VODX="${BUILD_DIR:-build}/tools/vodx"
+fi
+[[ -x "$VODX" ]] || { echo "chaos_smoke: no vodx binary at $VODX" >&2; exit 2; }
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+SEEDS="0..63"
+DURATION=60
+
+"$VODX" chaos --seeds "$SEEDS" --duration "$DURATION" --jobs 4 \
+  --out "$TMP/jobs4.txt"
+"$VODX" chaos --seeds "$SEEDS" --duration "$DURATION" --jobs 1 \
+  --out "$TMP/jobs1.txt"
+
+if ! cmp -s "$TMP/jobs1.txt" "$TMP/jobs4.txt"; then
+  echo "chaos_smoke: report differs between --jobs 1 and --jobs 4" >&2
+  diff "$TMP/jobs1.txt" "$TMP/jobs4.txt" >&2 || true
+  exit 1
+fi
+
+echo "chaos_smoke: $SEEDS clean and jobs-independent"

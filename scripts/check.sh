@@ -8,7 +8,7 @@
 #                                          # the batch/sweep tests
 #   ./scripts/check.sh --labels unit       # only tests with a matching
 #                                          # ctest label (unit|integration|
-#                                          # golden|faults|perf; regex
+#                                          # golden|faults|perf|chaos; regex
 #                                          # accepted)
 #   BUILD_DIR=out ./scripts/check.sh       # custom build directory
 set -euo pipefail

@@ -30,6 +30,14 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_perf
 
 REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 if [[ "$MODE" == "smoke" ]]; then
+  if [[ ! -f bench/perf_baseline.json ]]; then
+    # No recorded baseline (fresh checkout / new hardware): nothing to gate
+    # against. Record one with the command in the header comment.
+    echo "perf_check: no baseline, skipping" >&2
+    "$BUILD_DIR/bench/bench_perf" --smoke --jobs 4 --git-rev "$REV" \
+      --out BENCH_PERF.json
+    exit 0
+  fi
   # Same jobs count as the recorded baseline so cells/s is comparable.
   "$BUILD_DIR/bench/bench_perf" --smoke --jobs 4 --git-rev "$REV" \
     --out BENCH_PERF.json --check bench/perf_baseline.json

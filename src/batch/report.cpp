@@ -153,7 +153,12 @@ SweepMetrics aggregate_metrics(const SweepResult& result) {
   out.overall.key = "overall";
   out.total_cells = static_cast<int>(result.cells.size());
   out.failed = result.failed;
+  out.quarantined = result.quarantined;
   for (const CellResult& cell : result.cells) {
+    if (cell.quarantined) {
+      out.quarantined_cells.push_back(
+          format("%s: %s", cell.coordinates().c_str(), cell.error.c_str()));
+    }
     if (!cell.has_metrics) continue;
     fold(out.overall, cell.metrics);
     fold(rollup_for(out.by_service, cell.service), cell.metrics);
@@ -165,10 +170,22 @@ SweepMetrics aggregate_metrics(const SweepResult& result) {
 }
 
 std::string report_text(const SweepMetrics& metrics) {
+  // The quarantine clause only appears when non-zero, so quarantine-free
+  // reports stay byte-identical to the historical format (golden-pinned).
+  std::string failure_clause = format("%d failed", metrics.failed);
+  if (metrics.quarantined > 0) {
+    failure_clause += format(", %d quarantined", metrics.quarantined);
+  }
   std::string out = format(
-      "sweep metrics: %d cells (%d failed), %d merged\n\n== overall ==\n",
-      metrics.total_cells, metrics.failed, metrics.overall.cells);
+      "sweep metrics: %d cells (%s), %d merged\n\n== overall ==\n",
+      metrics.total_cells, failure_clause.c_str(), metrics.overall.cells);
   out += obs::metrics_table(metrics.overall.metrics).render();
+  if (!metrics.quarantined_cells.empty()) {
+    out += "\n== quarantined ==\n";
+    for (const std::string& line : metrics.quarantined_cells) {
+      out += format("QUARANTINED %s\n", line.c_str());
+    }
+  }
   for (const Dimension& dim : dimensions(metrics)) {
     out += format("\n== %s ==\n", dim.title);
     Table table(headline_header());
@@ -184,8 +201,9 @@ std::string report_jsonl(const SweepResult& result,
                          const SweepMetrics& metrics) {
   std::string out =
       format("{\"scope\":\"sweep\",\"cells\":%d,\"failed\":%d,"
-             "\"merged\":%d}\n",
-             metrics.total_cells, metrics.failed, metrics.overall.cells);
+             "\"quarantined\":%d,\"merged\":%d}\n",
+             metrics.total_cells, metrics.failed, metrics.quarantined,
+             metrics.overall.cells);
   for (const CellResult& cell : result.cells) {
     out += format(
         "{\"scope\":\"cell\",\"service\":\"%s\",\"profile\":%d,"
@@ -193,6 +211,7 @@ std::string report_jsonl(const SweepResult& result,
         obs::json_escape(cell.service).c_str(), cell.profile_id,
         static_cast<unsigned long long>(cell.seed),
         obs::json_escape(cell.fault).c_str(), cell.ok ? "true" : "false");
+    if (cell.quarantined) out += ",\"quarantined\":true";
     if (cell.has_metrics) {
       out += ",\"snapshot\":" + obs::metrics_json(cell.metrics);
     }
@@ -229,9 +248,17 @@ std::string report_html(const SweepMetrics& metrics) {
       "th:first-child,td:first-child{text-align:left;font-family:monospace}\n"
       "</style></head><body>\n";
   out += format("<h1>vodx sweep report</h1>\n"
-                "<p>%d cells (%d failed), %d merged into the rollups "
-                "below.</p>\n",
-                metrics.total_cells, metrics.failed, metrics.overall.cells);
+                "<p>%d cells (%d failed, %d quarantined), %d merged into "
+                "the rollups below.</p>\n",
+                metrics.total_cells, metrics.failed, metrics.quarantined,
+                metrics.overall.cells);
+  if (!metrics.quarantined_cells.empty()) {
+    out += "<h2>quarantined</h2>\n<ul>\n";
+    for (const std::string& line : metrics.quarantined_cells) {
+      out += "<li>QUARANTINED " + html_escape(line) + "</li>\n";
+    }
+    out += "</ul>\n";
+  }
   out += "<h2>overall</h2>\n";
   append_html_table(out,
                     {"metric", "type", "count", "value", "mean", "p50",

@@ -26,6 +26,10 @@ struct Rollup {
 struct SweepMetrics {
   int total_cells = 0;
   int failed = 0;
+  int quarantined = 0;  ///< subset of failed: wall-budget quarantines
+  /// "(<coords>): <error>" per quarantined cell, grid order — rendered as
+  /// explicit QUARANTINED rows so a quarantine is never silently dropped.
+  std::vector<std::string> quarantined_cells;
   Rollup overall;                  ///< key "overall"
   std::vector<Rollup> by_service;  ///< spec name, grid order
   std::vector<Rollup> by_profile;  ///< "profile <id>", grid order

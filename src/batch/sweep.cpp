@@ -1,8 +1,10 @@
 #include "batch/sweep.h"
 
+#include <algorithm>
 #include <mutex>
 
 #include "batch/thread_pool.h"
+#include "net/simulator.h"
 #include "common/strings.h"
 #include "obs/profiler.h"
 #include "core/qoe.h"
@@ -123,34 +125,61 @@ SweepResult run_sweep(const SweepConfig& config) {
       cell.error = format("profile id %d out of range [1, %d]",
                           cell.profile_id, trace::kProfileCount);
     } else {
-      try {
-        core::SessionConfig session;
-        session.spec = spec;
-        session.trace = trace::cellular_profile(cell.profile_id,
-                                                trace_seed_for(cell.seed));
-        session.session_duration = config.session_duration;
-        session.content_duration = config.content_duration;
-        session.content_seed = content_seed_for(cell.seed);
-        session.qoe_options = config.qoe_options;
-        if (cell.fault != "none") {
-          // Unknown scenario names throw ConfigError here and become a
-          // per-cell failure with coordinates, like a bad profile id.
-          faults::FaultPlan plan = faults::scenario(cell.fault);
-          plan.seed = fault_seed_for(cell.seed, cell.cell.service_index,
-                                     cell.cell.profile_index,
-                                     cell.cell.fault_index);
-          session.fault_plan = std::move(plan);
+      // Self-healing attempt loop: watchdog aborts (wall budget, event
+      // livelock) get a bounded number of fresh attempts; any other failure
+      // is deterministic and fails the cell immediately. A cell that burns
+      // every attempt is quarantined, not dropped.
+      const int max_attempts = 1 + std::max(0, config.cell_retries);
+      for (int attempt = 0; attempt < max_attempts; ++attempt) {
+        ++cell.attempts;
+        try {
+          core::SessionConfig session;
+          session.spec = spec;
+          session.trace = trace::cellular_profile(cell.profile_id,
+                                                  trace_seed_for(cell.seed));
+          session.session_duration = config.session_duration;
+          session.content_duration = config.content_duration;
+          session.content_seed = content_seed_for(cell.seed);
+          session.qoe_options = config.qoe_options;
+          session.wall_budget = config.cell_wall_budget;
+          session.max_events_per_instant = config.cell_max_events_per_instant;
+          if (cell.fault != "none") {
+            // Unknown scenario names throw ConfigError here and become a
+            // per-cell failure with coordinates, like a bad profile id.
+            faults::FaultPlan plan = faults::scenario(cell.fault);
+            plan.seed = fault_seed_for(cell.seed, cell.cell.service_index,
+                                       cell.cell.profile_index,
+                                       cell.cell.fault_index);
+            session.fault_plan = std::move(plan);
+          }
+          if (config.prepare) config.prepare(cell.cell, session);
+          if (!observers.empty()) {
+            // A retry must not fold the aborted attempt's counters into the
+            // final snapshot; give the cell a fresh observer.
+            if (attempt > 0) {
+              auto fresh = std::make_unique<obs::Observer>();
+              if (!config.observe) fresh->trace.set_enabled(false);
+              observers[index] = std::move(fresh);
+            }
+            session.observer = observers[index].get();
+          }
+          cell.result = core::run_session(session);
+          cell.ok = true;
+          cell.quarantined = false;
+          cell.error.clear();
+          if (!observers.empty()) {
+            cell.metrics =
+                observers[index]->metrics.snapshot(cell.result.session_end);
+            cell.has_metrics = true;
+          }
+          break;
+        } catch (const net::WatchdogError& e) {
+          cell.error = e.what();
+          cell.quarantined = true;  // stands unless a later attempt succeeds
+        } catch (const std::exception& e) {
+          cell.error = e.what();
+          break;  // deterministic failure: retrying reproduces it
         }
-        if (!observers.empty()) session.observer = observers[index].get();
-        cell.result = core::run_session(session);
-        cell.ok = true;
-        if (!observers.empty()) {
-          cell.metrics =
-              observers[index]->metrics.snapshot(cell.result.session_end);
-          cell.has_metrics = true;
-        }
-      } catch (const std::exception& e) {
-        cell.error = e.what();
       }
     }
 
@@ -162,6 +191,8 @@ SweepResult run_sweep(const SweepConfig& config) {
 
   for (const CellResult& cell : out.cells) {
     if (!cell.ok) ++out.failed;
+    if (cell.quarantined) ++out.quarantined;
+    if (cell.attempts > 1) ++out.retried;
   }
   if (config.observe) {
     for (std::size_t i = 0; i < total; ++i) {
@@ -218,7 +249,10 @@ std::string sweep_jsonl(const SweepResult& result) {
         if (c == '"' || c == '\\') escaped += '\\';
         escaped += c;
       }
-      out += format(R"("ok":false,"error":"%s"})", escaped.c_str());
+      out += format(R"("ok":false,"quarantined":%s,"attempts":%d,)"
+                    R"("error":"%s"})",
+                    cell.quarantined ? "true" : "false", cell.attempts,
+                    escaped.c_str());
     } else {
       const core::QoeReport& q = cell.result.qoe;
       out += format(

@@ -78,6 +78,15 @@ struct CellResult {
   bool ok = false;
   std::string error;  ///< populated when !ok
 
+  /// The cell kept failing its wall-time budget (net::WatchdogError) through
+  /// every permitted retry and was quarantined. Quarantined cells are never
+  /// silently dropped: they appear in sweep_jsonl, the grid report and the
+  /// CLI table as explicit QUARANTINED rows. Implies !ok.
+  bool quarantined = false;
+  /// Session attempts actually made (1 on the happy path; up to
+  /// 1 + cell_retries when the watchdog kept firing).
+  int attempts = 0;
+
   core::SessionResult result;  ///< valid only when ok
 
   /// Per-cell metrics captured at session end (SweepConfig::collect_metrics
@@ -125,11 +134,32 @@ struct SweepConfig {
   /// deterministic — do not derive results from it.
   std::function<void(const CellResult&, std::size_t done, std::size_t total)>
       progress;
+
+  // --- Self-healing (vodx::chaos) ---------------------------------------
+  /// Wall-clock budget per cell *attempt* in seconds (0 = unlimited). A
+  /// cell that exhausts it is aborted via net::WatchdogError instead of
+  /// hanging the whole sweep. Abort-only: a cell that finishes within
+  /// budget is untouched, so determinism of successful output holds.
+  Seconds cell_wall_budget = 0;
+  /// Bound on events fired at one simulated instant per cell (0 = off);
+  /// deterministic livelock detector, forwarded to SessionConfig.
+  std::uint64_t cell_max_events_per_instant = 0;
+  /// Extra attempts after a watchdog abort before the cell is quarantined.
+  /// Only watchdog aborts are retried — deterministic failures (bad config,
+  /// session exceptions) would fail identically again.
+  int cell_retries = 1;
+  /// Test/instrumentation hook: runs on the worker right before each cell
+  /// attempt, after the engine has filled the SessionConfig. Lets tests
+  /// sabotage one coordinate deterministically (e.g. inflate a cell's
+  /// duration so its wall budget trips). Must be thread-safe.
+  std::function<void(const Cell&, core::SessionConfig&)> prepare;
 };
 
 struct SweepResult {
   std::vector<CellResult> cells;  ///< grid order, one per cell
   int failed = 0;                 ///< number of cells with ok == false
+  int quarantined = 0;            ///< subset of failed: watchdog quarantines
+  int retried = 0;                ///< cells that needed more than one attempt
 };
 
 /// Expands the grid and runs every cell, honouring the guarantees above.

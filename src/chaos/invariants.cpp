@@ -1,0 +1,335 @@
+#include "chaos/invariants.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+
+#include "common/strings.h"
+
+namespace vodx::chaos {
+
+namespace {
+
+struct Ctx {
+  const core::SessionConfig& config;
+  const core::SessionResult& result;
+  const obs::Observer& observer;
+  InvariantReport& report;
+
+  void violate(const char* invariant, Seconds time, std::string detail) {
+    report.violations.push_back({invariant, std::move(detail), time});
+  }
+};
+
+void check_time_monotone(Ctx& ctx) {
+  Seconds last = -1;
+  const Seconds end = ctx.result.session_end + 1e-6;
+  ctx.observer.trace.for_each([&](const obs::Event& event) {
+    if (event.sim_time + 1e-9 < last) {
+      ctx.violate("time.monotone", event.sim_time,
+                  format("event \"%s\" at t=%.6f after t=%.6f", event.name,
+                         event.sim_time, last));
+    }
+    if (event.sim_time > end) {
+      ctx.violate("time.monotone", event.sim_time,
+                  format("event \"%s\" at t=%.6f past session end %.6f",
+                         event.name, event.sim_time,
+                         ctx.result.session_end));
+    }
+    last = std::max(last, event.sim_time);
+  });
+}
+
+void check_span_balanced(Ctx& ctx) {
+  if (ctx.observer.trace.dropped() > 0) {
+    ctx.report.skipped.push_back(format(
+        "span.balanced: trace ring dropped %llu events; balance unknowable",
+        static_cast<unsigned long long>(ctx.observer.trace.dropped())));
+    return;
+  }
+  // Spans nest per track; a stack of open names per track detects both
+  // leaked begins and stray ends.
+  std::map<int, std::vector<const char*>> open;
+  ctx.observer.trace.for_each([&](const obs::Event& event) {
+    if (event.kind == obs::EventKind::kSpanBegin) {
+      open[event.track].push_back(event.name);
+    } else if (event.kind == obs::EventKind::kSpanEnd) {
+      auto& stack = open[event.track];
+      if (stack.empty()) {
+        ctx.violate("span.balanced", event.sim_time,
+                    format("end of \"%s\" on track %d with no open span",
+                           event.name, event.track));
+      } else {
+        stack.pop_back();
+      }
+    }
+  });
+  // A session cut off by run_until legitimately leaves spans open: the
+  // player's current state span plus, per connection, one in-flight
+  // http.request span with its nested tcp.transfer. Anything beyond that
+  // bound is a leak (a span someone began and forgot).
+  std::size_t still_open = 0;
+  std::string names;
+  for (const auto& [track, stack] : open) {
+    for (const char* name : stack) {
+      ++still_open;
+      if (!names.empty()) names += ", ";
+      names += name;
+    }
+  }
+  const std::size_t allowed =
+      2 + 2 * static_cast<std::size_t>(
+                  std::max(1, ctx.config.spec.player.max_connections));
+  if (still_open > allowed) {
+    ctx.violate("span.balanced", ctx.result.session_end,
+                format("%zu spans still open at session end (allowed %zu): %s",
+                       still_open, allowed, names.c_str()));
+  }
+}
+
+void check_buffer_bounds(Ctx& ctx) {
+  // In-flight segments can legitimately land past the pausing threshold:
+  // downloads already issued finish even after the pipeline pauses. Allow
+  // a few segment durations of slack plus the startup target; anything
+  // beyond that is runaway accumulation, and negative occupancy is always
+  // corrupt.
+  const player::PlayerConfig& player = ctx.config.spec.player;
+  const Seconds segdur = std::max(1.0, ctx.config.spec.segment_duration);
+  const Seconds cap = std::max(player.pausing_threshold,
+                               player.startup_buffer) +
+                      4 * segdur + 10;
+  ctx.observer.trace.for_each([&](const obs::Event& event) {
+    if (event.kind != obs::EventKind::kCounter) return;
+    if (std::strcmp(event.name, "buffer.video_s") != 0 &&
+        std::strcmp(event.name, "buffer.audio_s") != 0) {
+      return;
+    }
+    const double value = event.fields.empty() ? 0 : event.fields[0].num;
+    if (value < -1e-6) {
+      ctx.violate(
+          "buffer.bounds", event.sim_time,
+          format("%s = %.3f s (negative occupancy)", event.name, value));
+    } else if (value > cap) {
+      ctx.violate("buffer.bounds", event.sim_time,
+                  format("%s = %.3f s exceeds cap %.3f s", event.name, value,
+                         cap));
+    }
+  });
+}
+
+void check_transfer_order(Ctx& ctx) {
+  for (const core::SegmentDownload& d : ctx.result.traffic.downloads) {
+    if (d.bytes < 0) {
+      ctx.violate("transfer.order", d.requested_at,
+                  format("download (level %d, index %d) carried %lld bytes",
+                         d.level, d.index, static_cast<long long>(d.bytes)));
+    }
+    if (!d.aborted && d.completed_at >= 0 &&
+        d.completed_at + 1e-9 < d.requested_at) {
+      ctx.violate("transfer.order", d.requested_at,
+                  format("download (level %d, index %d) completed at %.3f "
+                         "before its request at %.3f",
+                         d.level, d.index, d.completed_at, d.requested_at));
+    }
+  }
+}
+
+void check_bytes_conservation(Ctx& ctx) {
+  // Media bytes are a subset of everything that crossed the wire, and bytes
+  // wasted by segment replacement were media bytes first. (Checked on the
+  // ground truth; the inferred report may legitimately disagree with the
+  // wire — that divergence is what the obs layer flags, not a chaos bug.)
+  const core::QoeReport& truth = ctx.result.ground_truth;
+  if (truth.media_bytes > truth.total_bytes) {
+    ctx.violate("bytes.conservation", ctx.result.session_end,
+                format("media bytes %lld exceed total wire bytes %lld",
+                       static_cast<long long>(truth.media_bytes),
+                       static_cast<long long>(truth.total_bytes)));
+  }
+  if (truth.wasted_bytes > truth.media_bytes) {
+    ctx.violate("bytes.conservation", ctx.result.session_end,
+                format("wasted bytes %lld exceed media bytes %lld",
+                       static_cast<long long>(truth.wasted_bytes),
+                       static_cast<long long>(truth.media_bytes)));
+  }
+  if (truth.media_bytes < 0 || truth.total_bytes < 0 ||
+      truth.wasted_bytes < 0) {
+    ctx.violate("bytes.conservation", ctx.result.session_end,
+                format("negative byte count (media %lld, total %lld, "
+                       "wasted %lld)",
+                       static_cast<long long>(truth.media_bytes),
+                       static_cast<long long>(truth.total_bytes),
+                       static_cast<long long>(truth.wasted_bytes)));
+  }
+}
+
+void check_retry_bounds(Ctx& ctx) {
+  const obs::MetricsSnapshot snap =
+      ctx.observer.metrics.snapshot(ctx.result.session_end);
+  const auto count = [&snap](const char* name) -> std::int64_t {
+    const obs::MetricsSnapshot::Entry* e = snap.find(name);
+    return e != nullptr ? e->count : 0;
+  };
+  const std::int64_t requests = count("http.requests");
+  const std::int64_t aborts = count("http.aborts");
+  const std::int64_t failures = count("player.fetch_failures");
+  const std::int64_t resets = count("http.resets");
+  // Every fetch failure consumed at least one wire attempt (a finished
+  // request or a timed-out abort); a failure count beyond that means the
+  // retry machinery spun without touching the network.
+  if (failures > requests + aborts) {
+    ctx.violate("retry.bounds", ctx.result.session_end,
+                format("%lld fetch failures but only %lld requests + %lld "
+                       "aborts on the wire",
+                       static_cast<long long>(failures),
+                       static_cast<long long>(requests),
+                       static_cast<long long>(aborts)));
+  }
+  if (resets > requests) {
+    ctx.violate("retry.bounds", ctx.result.session_end,
+                format("%lld connection resets but only %lld requests",
+                       static_cast<long long>(resets),
+                       static_cast<long long>(requests)));
+  }
+}
+
+void check_qoe_finite(Ctx& ctx) {
+  const auto check_report = [&ctx](const core::QoeReport& q,
+                                   const char* which) {
+    const struct {
+      const char* name;
+      double value;
+    } components[] = {
+        {"startup_delay", q.startup_delay},
+        {"total_stall", q.total_stall},
+        {"average_declared_bitrate", q.average_declared_bitrate},
+        {"low_quality_fraction", q.low_quality_fraction},
+        {"displayed_time", q.displayed_time},
+    };
+    for (const auto& c : components) {
+      if (!std::isfinite(c.value)) {
+        ctx.violate("qoe.finite", ctx.result.session_end,
+                    format("%s %s is not finite", which, c.name));
+      }
+    }
+    if (q.stall_count < 0 || q.switch_count < 0 ||
+        q.nonconsecutive_switch_count < 0) {
+      ctx.violate("qoe.finite", ctx.result.session_end,
+                  format("%s has a negative count", which));
+    }
+    if (q.low_quality_fraction < -1e-9 || q.low_quality_fraction > 1 + 1e-9) {
+      ctx.violate("qoe.finite", ctx.result.session_end,
+                  format("%s low_quality_fraction %.4f outside [0, 1]", which,
+                         q.low_quality_fraction));
+    }
+  };
+  check_report(ctx.result.qoe, "inferred");
+  check_report(ctx.result.ground_truth, "truth");
+  if (!std::isfinite(ctx.result.session_end) ||
+      ctx.result.session_end < 0 ||
+      ctx.result.session_end >
+          ctx.config.session_duration + ctx.config.tick + 1e-6) {
+    ctx.violate("qoe.finite", ctx.result.session_end,
+                format("session_end %.3f outside [0, %.3f]",
+                       ctx.result.session_end, ctx.config.session_duration));
+  }
+}
+
+void check_stall_well_formed(Ctx& ctx) {
+  const std::vector<player::StallEvent>& stalls = ctx.result.events.stalls;
+  Seconds previous_end = -1;
+  for (std::size_t i = 0; i < stalls.size(); ++i) {
+    const player::StallEvent& stall = stalls[i];
+    if (stall.end >= 0 && stall.end + 1e-9 < stall.start) {
+      ctx.violate("stall.well_formed", stall.start,
+                  format("stall %zu ends at %.3f before its start %.3f", i,
+                         stall.end, stall.start));
+    }
+    if (stall.end < 0 && i + 1 < stalls.size()) {
+      ctx.violate("stall.well_formed", stall.start,
+                  format("stall %zu is open-ended but %zu follow it", i,
+                         stalls.size() - i - 1));
+    }
+    if (stall.start + 1e-9 < previous_end) {
+      ctx.violate("stall.well_formed", stall.start,
+                  format("stall %zu starts at %.3f inside the previous "
+                         "stall (ends %.3f)",
+                         i, stall.start, previous_end));
+    }
+    previous_end = stall.end >= 0 ? stall.end : stall.start;
+  }
+  const player::PlayerEvents& events = ctx.result.events;
+  if (events.playback_started >= 0 &&
+      events.playback_started + 1e-9 < events.session_start) {
+    ctx.violate("stall.well_formed", events.playback_started,
+                format("playback started at %.3f before the session at %.3f",
+                       events.playback_started, events.session_start));
+  }
+}
+
+}  // namespace
+
+std::string InvariantReport::summary() const {
+  std::string out;
+  for (const InvariantInfo& info : invariant_catalog()) {
+    const bool hit = std::any_of(
+        violations.begin(), violations.end(),
+        [&info](const Violation& v) { return v.invariant == info.name; });
+    if (!hit) continue;
+    if (!out.empty()) out += ", ";
+    out += info.name;
+  }
+  // Violations injected by test hooks may use names outside the catalog;
+  // keep them visible rather than silently dropping them.
+  for (const Violation& v : violations) {
+    const bool in_catalog = std::any_of(
+        invariant_catalog().begin(), invariant_catalog().end(),
+        [&v](const InvariantInfo& info) { return v.invariant == info.name; });
+    if (in_catalog || out.find(v.invariant) != std::string::npos) continue;
+    if (!out.empty()) out += ", ";
+    out += v.invariant;
+  }
+  return out;
+}
+
+const std::vector<InvariantInfo>& invariant_catalog() {
+  static const std::vector<InvariantInfo> catalog = {
+      {"time.monotone",
+       "trace events never move backwards in sim time or past session end"},
+      {"span.balanced",
+       "span ends match opens; open spans at cutoff within in-flight bound"},
+      {"buffer.bounds",
+       "buffer occupancy within [0, pausing threshold + in-flight slack]"},
+      {"transfer.order",
+       "downloads complete at/after their request, non-negative bytes"},
+      {"bytes.conservation",
+       "media bytes <= wire bytes; wasted bytes <= media bytes"},
+      {"retry.bounds",
+       "fetch failures <= wire attempts; resets <= requests"},
+      {"qoe.finite", "QoE components finite, counts and fractions in range"},
+      {"stall.well_formed",
+       "stalls ordered, non-overlapping, only the last open-ended"},
+      {"session.completes",
+       "run_session returns under any fault plan (no uncaught exception)"},
+  };
+  return catalog;
+}
+
+InvariantReport check_invariants(const core::SessionConfig& config,
+                                 const core::SessionResult& result,
+                                 const obs::Observer& observer) {
+  InvariantReport report;
+  Ctx ctx{config, result, observer, report};
+  check_time_monotone(ctx);
+  check_span_balanced(ctx);
+  check_buffer_bounds(ctx);
+  check_transfer_order(ctx);
+  check_bytes_conservation(ctx);
+  check_retry_bounds(ctx);
+  check_qoe_finite(ctx);
+  check_stall_well_formed(ctx);
+  return report;
+}
+
+}  // namespace vodx::chaos

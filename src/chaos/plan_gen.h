@@ -1,0 +1,41 @@
+// Seeded random FaultPlan generation — the fuzzing half of vodx::chaos.
+//
+// scenario_catalog() covers the canonical pathologies one at a time; a fuzz
+// campaign needs *combinations* nobody scripted: a reset storm inside a
+// blackout while the manifest path is being rejected. generate_plan draws a
+// whole plan (fault count, kinds, URL/time windows, intensities) from a
+// splitmix64 stream keyed on the seed alone, so "seed 17 broke the player"
+// is a complete, shareable bug report — any machine regenerates the exact
+// plan from the number.
+#pragma once
+
+#include <cstdint>
+
+#include "faults/fault_plan.h"
+
+namespace vodx::chaos {
+
+/// Bounds for the generator. Defaults are sized for a 120-second session
+/// and deliberately include the nasty corners (zero-length windows, 100%
+/// probabilities, sub-second blackouts back to back).
+struct GenOptions {
+  int min_faults = 1;   ///< total faults per plan, inclusive
+  int max_faults = 5;
+  Seconds horizon = 120;       ///< time windows are drawn inside [0, horizon)
+  Seconds max_latency = 3.0;   ///< LatencyFault base+jitter ceiling
+  Seconds max_blackout = 20;   ///< BlackoutFault duration ceiling
+  double min_probability = 0.05;
+  double max_probability = 1.0;
+};
+
+/// Deterministically expands `seed` into a FaultPlan within `options`'
+/// bounds. Pure: same (seed, options) -> byte-identical plan, on any
+/// machine, at any --jobs.
+faults::FaultPlan generate_plan(std::uint64_t seed,
+                                const GenOptions& options = {});
+
+/// "2 resets, 1 latency, 1 blackout" — stable human summary of a plan's
+/// composition for chaos report rows.
+std::string plan_summary(const faults::FaultPlan& plan);
+
+}  // namespace vodx::chaos

@@ -1,0 +1,348 @@
+#include "chaos/repro.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace vodx::chaos {
+
+namespace {
+
+// --- Emission --------------------------------------------------------------
+
+std::string escape(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string match_json(const faults::Match& match) {
+  return format(R"({"url_contains":"%s","start":%.6g,"end":%.6g})",
+                escape(match.url_contains).c_str(), match.start, match.end);
+}
+
+// --- Parsing ---------------------------------------------------------------
+// A minimal recursive-descent JSON reader: objects, arrays, strings,
+// numbers, true/false/null. It exists to read artifacts *we* emitted (plus
+// hand-edits), not arbitrary JSON — no \uXXXX escapes, no exponent-free
+// validation subtleties.
+
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<Json> array;
+  std::map<std::string, Json> object;
+
+  const Json* find(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+  double num_or(const std::string& key, double fallback) const {
+    const Json* j = find(key);
+    return j != nullptr && j->type == Type::kNumber ? j->number : fallback;
+  }
+  std::string str_or(const std::string& key, std::string fallback) const {
+    const Json* j = find(key);
+    return j != nullptr && j->type == Type::kString ? j->string : fallback;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse() {
+    Json value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw ParseError(format("repro json: %s at offset %zu", what.c_str(),
+                            pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(format("expected '%c'", c));
+    ++pos_;
+  }
+
+  Json parse_value() {
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return parse_string();
+      case 't':
+      case 'f':
+        return parse_bool();
+      case 'n':
+        return parse_null();
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    Json out;
+    out.type = Json::Type::kObject;
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      Json key = parse_string();
+      expect(':');
+      out.object[key.string] = parse_value();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return out;
+    }
+  }
+
+  Json parse_array() {
+    Json out;
+    out.type = Json::Type::kArray;
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      out.array.push_back(parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return out;
+    }
+  }
+
+  Json parse_string() {
+    Json out;
+    out.type = Json::Type::kString;
+    expect('"');
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("dangling escape");
+        c = text_[pos_++];
+        if (c == 'n') c = '\n';
+        if (c == 't') c = '\t';
+      }
+      out.string += c;
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  Json parse_number() {
+    skip_ws();
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(start, &end);
+    if (end == start) fail("expected a value");
+    pos_ += static_cast<std::size_t>(end - start);
+    Json out;
+    out.type = Json::Type::kNumber;
+    out.number = value;
+    return out;
+  }
+
+  Json parse_bool() {
+    Json out;
+    out.type = Json::Type::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+    } else {
+      fail("expected true/false");
+    }
+    return out;
+  }
+
+  Json parse_null() {
+    if (text_.compare(pos_, 4, "null") != 0) fail("expected null");
+    pos_ += 4;
+    return Json{};
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+faults::Match parse_match(const Json& json) {
+  faults::Match match;
+  const Json* m = json.find("match");
+  if (m == nullptr) return match;
+  match.url_contains = m->str_or("url_contains", "");
+  match.start = m->num_or("start", 0);
+  match.end = m->num_or("end", -1);
+  return match;
+}
+
+}  // namespace
+
+std::string ReproArtifact::cli_line(const std::string& path) const {
+  return format("vodx chaos --repro %s", path.c_str());
+}
+
+std::string to_json(const ReproArtifact& artifact) {
+  const faults::FaultPlan& plan = artifact.plan;
+  std::string out = "{\n";
+  out += format("  \"service\": \"%s\",\n", escape(artifact.service).c_str());
+  out += format("  \"profile\": %d,\n", artifact.profile_id);
+  out += format("  \"duration_s\": %.6g,\n", artifact.duration);
+  out += format("  \"chaos_seed\": %llu,\n",
+                static_cast<unsigned long long>(artifact.chaos_seed));
+  out += format("  \"invariants\": \"%s\",\n",
+                escape(artifact.invariants).c_str());
+  out += format("  \"plan\": {\n    \"name\": \"%s\",\n    \"seed\": %llu,\n",
+                escape(plan.name).c_str(),
+                static_cast<unsigned long long>(plan.seed));
+
+  out += "    \"latency\": [";
+  for (std::size_t i = 0; i < plan.latency.size(); ++i) {
+    const faults::LatencyFault& f = plan.latency[i];
+    out += format(R"(%s{"match":%s,"base":%.6g,"jitter":%.6g,)"
+                  R"("probability":%.6g})",
+                  i == 0 ? "" : ",", match_json(f.match).c_str(), f.base,
+                  f.jitter, f.probability);
+  }
+  out += "],\n    \"errors\": [";
+  for (std::size_t i = 0; i < plan.errors.size(); ++i) {
+    const faults::ErrorFault& f = plan.errors[i];
+    out += format(R"(%s{"match":%s,"status":%d,"probability":%.6g})",
+                  i == 0 ? "" : ",", match_json(f.match).c_str(), f.status,
+                  f.probability);
+  }
+  out += "],\n    \"resets\": [";
+  for (std::size_t i = 0; i < plan.resets.size(); ++i) {
+    const faults::ResetFault& f = plan.resets[i];
+    out += format(R"(%s{"match":%s,"after_fraction":%.6g,)"
+                  R"("probability":%.6g})",
+                  i == 0 ? "" : ",", match_json(f.match).c_str(),
+                  f.after_fraction, f.probability);
+  }
+  out += "],\n    \"rejects\": [";
+  for (std::size_t i = 0; i < plan.rejects.size(); ++i) {
+    const faults::RejectFault& f = plan.rejects[i];
+    out += format(R"(%s{"match":%s,"every_nth":%d,"probability":%.6g})",
+                  i == 0 ? "" : ",", match_json(f.match).c_str(), f.every_nth,
+                  f.probability);
+  }
+  out += "],\n    \"blackouts\": [";
+  for (std::size_t i = 0; i < plan.blackouts.size(); ++i) {
+    const faults::BlackoutFault& f = plan.blackouts[i];
+    out += format(R"(%s{"start":%.6g,"duration":%.6g})", i == 0 ? "" : ",",
+                  f.start, f.duration);
+  }
+  out += "]\n  }\n}\n";
+  return out;
+}
+
+ReproArtifact parse_repro(const std::string& json) {
+  const Json root = Parser(json).parse();
+  if (root.type != Json::Type::kObject) {
+    throw ParseError("repro json: top level is not an object");
+  }
+  ReproArtifact artifact;
+  artifact.service = root.str_or("service", "");
+  artifact.profile_id = static_cast<int>(root.num_or("profile", 7));
+  artifact.duration = root.num_or("duration_s", 120);
+  artifact.chaos_seed =
+      static_cast<std::uint64_t>(root.num_or("chaos_seed", 0));
+  artifact.invariants = root.str_or("invariants", "");
+
+  const Json* plan = root.find("plan");
+  if (plan == nullptr || plan->type != Json::Type::kObject) {
+    throw ParseError("repro json: missing \"plan\" object");
+  }
+  faults::FaultPlan& out = artifact.plan;
+  out.name = plan->str_or("name", "repro");
+  out.seed = static_cast<std::uint64_t>(plan->num_or("seed", 1));
+
+  if (const Json* list = plan->find("latency")) {
+    for (const Json& j : list->array) {
+      faults::LatencyFault f;
+      f.match = parse_match(j);
+      f.base = j.num_or("base", 0.2);
+      f.jitter = j.num_or("jitter", 0);
+      f.probability = j.num_or("probability", 1);
+      out.latency.push_back(f);
+    }
+  }
+  if (const Json* list = plan->find("errors")) {
+    for (const Json& j : list->array) {
+      faults::ErrorFault f;
+      f.match = parse_match(j);
+      f.status = static_cast<int>(j.num_or("status", 503));
+      f.probability = j.num_or("probability", 0.1);
+      out.errors.push_back(f);
+    }
+  }
+  if (const Json* list = plan->find("resets")) {
+    for (const Json& j : list->array) {
+      faults::ResetFault f;
+      f.match = parse_match(j);
+      f.after_fraction = j.num_or("after_fraction", 0.5);
+      f.probability = j.num_or("probability", 0.05);
+      out.resets.push_back(f);
+    }
+  }
+  if (const Json* list = plan->find("rejects")) {
+    for (const Json& j : list->array) {
+      faults::RejectFault f;
+      f.match = parse_match(j);
+      f.every_nth = static_cast<int>(j.num_or("every_nth", 0));
+      f.probability = j.num_or("probability", 0);
+      out.rejects.push_back(f);
+    }
+  }
+  if (const Json* list = plan->find("blackouts")) {
+    for (const Json& j : list->array) {
+      faults::BlackoutFault f;
+      f.start = j.num_or("start", 0);
+      f.duration = j.num_or("duration", 10);
+      out.blackouts.push_back(f);
+    }
+  }
+  return artifact;
+}
+
+}  // namespace vodx::chaos

@@ -125,6 +125,8 @@ void emit_session_summary(obs::Observer* obs, const SessionResult& result,
 
 SessionResult run_session(const SessionConfig& config) {
   net::Simulator sim(config.tick);
+  sim.set_wall_budget(config.wall_budget);
+  sim.set_max_events_per_instant(config.max_events_per_instant);
   // Blackout windows act on the link, not the proxy: the trace the session
   // actually runs over has them carved out.
   const bool has_blackouts =
@@ -182,7 +184,16 @@ SessionResult run_session(const SessionConfig& config) {
   result.final_state = player.state();
   result.final_position = player.position();
 
-  result.traffic = analyze_traffic(proxy.log());
+  try {
+    result.traffic = analyze_traffic(proxy.log());
+  } catch (const ParseError&) {
+    // A session can legitimately end with an unanalyzable wire log — e.g.
+    // every manifest fetch failed under injected faults and the player
+    // parked in its error state. That is a (bad) outcome to report, not a
+    // crash: carry on with an empty analysis and zeroed QoE.
+    result.traffic = AnalyzedTraffic{};
+    result.traffic.total_payload_bytes = proxy.log().total_bytes();
+  }
   result.ui = ui_monitor.infer(result.events.session_start);
   result.qoe =
       compute_qoe(result.traffic, result.ui, result.session_end,

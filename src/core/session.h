@@ -48,6 +48,15 @@ struct SessionConfig {
 
   QoeOptions qoe_options;
 
+  // --- Watchdogs (vodx::chaos; both default off / inert) -----------------
+  /// Wall-clock budget for the whole simulated run; when exceeded,
+  /// run_session throws net::WatchdogError instead of hanging the harness
+  /// (0 = no budget). Abort-only: it never changes a run that finishes.
+  Seconds wall_budget = 0;
+  /// Bound on events fired at a single simulated instant (0 = unbounded);
+  /// trips net::WatchdogError on zero-delay event livelock.
+  std::uint64_t max_events_per_instant = 0;
+
   /// Optional observability context. When set, run_session wires it through
   /// the whole stack (simulator, link, TCP, HTTP, player) and additionally
   /// emits session-level events: a root span covering the run, QoE summary

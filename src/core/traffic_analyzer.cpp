@@ -75,6 +75,9 @@ const http::TransferRecord* find_manifest(
     manifest::Protocol* protocol, bool* encrypted) {
   for (const http::TransferRecord& r : records) {
     if (r.method != http::Method::kGet || r.body_copy.empty()) continue;
+    // Failed exchanges (origin errors, injected faults) can carry arbitrary
+    // bodies; only successful transfers describe the presentation.
+    if (r.status < 200 || r.status >= 300) continue;
     if (r.content_type == "application/vnd.apple.mpegurl" &&
         r.body_copy.find("#EXT-X-STREAM-INF") != std::string::npos) {
       *protocol = manifest::Protocol::kHls;
@@ -128,6 +131,10 @@ LadderBuild build_hls(const std::vector<http::TransferRecord>& records,
         manifest::uri_resolve(master_record.url, variant.uri);
     for (const http::TransferRecord& r : records) {
       if (r.url != playlist_url || r.body_copy.empty()) continue;
+      // A failed fetch of the playlist URL (e.g. an injected 5xx whose
+      // body is an error string) is not a playlist; the successful retry
+      // that follows it is.
+      if (r.status < 200 || r.status >= 300) continue;
       manifest::HlsMediaPlaylist playlist =
           manifest::HlsMediaPlaylist::parse(r.body_copy);
       int index = 0;

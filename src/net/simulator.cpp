@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/strings.h"
 #include "obs/profiler.h"
 
 namespace vodx::net {
@@ -43,6 +44,7 @@ void Simulator::on_tick(std::function<void(Seconds)> fn) {
 }
 
 void Simulator::fire_due_events() {
+  std::uint64_t fired_this_instant = 0;
   while (!events_.empty() && events_.top().due <= now_ + 1e-12) {
     Event ev = events_.top();
     events_.pop();
@@ -52,18 +54,43 @@ void Simulator::fire_due_events() {
       continue;
     }
     if (fired_metric_ != nullptr) fired_metric_->add();
+    if (max_events_per_instant_ > 0 &&
+        ++fired_this_instant > max_events_per_instant_) {
+      throw WatchdogError(format(
+          "%llu events fired at t=%.3f s without time advancing "
+          "(limit %llu) — zero-delay event livelock",
+          static_cast<unsigned long long>(fired_this_instant), now_,
+          static_cast<unsigned long long>(max_events_per_instant_)));
+    }
     ev.fn();
   }
 }
 
 void Simulator::run_until(Seconds end) {
   VODX_PROFILE_ZONE("sim.run");
+  // The wall clock is consulted only when a budget is armed, and only to
+  // abort — it never influences the simulated timeline, so watchdog-free
+  // runs remain bit-for-bit deterministic.
+  const auto started = wall_budget_ > 0
+                           ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point{};
+  int ticks_since_check = 0;
   while (now_ + tick_ <= end + 1e-12) {
     VODX_PROFILE_ZONE("sim.tick");
     now_ += tick_;
     if (ticks_metric_ != nullptr) ticks_metric_->add();
     fire_due_events();
     for (auto& handler : tick_handlers_) handler(tick_);
+    if (wall_budget_ > 0 && ++ticks_since_check >= 64) {
+      ticks_since_check = 0;
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - started;
+      if (elapsed.count() > wall_budget_) {
+        throw WatchdogError(
+            format("wall-clock budget of %.2f s exhausted at sim t=%.2f s",
+                   wall_budget_, now_));
+      }
+    }
   }
 }
 

@@ -9,15 +9,26 @@
 // Nothing in the simulator consults the wall clock; runs are deterministic.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <queue>
 #include <vector>
 
+#include "common/error.h"
 #include "common/units.h"
 #include "obs/observer.h"
 
 namespace vodx::net {
+
+/// Thrown from run_until when a watchdog trips: the run is aborted mid-flight
+/// and reported instead of hanging the harness (or silently looping). The
+/// message names which watchdog fired and where simulated time stood.
+class WatchdogError : public Error {
+ public:
+  explicit WatchdogError(const std::string& what)
+      : Error("watchdog: " + what) {}
+};
 
 class Simulator {
  public:
@@ -43,10 +54,32 @@ class Simulator {
   void on_tick(std::function<void(Seconds dt)> fn);
 
   /// Runs until simulated time reaches `end` (inclusive of events due then).
+  /// Throws WatchdogError when a configured watchdog trips.
   void run_until(Seconds end);
 
   /// Convenience: run for `duration` more simulated seconds.
   void run_for(Seconds duration) { run_until(now_ + duration); }
+
+  // --- Watchdogs (vodx::chaos; both default off) -------------------------
+
+  /// Wall-clock watchdog: run_until aborts with WatchdogError once the run
+  /// has consumed more than `seconds` of real time (<= 0 disables). The
+  /// budget covers one run_until call; it re-arms on the next. Checked at
+  /// tick granularity, so a single pathological event handler can still
+  /// overshoot — this bounds runs, it does not preempt user code.
+  void set_wall_budget(Seconds seconds) { wall_budget_ = seconds; }
+  Seconds wall_budget() const { return wall_budget_; }
+
+  /// Sim-time watchdog: aborts when more than `n` events fire within one
+  /// tick boundary (0 disables). Zero-delay event cascades that keep
+  /// rescheduling at the same instant would otherwise spin run_until
+  /// forever without simulated time ever advancing.
+  void set_max_events_per_instant(std::uint64_t n) {
+    max_events_per_instant_ = n;
+  }
+  std::uint64_t max_events_per_instant() const {
+    return max_events_per_instant_;
+  }
 
  private:
   struct Event {
@@ -63,6 +96,8 @@ class Simulator {
 
   Seconds tick_;
   Seconds now_ = 0;
+  Seconds wall_budget_ = 0;
+  std::uint64_t max_events_per_instant_ = 0;
   std::uint64_t next_id_ = 1;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
   std::vector<std::uint64_t> cancelled_;

@@ -1,0 +1,159 @@
+// Self-healing sweeps: wall-budget watchdogs quarantine a cell after
+// bounded retries without failing the grid, deterministic failures are not
+// retried, and quarantines surface explicitly in every output format.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "batch/report.h"
+#include "batch/sweep.h"
+#include "testing/fixtures.h"
+
+namespace vodx::batch {
+namespace {
+
+SweepConfig tiny_grid() {
+  SweepConfig config;
+  services::ServiceSpec spec = testing::test_spec(manifest::Protocol::kHls);
+  config.services = {spec};
+  config.profiles = {1, 7};
+  config.seeds = {0};
+  config.session_duration = 20;
+  config.content_duration = 60;
+  return config;
+}
+
+/// Sabotages profile-index 1's cell with an unmeetable wall budget; the
+/// other cell keeps the config's (unlimited) budget.
+void sabotage_profile_1(const Cell& cell, core::SessionConfig& session) {
+  if (cell.profile_index == 1) session.wall_budget = 1e-9;
+}
+
+TEST(SelfHeal, WallBudgetCellIsQuarantinedAfterBoundedRetries) {
+  SweepConfig config = tiny_grid();
+  config.cell_retries = 1;
+  config.prepare = sabotage_profile_1;
+  const SweepResult result = run_sweep(config);
+  ASSERT_EQ(result.cells.size(), 2u);
+
+  const CellResult& healthy = result.cells[0];
+  EXPECT_TRUE(healthy.ok) << healthy.error;
+  EXPECT_FALSE(healthy.quarantined);
+  EXPECT_EQ(healthy.attempts, 1);
+
+  const CellResult& sick = result.cells[1];
+  EXPECT_FALSE(sick.ok);
+  EXPECT_TRUE(sick.quarantined);
+  EXPECT_EQ(sick.attempts, 2) << "1 initial attempt + 1 retry";
+  EXPECT_NE(sick.error.find("watchdog"), std::string::npos) << sick.error;
+
+  EXPECT_EQ(result.failed, 1);
+  EXPECT_EQ(result.quarantined, 1);
+  EXPECT_EQ(result.retried, 1);
+}
+
+TEST(SelfHeal, RetryCanRescueACellWhoseFirstAttemptTripped) {
+  // The prepare hook poisons only the first attempt: attempt numbers are
+  // not exposed, so key off a per-test counter. Retries rebuild the whole
+  // session, so the second attempt runs clean and the cell succeeds.
+  SweepConfig config = tiny_grid();
+  config.profiles = {1};
+  config.cell_retries = 2;
+  int calls = 0;
+  config.prepare = [&calls](const Cell&, core::SessionConfig& session) {
+    if (calls++ == 0) session.wall_budget = 1e-9;
+  };
+  const SweepResult result = run_sweep(config);
+  ASSERT_EQ(result.cells.size(), 1u);
+  EXPECT_TRUE(result.cells[0].ok) << result.cells[0].error;
+  EXPECT_FALSE(result.cells[0].quarantined);
+  EXPECT_EQ(result.cells[0].attempts, 2);
+  EXPECT_EQ(result.failed, 0);
+  EXPECT_EQ(result.quarantined, 0);
+  EXPECT_EQ(result.retried, 1);
+}
+
+TEST(SelfHeal, DeterministicFailuresAreNotRetried) {
+  // An unknown fault scenario throws ConfigError inside the attempt,
+  // identically every time: one attempt, no quarantine, no retries.
+  SweepConfig config = tiny_grid();
+  config.profiles = {1};
+  config.fault_scenarios = {"no-such-scenario"};
+  config.cell_retries = 3;
+  const SweepResult result = run_sweep(config);
+  ASSERT_EQ(result.cells.size(), 1u);
+  const CellResult& bad = result.cells[0];
+  EXPECT_FALSE(bad.ok);
+  EXPECT_FALSE(bad.quarantined);
+  EXPECT_EQ(bad.attempts, 1) << "retrying a deterministic failure is futile";
+  EXPECT_EQ(result.quarantined, 0);
+  EXPECT_EQ(result.retried, 0);
+}
+
+TEST(SelfHeal, ConfigRejectedCellsNeverEvenAttempt) {
+  SweepConfig config = tiny_grid();
+  config.profiles = {99};  // rejected before the attempt loop
+  config.cell_retries = 3;
+  const SweepResult result = run_sweep(config);
+  ASSERT_EQ(result.cells.size(), 1u);
+  EXPECT_FALSE(result.cells[0].ok);
+  EXPECT_EQ(result.cells[0].attempts, 0);
+  EXPECT_EQ(result.retried, 0);
+}
+
+TEST(SelfHeal, QuarantineSurfacesInJsonlReportAndHtml) {
+  SweepConfig config = tiny_grid();
+  config.cell_retries = 1;
+  config.collect_metrics = true;
+  config.prepare = sabotage_profile_1;
+  const SweepResult result = run_sweep(config);
+
+  const std::string jsonl = sweep_jsonl(result);
+  EXPECT_NE(jsonl.find("\"quarantined\":true"), std::string::npos) << jsonl;
+  EXPECT_NE(jsonl.find("\"attempts\":2"), std::string::npos) << jsonl;
+
+  const SweepMetrics metrics = aggregate_metrics(result);
+  EXPECT_EQ(metrics.quarantined, 1);
+  ASSERT_EQ(metrics.quarantined_cells.size(), 1u);
+  EXPECT_NE(metrics.quarantined_cells[0].find("profile 7"), std::string::npos);
+
+  const std::string text = report_text(metrics);
+  EXPECT_NE(text.find("1 quarantined"), std::string::npos) << text;
+  EXPECT_NE(text.find("QUARANTINED"), std::string::npos) << text;
+
+  const std::string report = report_jsonl(result, metrics);
+  EXPECT_NE(report.find("\"quarantined\":1"), std::string::npos) << report;
+
+  const std::string html = report_html(metrics);
+  EXPECT_NE(html.find("quarantined"), std::string::npos);
+}
+
+TEST(SelfHeal, CleanSweepReportsNoQuarantineClause) {
+  SweepConfig config = tiny_grid();
+  config.collect_metrics = true;
+  const SweepResult result = run_sweep(config);
+  EXPECT_EQ(result.quarantined, 0);
+  EXPECT_EQ(result.retried, 0);
+  for (const CellResult& cell : result.cells) {
+    EXPECT_EQ(cell.attempts, 1);
+  }
+  const std::string text = report_text(aggregate_metrics(result));
+  EXPECT_EQ(text.find("quarantined"), std::string::npos)
+      << "the clause must only appear when a cell was quarantined";
+}
+
+TEST(SelfHeal, QuarantinedGridIsDeterministicAcrossJobs) {
+  SweepConfig config = tiny_grid();
+  config.profiles = {1, 7, 9, 11};
+  config.cell_retries = 1;
+  config.prepare = sabotage_profile_1;
+  config.jobs = 1;
+  const std::string serial = sweep_jsonl(run_sweep(config));
+  config.jobs = 4;
+  const std::string parallel = sweep_jsonl(run_sweep(config));
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace vodx::batch

@@ -1,0 +1,103 @@
+// Repro artifacts: byte-stable round trips, tolerant parsing, hard errors
+// on malformed input.
+#include "chaos/repro.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vodx::chaos {
+namespace {
+
+ReproArtifact full_artifact() {
+  ReproArtifact artifact;
+  artifact.service = "H1";
+  artifact.profile_id = 3;
+  artifact.duration = 60;
+  artifact.chaos_seed = 17;
+  artifact.invariants = "buffer.bounds, qoe.finite";
+  faults::FaultPlan& plan = artifact.plan;
+  plan.name = "fuzz-17-min";
+  plan.seed = 17;
+  plan.latency.push_back({{"seg", 5, 40}, 0.25, 0.5, 0.75});
+  plan.errors.push_back({{"playlist", 0, -1}, 503, 0.2});
+  plan.resets.push_back({{"", 10, 20}, 0.5, 0.1});
+  plan.rejects.push_back({{"manifest", 0, -1}, 3, 0});
+  plan.blackouts.push_back({30, 4.5});
+  return artifact;
+}
+
+TEST(Repro, RoundTripIsByteIdentical) {
+  const std::string json = to_json(full_artifact());
+  const ReproArtifact parsed = parse_repro(json);
+  EXPECT_EQ(to_json(parsed), json);
+}
+
+TEST(Repro, RoundTripPreservesEveryField) {
+  const ReproArtifact a = parse_repro(to_json(full_artifact()));
+  EXPECT_EQ(a.service, "H1");
+  EXPECT_EQ(a.profile_id, 3);
+  EXPECT_DOUBLE_EQ(a.duration, 60);
+  EXPECT_EQ(a.chaos_seed, 17u);
+  EXPECT_EQ(a.invariants, "buffer.bounds, qoe.finite");
+  EXPECT_EQ(a.plan.name, "fuzz-17-min");
+  EXPECT_EQ(a.plan.seed, 17u);
+  ASSERT_EQ(a.plan.latency.size(), 1u);
+  EXPECT_EQ(a.plan.latency[0].match.url_contains, "seg");
+  EXPECT_DOUBLE_EQ(a.plan.latency[0].match.start, 5);
+  EXPECT_DOUBLE_EQ(a.plan.latency[0].match.end, 40);
+  EXPECT_DOUBLE_EQ(a.plan.latency[0].base, 0.25);
+  EXPECT_DOUBLE_EQ(a.plan.latency[0].jitter, 0.5);
+  EXPECT_DOUBLE_EQ(a.plan.latency[0].probability, 0.75);
+  ASSERT_EQ(a.plan.errors.size(), 1u);
+  EXPECT_EQ(a.plan.errors[0].status, 503);
+  EXPECT_DOUBLE_EQ(a.plan.errors[0].match.end, -1);
+  ASSERT_EQ(a.plan.resets.size(), 1u);
+  EXPECT_DOUBLE_EQ(a.plan.resets[0].after_fraction, 0.5);
+  ASSERT_EQ(a.plan.rejects.size(), 1u);
+  EXPECT_EQ(a.plan.rejects[0].every_nth, 3);
+  ASSERT_EQ(a.plan.blackouts.size(), 1u);
+  EXPECT_DOUBLE_EQ(a.plan.blackouts[0].start, 30);
+  EXPECT_DOUBLE_EQ(a.plan.blackouts[0].duration, 4.5);
+}
+
+TEST(Repro, ParsesHandWrittenJsonWithReorderedKeysAndDefaults) {
+  const ReproArtifact a = parse_repro(R"({
+    "plan": {"errors": [{"status": 500}], "name": "hand"},
+    "chaos_seed": 9,
+    "service": "D2"
+  })");
+  EXPECT_EQ(a.service, "D2");
+  EXPECT_EQ(a.profile_id, 7);       // default
+  EXPECT_DOUBLE_EQ(a.duration, 120);  // default
+  EXPECT_EQ(a.chaos_seed, 9u);
+  ASSERT_EQ(a.plan.errors.size(), 1u);
+  EXPECT_EQ(a.plan.errors[0].status, 500);
+  EXPECT_DOUBLE_EQ(a.plan.errors[0].probability, 0.1);  // field default
+  EXPECT_TRUE(a.plan.errors[0].match.url_contains.empty());
+}
+
+TEST(Repro, MalformedInputThrowsParseError) {
+  EXPECT_THROW(parse_repro(""), ParseError);
+  EXPECT_THROW(parse_repro("{"), ParseError);
+  EXPECT_THROW(parse_repro("[]"), ParseError);          // not an object
+  EXPECT_THROW(parse_repro("{\"service\": \"H1\"}"), ParseError);  // no plan
+  EXPECT_THROW(parse_repro("{\"plan\": {}} trailing"), ParseError);
+  EXPECT_THROW(parse_repro("{\"plan\": {\"seed\": }}"), ParseError);
+}
+
+TEST(Repro, EscapesQuotesAndBackslashesInStrings) {
+  ReproArtifact artifact;
+  artifact.service = "H1";
+  artifact.plan.name = "odd \"name\" with \\ backslash";
+  const ReproArtifact parsed = parse_repro(to_json(artifact));
+  EXPECT_EQ(parsed.plan.name, artifact.plan.name);
+}
+
+TEST(Repro, CliLineNamesTheReplayCommand) {
+  EXPECT_EQ(full_artifact().cli_line("out/chaos-17.json"),
+            "vodx chaos --repro out/chaos-17.json");
+}
+
+}  // namespace
+}  // namespace vodx::chaos

@@ -53,8 +53,16 @@ std::vector<std::int64_t> parse_int_list(const std::string& text,
       continue;
     }
     try {
-      const std::size_t dash = t.find('-', 1);  // allow negative first number
-      if (dash == std::string::npos) {
+      // Ranges: "lo-hi" or "lo..hi" (the latter stays unambiguous with
+      // negative endpoints, e.g. "-3..3").
+      const std::size_t dots = t.find("..");
+      const std::size_t dash =
+          dots == std::string::npos ? t.find('-', 1) : std::string::npos;
+      if (dots != std::string::npos) {
+        const std::int64_t lo = parse_int(t.substr(0, dots));
+        const std::int64_t hi = parse_int(t.substr(dots + 2));
+        for (std::int64_t v = lo; v <= hi; ++v) out.push_back(v);
+      } else if (dash == std::string::npos) {
         out.push_back(parse_int(t));
       } else {
         const std::int64_t lo = parse_int(t.substr(0, dash));

@@ -44,8 +44,9 @@ class Args {
   /// Matches a bare `--flag` and consumes it.
   bool flag(const char* name);
 
-  /// Consumes and returns the current token when it is not flag-shaped
-  /// (does not start with '-'); nullptr otherwise.
+  /// Consumes and returns the current token when it is not flag-shaped;
+  /// nullptr otherwise. Negative numbers ("-1", "-0.5") are positionals,
+  /// not flags.
   const char* positional();
 
   /// The current token matched nothing: report it, latch failed(), skip it.
@@ -53,8 +54,13 @@ class Args {
 
   bool failed() const { return failed_; }
 
+  /// '-' followed by anything except a digit or '.' — so "--jobs" and "-v"
+  /// are flags but negative numeric values ("-1", "-.5") are not and flow
+  /// through value()/positional() unharmed (e.g. `--budget -1` = unlimited).
   static bool looks_like_flag(const char* token) {
-    return token != nullptr && token[0] == '-' && token[1] != '\0';
+    if (token == nullptr || token[0] != '-' || token[1] == '\0') return false;
+    const char next = token[1];
+    return !(next >= '0' && next <= '9') && next != '.';
   }
 
  private:

@@ -13,16 +13,20 @@
 //   vodx faults [...]              — fault-scenario grid (service × scenario)
 //   vodx report [...]              — merged metrics rollups for a grid
 //                                    (table / JSONL / single-file HTML)
+//   vodx chaos [...]               — invariant-checked fault fuzzing with
+//                                    minimized repro artifacts
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "arg_parse.h"
 #include "batch/report.h"
 #include "batch/sweep.h"
+#include "chaos/chaos.h"
 #include "common/error.h"
 #include "common/strings.h"
 #include "common/table.h"
@@ -76,7 +80,17 @@ int usage() {
       "        runs the grid with per-cell metrics collection and renders\n"
       "        overall / per-service / per-profile / per-fault rollups.\n"
       "        Text report goes to stdout unless --out is given; the merged\n"
-      "        aggregate is byte-identical for every --jobs value.\n");
+      "        aggregate is byte-identical for every --jobs value.\n"
+      "  vodx chaos [--seeds 0..63] [--services H1,...] [--profiles 1-14]\n"
+      "             [--duration secs] [--jobs N] [--budget secs]\n"
+      "             [--minimize|--no-minimize] [--artifacts dir]\n"
+      "             [--out report.txt] [--repro file.json] [--invariants]\n"
+      "        fuzzes seeded fault plans through invariant-checked sessions\n"
+      "        under watchdogs; violations are shrunk to minimal repro\n"
+      "        artifacts. --budget is the per-session wall-clock budget\n"
+      "        (-1 = unlimited); --repro replays a saved artifact. The\n"
+      "        report is byte-identical for every --jobs value. Exit 0 =\n"
+      "        clean, 1 = violations/watchdogs.\n");
   return 2;
 }
 
@@ -275,6 +289,12 @@ struct GridFlags {
       config.jobs = std::atoi(v);
     } else if (const char* v = args.value("--duration")) {
       config.session_duration = parse_double(v);
+    } else if (const char* v = args.value("--cell-budget")) {
+      // Per-cell wall-clock budget in seconds; <= 0 (e.g. "-1") = unlimited.
+      const double budget = parse_double(v);
+      config.cell_wall_budget = budget <= 0 ? 0 : budget;
+    } else if (const char* v = args.value("--cell-retries")) {
+      config.cell_retries = std::atoi(v);
     } else if (const char* v = args.value("--csv")) {
       csv_path = v;
     } else if (const char* v = args.value("--jsonl")) {
@@ -317,8 +337,10 @@ int run_grid(batch::SweepConfig& config, const GridFlags& flags,
 
   for (const batch::CellResult& cell : result.cells) {
     if (!cell.ok) {
-      std::fprintf(stderr, "sweep: cell %s failed: %s\n",
-                   cell.coordinates().c_str(), cell.error.c_str());
+      std::fprintf(stderr, "sweep: cell %s %s after %d attempt(s): %s\n",
+                   cell.coordinates().c_str(),
+                   cell.quarantined ? "QUARANTINED" : "failed",
+                   cell.attempts, cell.error.c_str());
     }
   }
 
@@ -329,8 +351,11 @@ int run_grid(batch::SweepConfig& config, const GridFlags& flags,
                  "rej", "err", "rst", "lat", "qoe"});
     for (const batch::CellResult& cell : result.cells) {
       if (!cell.ok) {
-        table.add_row({cell.service, cell.fault, "FAILED", "-", "-", "-", "-",
-                       "-", "-", "-", "-"});
+        // Quarantined cells surface as explicit rows, never silently
+        // dropped from the grid summary.
+        table.add_row({cell.service, cell.fault,
+                       cell.quarantined ? "QUARANTINED" : "FAILED", "-", "-",
+                       "-", "-", "-", "-", "-", "-"});
         continue;
       }
       const core::QoeReport& q = cell.result.qoe;
@@ -493,6 +518,119 @@ int cmd_report(Args& args) {
   return result.failed > 0 ? 1 : 0;
 }
 
+int cmd_chaos(Args& args) {
+  chaos::ChaosConfig config;
+  config.jobs = 0;
+  std::string repro_path, artifacts_dir, out_path;
+  bool list_invariants = false;
+  double budget = config.wall_budget;
+  while (!args.done()) {
+    if (const char* v = args.value("--seeds")) {
+      for (std::int64_t s : tools::parse_int_list(v, 0, 63, "seed")) {
+        config.seeds.push_back(static_cast<std::uint64_t>(s));
+      }
+    } else if (const char* v = args.value("--services")) {
+      std::vector<std::string> all;
+      for (const services::ServiceSpec& s : services::catalog()) {
+        all.push_back(s.name);
+      }
+      config.services = tools::parse_name_list(v, all);
+    } else if (const char* v = args.value("--profiles")) {
+      for (std::int64_t id :
+           tools::parse_int_list(v, 1, trace::kProfileCount, "profile")) {
+        config.profiles.push_back(static_cast<int>(id));
+      }
+    } else if (const char* v = args.value("--duration")) {
+      config.duration = parse_double(v);
+    } else if (const char* v = args.value("--jobs")) {
+      config.jobs = std::atoi(v);
+    } else if (const char* v = args.value("--budget")) {
+      budget = parse_double(v);  // "-1" = unlimited; parses as a value, not
+                                 // a flag (tools::Args numeric-token rule)
+    } else if (args.flag("--minimize")) {
+      config.minimize = true;
+    } else if (args.flag("--no-minimize")) {
+      config.minimize = false;
+    } else if (const char* v = args.value("--repro")) {
+      repro_path = v;
+    } else if (const char* v = args.value("--artifacts")) {
+      artifacts_dir = v;
+    } else if (const char* v = args.value("--out")) {
+      out_path = v;
+    } else if (args.flag("--invariants")) {
+      list_invariants = true;
+    } else {
+      args.unknown();
+    }
+  }
+  if (args.failed()) return usage();
+  if (list_invariants) {
+    Table table({"invariant", "description"});
+    for (const chaos::InvariantInfo& info : chaos::invariant_catalog()) {
+      table.add_row({info.name, info.description});
+    }
+    table.print();
+    return 0;
+  }
+  config.wall_budget = budget <= 0 ? 0 : budget;
+
+  if (!repro_path.empty()) {
+    std::ifstream in(repro_path);
+    if (!in) throw Error(format("cannot read %s", repro_path.c_str()));
+    std::ostringstream text;
+    text << in.rdbuf();
+    const chaos::ReproArtifact artifact = chaos::parse_repro(text.str());
+    std::printf("replaying %s: %s, profile %d, %.0f s, chaos seed %llu\n",
+                repro_path.c_str(), artifact.service.c_str(),
+                artifact.profile_id, artifact.duration,
+                static_cast<unsigned long long>(artifact.chaos_seed));
+    std::printf("recorded violation: %s\n", artifact.invariants.c_str());
+
+    chaos::CheckOptions options;
+    options.wall_budget = config.wall_budget;
+    options.max_events_per_instant = config.max_events_per_instant;
+    const chaos::CheckedRun run = chaos::replay(artifact, options);
+    if (run.watchdog) {
+      std::printf("replay: WATCHDOG — %s\n", run.watchdog_detail.c_str());
+      return 1;
+    }
+    if (run.report.ok()) {
+      std::printf("replay: clean — violation did not reproduce\n");
+      return 0;
+    }
+    std::printf("replay: VIOLATION %s\n", run.report.summary().c_str());
+    for (const chaos::Violation& v : run.report.violations) {
+      std::printf("  %s @ t=%.2f s: %s\n", v.invariant.c_str(), v.time,
+                  v.detail.c_str());
+    }
+    return 1;
+  }
+
+  if (config.seeds.empty()) {
+    for (std::uint64_t s = 0; s < 64; ++s) config.seeds.push_back(s);
+  }
+
+  const chaos::ChaosReport report = chaos::run_chaos(config);
+  const std::string text = chaos::chaos_report_text(report);
+  if (out_path.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    write_file(out_path, text);
+  }
+
+  if (!artifacts_dir.empty()) {
+    for (const chaos::ChaosRow& row : report.rows) {
+      if (row.ok) continue;
+      const std::string path = format(
+          "%s/chaos-%llu.json", artifacts_dir.c_str(),
+          static_cast<unsigned long long>(row.seed));
+      write_file(path, chaos::to_json(row.artifact));
+      std::fprintf(stderr, "repro: %s\n", row.artifact.cli_line(path).c_str());
+    }
+  }
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -522,6 +660,10 @@ int main(int argc, char** argv) {
     if (command == "report") {
       Args args(argc - 2, argv + 2);
       return cmd_report(args);
+    }
+    if (command == "chaos") {
+      Args args(argc - 2, argv + 2);
+      return cmd_chaos(args);
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
