@@ -1,0 +1,62 @@
+// Root-cause attribution over the full service catalog: the 12 services on
+// the default cellular profile (7), every stall and startup delay
+// partitioned into blame spans and folded into per-service root-cause
+// tables (diag/rollup.h).
+//
+// Golden regression for the attribution contract: the harness runs the
+// same grid at --jobs 1 and --jobs 8 and refuses to print anything unless
+// the rendered tables AND the JSONL are byte-identical between the runs,
+// and unless >= 95% of stall wall-time is attributed to a non-unknown
+// cause (the ISSUE acceptance gate). The snapshot in tests/golden/ then
+// pins the blame tables themselves.
+#include "support.h"
+
+#include <cstdio>
+
+#include "diag/rollup.h"
+
+using namespace vodx;
+
+namespace {
+
+batch::SweepConfig grid(int jobs) {
+  batch::SweepConfig config;
+  config.services = services::catalog();
+  config.profiles = {7};
+  config.session_duration = 600;
+  config.content_duration = 600;
+  config.jobs = jobs;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Diag",
+                "root-cause attribution — 12 services x profile 7");
+
+  const diag::SweepDiagnosis serial = diag::diagnose_sweep(grid(1));
+  const diag::SweepDiagnosis threaded = diag::diagnose_sweep(grid(8));
+  if (serial.failed > 0 || threaded.failed > 0) {
+    std::fprintf(stderr, "sweep failed (%d + %d cells)\n", serial.failed,
+                 threaded.failed);
+    return 1;
+  }
+  if (diag::diag_text(serial) != diag::diag_text(threaded) ||
+      diag::diag_jsonl(serial) != diag::diag_jsonl(threaded)) {
+    std::fprintf(stderr,
+                 "jobs=1 and jobs=8 diagnoses differ — attribution is not "
+                 "schedule-independent\n");
+    return 1;
+  }
+  const double stall_attr = serial.overall.stall_attributed_fraction();
+  if (stall_attr < 0.95) {
+    std::fprintf(stderr,
+                 "only %.1f%% of stall time attributed (gate: 95%%)\n",
+                 100 * stall_attr);
+    return 1;
+  }
+
+  std::fputs(diag::diag_text(serial).c_str(), stdout);
+  return 0;
+}

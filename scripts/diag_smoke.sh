@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Attribution quality gate for vodx::diag: replay every fault scenario on a
+# bandwidth-constrained grid and require the fault.injected blame to score
+# precision and recall >= 0.9 against the injected windows.
+#
+#   ./scripts/diag_smoke.sh [path/to/vodx]
+#
+# Run by ctest as the `diag_smoke` test (label: diag). The grid (services,
+# profile, duration) is pinned inside `vodx diagnose --validate` so the
+# smoke is a fixed, reproducible workload.
+set -euo pipefail
+
+VODX="${1:-}"
+if [[ -z "$VODX" ]]; then
+  cd "$(dirname "$0")/.."
+  VODX="${BUILD_DIR:-build}/tools/vodx"
+fi
+[[ -x "$VODX" ]] || { echo "diag_smoke: no vodx binary at $VODX" >&2; exit 2; }
+
+"$VODX" diagnose --validate --threshold 0.9
+
+echo "diag_smoke: precision/recall >= 0.9 on every scenario"

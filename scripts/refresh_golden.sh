@@ -10,11 +10,12 @@ BUILD_DIR="${BUILD_DIR:-build}"
 
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target bench_table1_design_choices bench_table2_issues \
-  bench_faults_resilience bench_report_rollup
+  bench_faults_resilience bench_report_rollup bench_diag_rootcause
 
 mkdir -p tests/golden
 "$BUILD_DIR/bench/bench_table1_design_choices" > tests/golden/table1.txt
 "$BUILD_DIR/bench/bench_table2_issues" > tests/golden/table2.txt
 "$BUILD_DIR/bench/bench_faults_resilience" > tests/golden/faults.txt
 "$BUILD_DIR/bench/bench_report_rollup" > tests/golden/report.txt
-echo "refreshed tests/golden/{table1,table2,faults,report}.txt"
+"$BUILD_DIR/bench/bench_diag_rootcause" > tests/golden/diag.txt
+echo "refreshed tests/golden/{table1,table2,faults,report,diag}.txt"

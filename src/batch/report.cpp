@@ -159,6 +159,14 @@ SweepMetrics aggregate_metrics(const SweepResult& result) {
       out.quarantined_cells.push_back(
           format("%s: %s", cell.coordinates().c_str(), cell.error.c_str()));
     }
+    if (cell.trace_dropped > 0) {
+      out.trace_dropped += cell.trace_dropped;
+      out.dropped_cells.push_back(format(
+          "%s: trace ring dropped %llu of %llu events",
+          cell.coordinates().c_str(),
+          static_cast<unsigned long long>(cell.trace_dropped),
+          static_cast<unsigned long long>(cell.trace_emitted)));
+    }
     if (!cell.has_metrics) continue;
     fold(out.overall, cell.metrics);
     fold(rollup_for(out.by_service, cell.service), cell.metrics);
@@ -184,6 +192,15 @@ std::string report_text(const SweepMetrics& metrics) {
     out += "\n== quarantined ==\n";
     for (const std::string& line : metrics.quarantined_cells) {
       out += format("QUARANTINED %s\n", line.c_str());
+    }
+  }
+  // Like the quarantine section: only rendered when something was actually
+  // dropped, so clean sweeps keep the golden-pinned byte layout.
+  if (!metrics.dropped_cells.empty()) {
+    out += "\n== warnings ==\n";
+    for (const std::string& line : metrics.dropped_cells) {
+      out += format("WARNING %s — trace-derived analyses are partial\n",
+                    line.c_str());
     }
   }
   for (const Dimension& dim : dimensions(metrics)) {
@@ -212,6 +229,10 @@ std::string report_jsonl(const SweepResult& result,
         static_cast<unsigned long long>(cell.seed),
         obs::json_escape(cell.fault).c_str(), cell.ok ? "true" : "false");
     if (cell.quarantined) out += ",\"quarantined\":true";
+    if (cell.trace_dropped > 0) {
+      out += format(",\"trace_dropped\":%llu",
+                    static_cast<unsigned long long>(cell.trace_dropped));
+    }
     if (cell.has_metrics) {
       out += ",\"snapshot\":" + obs::metrics_json(cell.metrics);
     }
@@ -256,6 +277,14 @@ std::string report_html(const SweepMetrics& metrics) {
     out += "<h2>quarantined</h2>\n<ul>\n";
     for (const std::string& line : metrics.quarantined_cells) {
       out += "<li>QUARANTINED " + html_escape(line) + "</li>\n";
+    }
+    out += "</ul>\n";
+  }
+  if (!metrics.dropped_cells.empty()) {
+    out += "<h2>warnings</h2>\n<ul>\n";
+    for (const std::string& line : metrics.dropped_cells) {
+      out += "<li>WARNING " + html_escape(line) +
+             " — trace-derived analyses are partial</li>\n";
     }
     out += "</ul>\n";
   }

@@ -30,6 +30,12 @@ struct SweepMetrics {
   /// "(<coords>): <error>" per quarantined cell, grid order — rendered as
   /// explicit QUARANTINED rows so a quarantine is never silently dropped.
   std::vector<std::string> quarantined_cells;
+  /// Total trace-ring drops across all cells, plus one formatted line per
+  /// affected cell (grid order). Non-empty means some cells' event windows
+  /// were truncated, so trace-derived analyses (diag) saw partial evidence;
+  /// the text/HTML reports render these as explicit WARNING rows.
+  std::uint64_t trace_dropped = 0;
+  std::vector<std::string> dropped_cells;
   Rollup overall;                  ///< key "overall"
   std::vector<Rollup> by_service;  ///< spec name, grid order
   std::vector<Rollup> by_profile;  ///< "profile <id>", grid order

@@ -171,6 +171,8 @@ SweepResult run_sweep(const SweepConfig& config) {
             cell.metrics =
                 observers[index]->metrics.snapshot(cell.result.session_end);
             cell.has_metrics = true;
+            cell.trace_emitted = observers[index]->trace.emitted();
+            cell.trace_dropped = observers[index]->trace.dropped();
           }
           break;
         } catch (const net::WatchdogError& e) {

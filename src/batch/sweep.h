@@ -95,6 +95,13 @@ struct CellResult {
   bool has_metrics = false;
   obs::MetricsSnapshot metrics;
 
+  /// Trace ring accounting at session end (zeros when the cell ran without
+  /// an observer or with tracing off). trace_dropped > 0 means the cell's
+  /// event window is truncated and trace-derived analyses (diag) are
+  /// working from partial evidence; the report renders it as a warning.
+  std::uint64_t trace_emitted = 0;
+  std::uint64_t trace_dropped = 0;
+
   /// "(H1, profile 7, seed 0)" — the coordinate string used in diagnostics;
   /// ", fault <name>" is appended when a non-trivial scenario is set.
   std::string coordinates() const;

@@ -83,6 +83,11 @@ void emit_session_summary(obs::Observer* obs, const SessionResult& result,
       .set(truth.average_declared_bitrate / 1e6);
   m.gauge("inferred.startup_delay_s").set(inferred.startup_delay);
   m.gauge("inferred.stall_time_s").set(inferred.total_stall);
+  // Ring-buffer truncation, surfaced as a metric so sweep rollups (and the
+  // report warning rows) can flag cells whose trace-derived analyses —
+  // including diag attribution — ran on an incomplete event window.
+  m.counter("obs.dropped_events")
+      .add(static_cast<std::int64_t>(obs->trace.dropped()));
 
   if (!obs->trace.enabled(obs::Category::kSession)) return;
   obs::TraceSink& trace = obs->trace;

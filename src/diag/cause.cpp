@@ -1,0 +1,60 @@
+#include "diag/cause.h"
+
+namespace vodx::diag {
+
+const char* to_string(Cause cause) {
+  switch (cause) {
+    case Cause::kFaultInjected: return "fault.injected";
+    case Cause::kTcpSlowStartRestart: return "tcp.slow_start_restart";
+    case Cause::kOriginLatency: return "origin.latency";
+    case Cause::kLinkDeficit: return "link.deficit";
+    case Cause::kAbrOverestimate: return "abr.overestimate";
+    case Cause::kServerPacing: return "server.pacing";
+    case Cause::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+const char* short_label(Cause cause) {
+  switch (cause) {
+    case Cause::kFaultInjected: return "fault";
+    case Cause::kTcpSlowStartRestart: return "restart";
+    case Cause::kOriginLatency: return "origin";
+    case Cause::kLinkDeficit: return "link";
+    case Cause::kAbrOverestimate: return "abr";
+    case Cause::kServerPacing: return "pacing";
+    case Cause::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+const char* describe(Cause cause) {
+  switch (cause) {
+    case Cause::kFaultInjected:
+      return "overlap with a fired FaultPlan fault or blackout window";
+    case Cause::kTcpSlowStartRestart:
+      return "idle/non-persistent connection re-paying the cwnd ramp";
+    case Cause::kOriginLatency:
+      return "first-byte dominated waits (RTTs + server-side latency)";
+    case Cause::kLinkDeficit:
+      return "fair-share bandwidth below the lowest rung's bitrate";
+    case Cause::kAbrOverestimate:
+      return "fetched a rung above the delivered throughput";
+    case Cause::kServerPacing:
+      return "sender-limited transfer while cwnd and link had headroom";
+    case Cause::kUnknown:
+      return "no evidence matched";
+  }
+  return "?";
+}
+
+const std::array<Cause, kCauseCount>& all_causes() {
+  static const std::array<Cause, kCauseCount> causes = {
+      Cause::kFaultInjected,  Cause::kTcpSlowStartRestart,
+      Cause::kOriginLatency,  Cause::kLinkDeficit,
+      Cause::kAbrOverestimate, Cause::kServerPacing,
+      Cause::kUnknown};
+  return causes;
+}
+
+}  // namespace vodx::diag

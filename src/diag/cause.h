@@ -1,0 +1,52 @@
+// Root-cause taxonomy for stalls, startup delay and QoE loss.
+//
+// Mirrors the paper's Table 2 blame categories: every second of a problem
+// interval (a stall, or the startup delay) is charged to exactly one cause.
+// The enum is ordered by attribution priority — when several evidence
+// sources cover the same instant the most specific (lowest-valued) cause
+// wins, so injected faults outrank the TCP pathologies they trigger, which
+// in turn outrank the bandwidth arithmetic that is always "also true".
+#pragma once
+
+#include <array>
+
+namespace vodx::diag {
+
+enum class Cause {
+  /// Overlap with a fired FaultPlan fault (reject/error/reset/latency event)
+  /// or an injected blackout window.
+  kFaultInjected = 0,
+  /// Idle gap on a non-persistent / idle-killed connection followed by a
+  /// cwnd ramp (RFC 2861 restart, re-paid handshake).
+  kTcpSlowStartRestart,
+  /// First-byte dominated waits: handshake/request RTTs and server-side
+  /// added latency before any payload flows.
+  kOriginLatency,
+  /// Fair-share bandwidth below even the lowest rung's bitrate — the
+  /// network cannot sustain the service at all.
+  kLinkDeficit,
+  /// The player fetched a rung above what the link was delivering; a lower
+  /// rung would have been sustainable.
+  kAbrOverestimate,
+  /// Sender-limited transfer while cwnd and link had headroom (server-side
+  /// pacing/throttling analogue).
+  kServerPacing,
+  /// No evidence matched; the residual bucket the acceptance gate bounds.
+  kUnknown,
+};
+
+inline constexpr int kCauseCount = 7;
+
+/// Stable wire name ("link.deficit", "fault.injected", ...).
+const char* to_string(Cause cause);
+
+/// Short table-column label ("fault", "restart", "origin", ...).
+const char* short_label(Cause cause);
+
+/// One-line human description for CLI help and HTML legends.
+const char* describe(Cause cause);
+
+/// Priority/display order: every cause once, kUnknown last.
+const std::array<Cause, kCauseCount>& all_causes();
+
+}  // namespace vodx::diag

@@ -42,6 +42,13 @@ void TcpConnection::start_transfer(Seconds now, Bytes bytes,
   transfer_delivered_ = 0;
   on_complete_ = std::move(on_complete);
   transfer_started_ = now;
+  transfer_restart_ = false;
+  transfer_extra_wait_ = extra_wait;
+  transfer_first_byte_ = -1;
+  sender_limited_s_ = 0;
+  link_limited_s_ = 0;
+  const bool reused = transfer_count_ > 0;
+  ++transfer_count_;
   if (transfers_metric_ != nullptr) transfers_metric_->add();
   const bool tracing = obs::trace_on(obs_, obs::Category::kTcp);
   if (tracing) {
@@ -54,11 +61,16 @@ void TcpConnection::start_transfer(Seconds now, Bytes bytes,
     ssthresh_ = std::numeric_limits<double>::infinity();
     phase_ = Phase::kHandshake;
     wait_remaining_ = config_.rtt * config_.handshake_rtts + extra_wait;
+    // A handshake on a connection that already carried a transfer is the
+    // paper's non-persistent pathology (or a post-reset reconnect): the cwnd
+    // ramp is being re-paid, unlike the unavoidable cold-start handshake.
+    transfer_restart_ = reused;
     if (handshakes_metric_ != nullptr) handshakes_metric_->add();
     if (tracing) {
       obs_->trace.instant(now, obs::Category::kTcp, "tcp.handshake",
                           obs_track_,
-                          {obs::Field::n("rtts", config_.handshake_rtts)});
+                          {obs::Field::n("rtts", config_.handshake_rtts),
+                           obs::Field::n("restart", reused ? 1 : 0)});
     }
     return;
   }
@@ -69,6 +81,7 @@ void TcpConnection::start_transfer(Seconds now, Bytes bytes,
       now - idle_since_ > config_.idle_restart_after) {
     cwnd_ = config_.initial_cwnd;
     ssthresh_ = std::numeric_limits<double>::infinity();
+    transfer_restart_ = true;
     if (idle_restarts_metric_ != nullptr) idle_restarts_metric_->add();
     if (tracing) {
       obs_->trace.instant(now, obs::Category::kTcp, "tcp.idle_restart",
@@ -78,6 +91,26 @@ void TcpConnection::start_transfer(Seconds now, Bytes bytes,
   }
   phase_ = Phase::kRequestWait;
   wait_remaining_ = config_.rtt + extra_wait;
+}
+
+Seconds TcpConnection::transfer_wait() const {
+  if (transfer_first_byte_ < 0) return -1;
+  return transfer_first_byte_ - transfer_started_;
+}
+
+// The marker fields every tcp.transfer end event carries; vodx::diag turns
+// these into blame spans without replaying the connection state machine.
+std::vector<obs::Field> TcpConnection::transfer_end_fields(
+    Bytes delivered, bool aborted) const {
+  std::vector<obs::Field> fields = {
+      obs::Field::n("delivered", static_cast<double>(delivered)),
+      obs::Field::n("wait_s", transfer_wait()),
+      obs::Field::n("extra_wait_s", transfer_extra_wait_),
+      obs::Field::n("restart", transfer_restart_ ? 1 : 0),
+      obs::Field::n("sender_limited_s", sender_limited_s_),
+      obs::Field::n("link_limited_s", link_limited_s_)};
+  if (aborted) fields.push_back(obs::Field::n("aborted", 1));
+  return fields;
 }
 
 void TcpConnection::close() {
@@ -91,10 +124,9 @@ void TcpConnection::close() {
 void TcpConnection::abort_transfer() {
   if (!busy()) return;
   if (obs::trace_on(obs_, obs::Category::kTcp)) {
-    obs_->trace.end(
-        obs_->trace.now(), obs::Category::kTcp, "tcp.transfer", obs_track_,
-        {obs::Field::n("delivered", static_cast<double>(transfer_delivered_)),
-         obs::Field::n("aborted", 1)});
+    obs_->trace.end(obs_->trace.now(), obs::Category::kTcp, "tcp.transfer",
+                    obs_track_,
+                    transfer_end_fields(transfer_delivered_, true));
   }
   transfer_size_ = 0;
   transfer_remaining_ = 0;
@@ -107,9 +139,10 @@ Bps TcpConnection::demand() const {
   return static_cast<double>(cwnd_) * 8.0 / config_.rtt;
 }
 
-void TcpConnection::enter_streaming() {
+void TcpConnection::enter_streaming(Seconds now) {
   phase_ = Phase::kStreaming;
   wait_remaining_ = 0;
+  transfer_first_byte_ = now;
 }
 
 void TcpConnection::grow_cwnd(Bytes acked, Bps granted, bool saturated) {
@@ -147,9 +180,17 @@ void TcpConnection::advance(Seconds now, Seconds dt, Bps granted,
       return;
     case Phase::kRequestWait:
       wait_remaining_ -= dt;
-      if (wait_remaining_ <= 1e-12) enter_streaming();
+      if (wait_remaining_ <= 1e-12) enter_streaming(now);
       return;
     case Phase::kStreaming: {
+      // Split streaming time by the binding constraint: when the link could
+      // not grant full demand the bottleneck limits us; otherwise the sender
+      // (cwnd) does. diag reads this split off the transfer end event.
+      if (saturated) {
+        link_limited_s_ += dt;
+      } else {
+        sender_limited_s_ += dt;
+      }
       double delivered = granted * dt / 8.0;
       delivered = std::min(delivered, transfer_remaining_);
       transfer_remaining_ -= delivered;
@@ -178,10 +219,9 @@ void TcpConnection::advance(Seconds now, Seconds dt, Bps granted,
         if (tracing) {
           // End the span before the callback: the HTTP layer closes its own
           // request span (and may start a new transfer) inside `done`.
-          obs_->trace.end(
-              now, obs::Category::kTcp, "tcp.transfer", obs_track_,
-              {obs::Field::n("delivered",
-                             static_cast<double>(transfer_size_))});
+          obs_->trace.end(now, obs::Category::kTcp, "tcp.transfer",
+                          obs_track_,
+                          transfer_end_fields(transfer_size_, false));
         }
         // Move the callback out first: it may immediately start a new
         // transfer on this same connection.

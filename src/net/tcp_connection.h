@@ -86,6 +86,28 @@ class TcpConnection {
   /// Rate granted on the most recent tick (for instrumentation).
   Bps last_granted() const { return last_granted_; }
 
+  // --- Per-transfer diagnosis markers ------------------------------------
+  //
+  // Exposed for root-cause attribution (vodx::diag): every tcp.transfer end
+  // event also carries these as fields, so a post-hoc trace walk can tell a
+  // slow-start restart from a sender-limited dribble without replaying the
+  // connection.
+
+  /// The current/last transfer re-paid the cwnd ramp: a handshake on a
+  /// previously-used connection (non-persistent reconnect, post-reset) or an
+  /// RFC 2861 idle restart.
+  bool transfer_restarted() const { return transfer_restart_; }
+  /// First-byte wait of the current/last transfer (handshake + request RTT +
+  /// injected server latency); -1 while still waiting.
+  Seconds transfer_wait() const;
+  /// Injected server-side first-byte latency of the current/last transfer.
+  Seconds transfer_extra_wait() const { return transfer_extra_wait_; }
+  /// Streaming time where this connection was the limiter (the link had
+  /// spare capacity but cwnd did not cover it).
+  Seconds transfer_sender_limited() const { return sender_limited_s_; }
+  /// Streaming time where the bottleneck link was the limiter.
+  Seconds transfer_link_limited() const { return link_limited_s_; }
+
   Bytes cwnd() const { return cwnd_; }
   const TcpConfig& config() const { return config_; }
   const std::string& label() const { return label_; }
@@ -102,8 +124,10 @@ class TcpConnection {
  private:
   enum class Phase { kClosed, kHandshake, kRequestWait, kStreaming, kIdle };
 
-  void enter_streaming();
+  void enter_streaming(Seconds now);
   void grow_cwnd(Bytes acked, Bps granted, bool saturated);
+  std::vector<obs::Field> transfer_end_fields(Bytes delivered,
+                                              bool aborted) const;
 
   TcpConfig config_;
   std::string label_;
@@ -118,6 +142,13 @@ class TcpConnection {
   Seconds idle_since_ = 0;
   Bps last_granted_ = 0;
   CompletionFn on_complete_;
+
+  bool transfer_restart_ = false;
+  Seconds transfer_extra_wait_ = 0;
+  Seconds transfer_first_byte_ = -1;  ///< -1 until streaming begins
+  Seconds sender_limited_s_ = 0;
+  Seconds link_limited_s_ = 0;
+  std::uint64_t transfer_count_ = 0;  ///< lifetime start_transfer calls
 
   obs::Observer* obs_ = nullptr;
   int obs_track_ = 0;

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/units.h"
@@ -81,5 +82,32 @@ struct Event {
   int track = 0;
   std::vector<Field> fields;
 };
+
+// --- Field lookup ----------------------------------------------------------
+//
+// Consumers that read events back (exporters, the diag attribution engine)
+// address payload entries by key. Keys are compared by content, not pointer:
+// emission sites use literals but a round-tripped event may not.
+
+inline const Field* find_field(const Event& event, std::string_view key) {
+  for (const Field& field : event.fields) {
+    if (key == field.key) return &field;
+  }
+  return nullptr;
+}
+
+/// Numeric field by key; `fallback` when absent or text-typed.
+inline double field_num(const Event& event, std::string_view key,
+                        double fallback = 0) {
+  const Field* field = find_field(event, key);
+  return (field != nullptr && !field->is_text) ? field->num : fallback;
+}
+
+/// Text field by key; empty when absent or numeric.
+inline std::string_view field_text(const Event& event, std::string_view key) {
+  const Field* field = find_field(event, key);
+  return (field != nullptr && field->is_text) ? std::string_view(field->text)
+                                              : std::string_view();
+}
 
 }  // namespace vodx::obs

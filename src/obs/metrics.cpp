@@ -32,12 +32,16 @@ double Histogram::quantile(double q) const {
 double bucket_quantile(const std::vector<double>& bounds,
                        const std::vector<std::int64_t>& buckets,
                        std::int64_t count, double min, double max, double q) {
-  if (count == 0) return 0;
+  if (count <= 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
+  // Snapshots are value types, so entries can reach us hand-built or
+  // partially merged; an incoherent min/max pair must not poison the
+  // interpolation below, so fall back to raw bucket edges in that case.
+  const bool stats_ok = min <= max;
   const double target = q * static_cast<double>(count);
   std::int64_t seen = 0;
   for (std::size_t i = 0; i < buckets.size(); ++i) {
-    if (buckets[i] == 0) continue;
+    if (buckets[i] <= 0) continue;
     const std::int64_t before = seen;
     seen += buckets[i];
     if (static_cast<double>(seen) >= target) {
@@ -45,8 +49,12 @@ double bucket_quantile(const std::vector<double>& bounds,
       // upper bound: bucket edges clamp to the observed [min, max] so a
       // single-sample bucket reports the neighbourhood of the sample, not
       // an edge it never reached.
-      double lo = i == 0 ? min : std::max(bounds[i - 1], min);
-      double hi = i < bounds.size() ? std::min(bounds[i], max) : max;
+      double lo = i == 0 ? (stats_ok ? min : (bounds.empty() ? 0 : bounds[0]))
+                         : (stats_ok ? std::max(bounds[i - 1], min)
+                                     : bounds[i - 1]);
+      double hi = i < bounds.size()
+                      ? (stats_ok ? std::min(bounds[i], max) : bounds[i])
+                      : (stats_ok ? max : lo);
       if (hi < lo) hi = lo;
       const double frac = std::clamp(
           (target - static_cast<double>(before)) /
@@ -55,7 +63,9 @@ double bucket_quantile(const std::vector<double>& bounds,
       return lo + frac * (hi - lo);
     }
   }
-  return max;
+  // count > 0 but every bucket empty: an inconsistent, hand-built entry.
+  // Report the only defensible point estimate rather than interpolating.
+  return stats_ok ? max : 0;
 }
 
 const MetricsSnapshot::Entry* MetricsSnapshot::find(
@@ -108,7 +118,8 @@ void merge_entry(MetricsSnapshot::Entry& mine,
         mine.name = name;
         break;
       }
-      if (mine.bounds != theirs.bounds) {
+      if (mine.bounds != theirs.bounds ||
+          mine.buckets.size() != theirs.buckets.size()) {
         throw ConfigError("histogram '" + mine.name +
                           "' merged across different bucket bounds");
       }

@@ -21,7 +21,6 @@ const char* to_string(Category category) {
 }
 
 TraceSink::TraceSink(std::size_t capacity) : capacity_(capacity) {
-  VODX_ASSERT(capacity > 0, "trace ring needs capacity");
   ring_.reserve(std::min<std::size_t>(capacity, 1024));
 }
 
@@ -35,6 +34,12 @@ int TraceSink::track(const std::string& name) {
 
 void TraceSink::emit(Event event) {
   event.seq = emitted_++;
+  if (capacity_ == 0) {
+    // A zero-capacity ring retains nothing but still counts: emitted() and
+    // dropped() stay exact so exporters can report the truncation.
+    ++dropped_;
+    return;
+  }
   if (count_ < capacity_) {
     ring_.push_back(std::move(event));
     ++count_;

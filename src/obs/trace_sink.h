@@ -24,6 +24,8 @@ namespace vodx::obs {
 class TraceSink {
  public:
   /// `capacity` = number of retained events (oldest dropped beyond that).
+  /// Capacity 0 is legal: nothing is retained, every emission counts as
+  /// dropped, and emitted()/dropped() stay exact.
   explicit TraceSink(std::size_t capacity = 1 << 16);
 
   // --- Enabling -----------------------------------------------------------

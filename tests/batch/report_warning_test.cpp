@@ -1,0 +1,75 @@
+// Trace-ring overflow must surface as an explicit warning row in every
+// report format — and stay invisible on clean sweeps (golden-pinned
+// layouts must not shift).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "batch/report.h"
+#include "batch/sweep.h"
+
+namespace vodx::batch {
+namespace {
+
+CellResult cell(const std::string& service, int profile,
+                std::uint64_t dropped, std::uint64_t emitted) {
+  CellResult c;
+  c.service = service;
+  c.profile_id = profile;
+  c.fault = "none";
+  c.ok = true;
+  c.trace_emitted = emitted;
+  c.trace_dropped = dropped;
+  return c;
+}
+
+TEST(ReportWarning, DroppedEventsRenderAWarningRow) {
+  SweepResult result;
+  result.cells.push_back(cell("H1", 7, 0, 100));
+  result.cells.push_back(cell("H2", 7, 5, 100));
+  const SweepMetrics metrics = aggregate_metrics(result);
+  EXPECT_EQ(metrics.trace_dropped, 5u);
+  ASSERT_EQ(metrics.dropped_cells.size(), 1u);
+
+  const std::string text = report_text(metrics);
+  EXPECT_NE(text.find("== warnings =="), std::string::npos);
+  EXPECT_NE(text.find("WARNING"), std::string::npos);
+  EXPECT_NE(text.find("dropped 5 of 100"), std::string::npos);
+  EXPECT_NE(text.find("H2"), std::string::npos);
+  // The clean cell must not be named in the warning section.
+  EXPECT_EQ(text.find("WARNING (H1"), std::string::npos);
+
+  const std::string html = report_html(metrics);
+  EXPECT_NE(html.find("<h2>warnings</h2>"), std::string::npos);
+  EXPECT_NE(html.find("dropped 5 of 100"), std::string::npos);
+}
+
+TEST(ReportWarning, JsonlCarriesPerCellDropCounts) {
+  SweepResult result;
+  result.cells.push_back(cell("H1", 7, 0, 100));
+  result.cells.push_back(cell("H2", 7, 5, 100));
+  const SweepMetrics metrics = aggregate_metrics(result);
+  const std::string jsonl = report_jsonl(result, metrics);
+  EXPECT_NE(jsonl.find("\"trace_dropped\":5"), std::string::npos);
+  // Exactly one cell line carries the key.
+  const std::size_t first = jsonl.find("\"trace_dropped\"");
+  EXPECT_EQ(jsonl.find("\"trace_dropped\"", first + 1), std::string::npos);
+}
+
+TEST(ReportWarning, CleanSweepHasNoWarningSection) {
+  SweepResult result;
+  result.cells.push_back(cell("H1", 7, 0, 100));
+  const SweepMetrics metrics = aggregate_metrics(result);
+  EXPECT_EQ(metrics.trace_dropped, 0u);
+  EXPECT_TRUE(metrics.dropped_cells.empty());
+  const std::string text = report_text(metrics);
+  EXPECT_EQ(text.find("warnings"), std::string::npos);
+  EXPECT_EQ(text.find("WARNING"), std::string::npos);
+  const std::string html = report_html(metrics);
+  EXPECT_EQ(html.find("<h2>warnings</h2>"), std::string::npos);
+  const std::string jsonl = report_jsonl(result, metrics);
+  EXPECT_EQ(jsonl.find("trace_dropped"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vodx::batch

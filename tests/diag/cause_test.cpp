@@ -1,0 +1,58 @@
+// Cause taxonomy: stable wire names, priority ordering, catalog coverage.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "diag/cause.h"
+
+namespace vodx::diag {
+namespace {
+
+TEST(Cause, StableWireNames) {
+  EXPECT_STREQ(to_string(Cause::kFaultInjected), "fault.injected");
+  EXPECT_STREQ(to_string(Cause::kTcpSlowStartRestart),
+               "tcp.slow_start_restart");
+  EXPECT_STREQ(to_string(Cause::kOriginLatency), "origin.latency");
+  EXPECT_STREQ(to_string(Cause::kLinkDeficit), "link.deficit");
+  EXPECT_STREQ(to_string(Cause::kAbrOverestimate), "abr.overestimate");
+  EXPECT_STREQ(to_string(Cause::kServerPacing), "server.pacing");
+  EXPECT_STREQ(to_string(Cause::kUnknown), "unknown");
+}
+
+TEST(Cause, AllCausesCoversTaxonomyInPriorityOrder) {
+  const auto& causes = all_causes();
+  ASSERT_EQ(causes.size(), static_cast<std::size_t>(kCauseCount));
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < causes.size(); ++i) {
+    names.insert(to_string(causes[i]));
+    if (i > 0) {
+      // The display order IS the attribution priority (ascending enum).
+      EXPECT_LT(static_cast<int>(causes[i - 1]), static_cast<int>(causes[i]));
+    }
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kCauseCount));
+  EXPECT_EQ(causes.back(), Cause::kUnknown);
+}
+
+TEST(Cause, InjectedFaultsOutrankNetworkArithmetic) {
+  // The taxonomy resolves overlapping evidence by enum value: an injected
+  // fault explains the TCP pathology it triggered, which in turn explains
+  // the bandwidth arithmetic that is "also true" during any outage.
+  EXPECT_LT(static_cast<int>(Cause::kFaultInjected),
+            static_cast<int>(Cause::kTcpSlowStartRestart));
+  EXPECT_LT(static_cast<int>(Cause::kTcpSlowStartRestart),
+            static_cast<int>(Cause::kLinkDeficit));
+  EXPECT_LT(static_cast<int>(Cause::kLinkDeficit),
+            static_cast<int>(Cause::kServerPacing));
+}
+
+TEST(Cause, LabelsAndDescriptionsNonEmpty) {
+  for (Cause cause : all_causes()) {
+    EXPECT_GT(std::string(short_label(cause)).size(), 0u);
+    EXPECT_GT(std::string(describe(cause)).size(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace vodx::diag

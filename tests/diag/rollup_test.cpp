@@ -1,0 +1,97 @@
+// Sweep-level diag rollups: grid-order folding must make every rendered
+// artefact byte-identical across job counts, and the rollup arithmetic
+// must conserve blamed time.
+#include <gtest/gtest.h>
+
+#include "diag/rollup.h"
+#include "services/service_catalog.h"
+
+namespace vodx::diag {
+namespace {
+
+batch::SweepConfig grid(int jobs) {
+  batch::SweepConfig config;
+  config.services = {services::service("H1"), services::service("H3"),
+                     services::service("D1")};
+  config.profiles = {2, 7};
+  config.session_duration = 60;
+  config.content_duration = 60;
+  config.jobs = jobs;
+  return config;
+}
+
+TEST(DiagRollup, ByteIdenticalAcrossJobCounts) {
+  const SweepDiagnosis d1 = diagnose_sweep(grid(1));
+  ASSERT_EQ(d1.failed, 0);
+  ASSERT_EQ(d1.total_cells, 6);
+  const std::string text1 = diag_text(d1);
+  const std::string jsonl1 = diag_jsonl(d1);
+  const std::string html1 = diag_html(d1);
+  for (int jobs : {2, 8}) {
+    const SweepDiagnosis dn = diagnose_sweep(grid(jobs));
+    EXPECT_EQ(diag_text(dn), text1) << "diag text differs at jobs=" << jobs;
+    EXPECT_EQ(diag_jsonl(dn), jsonl1) << "diag JSONL differs at jobs=" << jobs;
+    EXPECT_EQ(diag_html(dn), html1) << "diag HTML differs at jobs=" << jobs;
+  }
+}
+
+TEST(DiagRollup, DimensionsConserveBlamedTime) {
+  const SweepDiagnosis d = diagnose_sweep(grid(2));
+  ASSERT_EQ(d.failed, 0);
+  for (const std::vector<DiagRollup>* dim :
+       {&d.by_service, &d.by_profile, &d.by_fault}) {
+    int cells = 0;
+    double problem = 0;
+    double blamed[kCauseCount] = {};
+    for (const DiagRollup& rollup : *dim) {
+      cells += rollup.cells;
+      problem += rollup.problem_s;
+      for (int c = 0; c < kCauseCount; ++c) blamed[c] += rollup.blamed_s[c];
+    }
+    EXPECT_EQ(cells, d.overall.cells);
+    EXPECT_NEAR(problem, d.overall.problem_s, 1e-6);
+    for (int c = 0; c < kCauseCount; ++c) {
+      EXPECT_NEAR(blamed[c], d.overall.blamed_s[c], 1e-6);
+    }
+  }
+  // Every cell's blame spans tile its problem intervals, so the per-cause
+  // totals must add back up to the problem time.
+  double total = 0;
+  for (int c = 0; c < kCauseCount; ++c) total += d.overall.blamed_s[c];
+  EXPECT_NEAR(total, d.overall.problem_s, 1e-6);
+}
+
+TEST(DiagRollup, FoldAccumulatesFractions) {
+  DiagRollup rollup;
+  rollup.key = "x";
+  Diagnosis a;
+  IntervalDiagnosis stall;
+  stall.startup = false;
+  stall.start = 10;
+  stall.end = 14;
+  stall.spans.push_back({10, 14, Cause::kLinkDeficit, 0.8, ""});
+  a.intervals.push_back(stall);
+  a.blamed_s[static_cast<int>(Cause::kLinkDeficit)] = 4;
+  a.stall_blamed_s[static_cast<int>(Cause::kLinkDeficit)] = 4;
+  a.confidence[static_cast<int>(Cause::kLinkDeficit)] = 0.8;
+  rollup.fold(a);
+  EXPECT_EQ(rollup.cells, 1);
+  EXPECT_DOUBLE_EQ(rollup.problem_s, 4);
+  EXPECT_DOUBLE_EQ(rollup.stall_s, 4);
+  EXPECT_DOUBLE_EQ(rollup.attributed_fraction(), 1);
+  EXPECT_DOUBLE_EQ(rollup.stall_attributed_fraction(), 1);
+  EXPECT_NEAR(rollup.mean_confidence(), 0.8, 1e-9);
+
+  // An all-unknown diagnosis drags the fraction down proportionally.
+  Diagnosis b;
+  IntervalDiagnosis unknown = stall;
+  unknown.spans[0].cause = Cause::kUnknown;
+  b.intervals.push_back(unknown);
+  b.blamed_s[static_cast<int>(Cause::kUnknown)] = 4;
+  b.stall_blamed_s[static_cast<int>(Cause::kUnknown)] = 4;
+  rollup.fold(b);
+  EXPECT_DOUBLE_EQ(rollup.attributed_fraction(), 0.5);
+}
+
+}  // namespace
+}  // namespace vodx::diag

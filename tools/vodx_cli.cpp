@@ -15,6 +15,10 @@
 //                                    (table / JSONL / single-file HTML)
 //   vodx chaos [...]               — invariant-checked fault fuzzing with
 //                                    minimized repro artifacts
+//   vodx diagnose [...]            — root-cause attribution for stalls and
+//                                    startup delay (single session, grid
+//                                    rollups, or the precision/recall
+//                                    validation harness)
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -35,6 +39,9 @@
 #include "core/radio_energy.h"
 #include "core/report.h"
 #include "core/session.h"
+#include "diag/diagnose.h"
+#include "diag/rollup.h"
+#include "diag/validate.h"
 #include "faults/fault_plan.h"
 #include "obs/observer.h"
 #include "trace/cellular_profiles.h"
@@ -74,13 +81,28 @@ int usage() {
       "        fault-tolerant player configuration. Deterministic: the fault\n"
       "        schedule derives from (seed, cell), never from --jobs.\n"
       "  vodx report [--services ...] [--profiles ...] [--seeds ...]\n"
-      "              [--faults ...] [--jobs N] [--duration secs]\n"
+      "              [--faults ...] [--jobs N] [--duration secs] [--diag]\n"
       "              [--out report.txt] [--jsonl report.jsonl]\n"
       "              [--html report.html] [--csv cells.csv] [--progress]\n"
       "        runs the grid with per-cell metrics collection and renders\n"
       "        overall / per-service / per-profile / per-fault rollups.\n"
       "        Text report goes to stdout unless --out is given; the merged\n"
-      "        aggregate is byte-identical for every --jobs value.\n"
+      "        aggregate is byte-identical for every --jobs value. --diag\n"
+      "        appends root-cause attribution tables to every output.\n"
+      "  vodx diagnose <service> [profile=7] [--duration secs]\n"
+      "        runs one session with tracing on and prints per-interval\n"
+      "        blame spans plus per-cause totals.\n"
+      "  vodx diagnose [--services ...] [--profiles 7|...] [--seeds 0|...]\n"
+      "                [--faults none|all|...] [--jobs N] [--duration secs]\n"
+      "                [--out diag.txt] [--jsonl diag.jsonl]\n"
+      "                [--html diag.html]\n"
+      "        diagnoses every cell of the grid and renders per-service /\n"
+      "        per-profile / per-fault root-cause tables; byte-identical\n"
+      "        for every --jobs value.\n"
+      "  vodx diagnose --validate [--threshold 0.9] [--duration secs]\n"
+      "        precision/recall harness: checks fault.injected blame lands\n"
+      "        inside the injected windows for every catalog scenario.\n"
+      "        Exit 0 = every scenario meets the threshold.\n"
       "  vodx chaos [--seeds 0..63] [--services H1,...] [--profiles 1-14]\n"
       "             [--duration secs] [--jobs N] [--budget secs]\n"
       "             [--minimize|--no-minimize] [--artifacts dir]\n"
@@ -453,6 +475,7 @@ int cmd_report(Args& args) {
   config.collect_metrics = true;
   GridFlags flags;
   std::string text_path, jsonl_path, html_path;
+  bool with_diag = false;
   while (!args.done()) {
     // Own output flags come before GridFlags: --jsonl here means the report
     // JSONL (cells + rollups), not the per-cell QoE rows `sweep` writes.
@@ -464,6 +487,8 @@ int cmd_report(Args& args) {
       jsonl_path = v;
     } else if (const char* v = args.value("--html")) {
       html_path = v;
+    } else if (args.flag("--diag")) {
+      with_diag = true;
     } else if (!flags.parse(args, config, "report")) {
       args.unknown();
     }
@@ -491,6 +516,17 @@ int cmd_report(Args& args) {
     };
   }
 
+  // --diag shares the single sweep pass: the diag fold runs in the post-join
+  // observe callback (grid order, one thread), so the appended tables are
+  // byte-identical for every --jobs value, like the metrics rollups.
+  diag::SweepDiagnosis sweep_diag;
+  if (with_diag) {
+    config.observe = [&sweep_diag](const batch::CellResult& cell,
+                                   const obs::Observer& observer) {
+      diag::fold_cell(sweep_diag, cell, observer);
+    };
+  }
+
   batch::SweepResult result = batch::run_sweep(config);
   for (const batch::CellResult& cell : result.cells) {
     if (!cell.ok) {
@@ -498,24 +534,135 @@ int cmd_report(Args& args) {
                    cell.coordinates().c_str(), cell.error.c_str());
     }
   }
+  sweep_diag.total_cells = static_cast<int>(result.cells.size());
 
   batch::SweepMetrics metrics = batch::aggregate_metrics(result);
-  const std::string text = batch::report_text(metrics);
+  std::string text = batch::report_text(metrics);
+  if (with_diag) text += "\n" + diag::diag_text(sweep_diag);
   if (text_path.empty()) {
     std::fputs(text.c_str(), stdout);
   } else {
     write_file(text_path, text);
   }
   if (!jsonl_path.empty()) {
-    write_file(jsonl_path, batch::report_jsonl(result, metrics));
+    std::string jsonl = batch::report_jsonl(result, metrics);
+    if (with_diag) jsonl += diag::diag_jsonl(sweep_diag);
+    write_file(jsonl_path, jsonl);
   }
   if (!html_path.empty()) {
-    write_file(html_path, batch::report_html(metrics));
+    std::string html = batch::report_html(metrics);
+    if (with_diag) {
+      const std::string tail = "</body></html>\n";
+      const std::size_t pos = html.rfind(tail);
+      const std::string section = diag::diag_html_section(sweep_diag);
+      if (pos != std::string::npos) {
+        html.insert(pos, section);
+      } else {
+        html += section;
+      }
+    }
+    write_file(html_path, html);
   }
   if (!flags.csv_path.empty()) {
     write_file(flags.csv_path, batch::sweep_csv(result));
   }
   return result.failed > 0 ? 1 : 0;
+}
+
+int cmd_diagnose(Args& args) {
+  batch::SweepConfig config;
+  config.services = services::catalog();
+  config.profiles = {7};
+  config.jobs = 0;
+  std::string service;
+  int profile = 7;
+  bool validate_mode = false;
+  double threshold = 0.9;
+  std::string text_path, jsonl_path, html_path;
+  while (!args.done()) {
+    if (args.flag("--validate")) {
+      validate_mode = true;
+    } else if (const char* v = args.value("--threshold")) {
+      threshold = parse_double(v);
+    } else if (const char* v = args.value("--services")) {
+      parse_services(config, v, "diagnose");
+    } else if (const char* v = args.value("--profiles")) {
+      config.profiles.clear();
+      for (std::int64_t id :
+           tools::parse_int_list(v, 1, trace::kProfileCount, "profile")) {
+        config.profiles.push_back(static_cast<int>(id));
+      }
+    } else if (const char* v = args.value("--seeds")) {
+      config.seeds.clear();
+      for (std::int64_t seed : tools::parse_int_list(v, 0, 0, "seed")) {
+        config.seeds.push_back(static_cast<std::uint64_t>(seed));
+      }
+    } else if (const char* v = args.value("--faults")) {
+      config.fault_scenarios = tools::parse_name_list(v, scenario_names());
+    } else if (const char* v = args.value("--jobs")) {
+      config.jobs = std::atoi(v);
+    } else if (const char* v = args.value("--duration")) {
+      config.session_duration = parse_double(v);
+      config.content_duration = config.session_duration;
+    } else if (const char* v = args.value("--out")) {
+      text_path = v;
+    } else if (const char* v = args.value("--jsonl")) {
+      jsonl_path = v;
+    } else if (const char* v = args.value("--html")) {
+      html_path = v;
+    } else if (const char* p = args.positional()) {
+      if (service.empty()) {
+        service = p;
+      } else {
+        profile = std::atoi(p);
+      }
+    } else {
+      args.unknown();
+    }
+  }
+  if (args.failed()) return usage();
+
+  if (validate_mode) {
+    diag::ValidateOptions options;
+    options.duration = config.session_duration;
+    const diag::ValidationReport report = diag::validate(options);
+    std::fputs(diag::validation_text(report, threshold).c_str(), stdout);
+    return report.pass(threshold) ? 0 : 1;
+  }
+
+  if (!service.empty()) {
+    // Single-session view: full per-interval blame spans, not rollups.
+    const services::ServiceSpec& spec = services::service(service);
+    obs::Observer observer;
+    core::SessionConfig session;
+    session.spec = spec;
+    session.trace = trace::cellular_profile(profile);
+    session.session_duration = config.session_duration;
+    session.content_duration = config.session_duration;
+    session.observer = &observer;
+    core::SessionResult r = core::run_session(session);
+    std::printf("%s on profile %d (%.0f s session):\n\n", spec.name.c_str(),
+                profile, r.session_end);
+    std::fputs(diag::diagnosis_text(diag::diagnose(r, observer)).c_str(),
+               stdout);
+    return 0;
+  }
+
+  if (config.services.empty() || config.profiles.empty() ||
+      config.seeds.empty() || config.fault_scenarios.empty()) {
+    std::fprintf(stderr, "error: empty diagnose grid\n");
+    return 2;
+  }
+  const diag::SweepDiagnosis diagnosis = diag::diagnose_sweep(config);
+  const std::string text = diag::diag_text(diagnosis);
+  if (text_path.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    write_file(text_path, text);
+  }
+  if (!jsonl_path.empty()) write_file(jsonl_path, diag::diag_jsonl(diagnosis));
+  if (!html_path.empty()) write_file(html_path, diag::diag_html(diagnosis));
+  return diagnosis.failed > 0 ? 1 : 0;
 }
 
 int cmd_chaos(Args& args) {
@@ -664,6 +811,10 @@ int main(int argc, char** argv) {
     if (command == "chaos") {
       Args args(argc - 2, argv + 2);
       return cmd_chaos(args);
+    }
+    if (command == "diagnose") {
+      Args args(argc - 2, argv + 2);
+      return cmd_diagnose(args);
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
