@@ -4,15 +4,22 @@
 // BENCH_PERF.json for machines:
 //
 //   {"git_rev":..,"date":..,"workload":..,"jobs":..,"cells":..,"wall_s":..,
-//    "cells_per_s":..,"peak_rss_mb":..,
+//    "cells_per_s":..,"fixed_tick_cells_per_s":..,"peak_rss_mb":..,
 //    "zones":{"<name>":{"count":..,"total_s":..,"self_s":..},...}}
 //
 // Everything here is wall-clock and machine-dependent by design — the
 // simulated results stay deterministic (the profiler never feeds sim
-// logic), only the timings vary. --check compares throughput against a
-// recorded baseline and fails on a >3x regression; the factor is loose on
-// purpose so the gate survives noisy CI neighbours while still catching
-// accidental quadratic blowups.
+// logic), only the timings vary. --check applies two gates against a
+// recorded baseline:
+//
+//   1. throughput must stay within 3x of the baseline's cells_per_s — the
+//      factor is loose on purpose so the gate survives noisy CI neighbours
+//      while still catching accidental quadratic blowups;
+//   2. throughput must stay at least 5x above the baseline's
+//      fixed_tick_cells_per_s, the recorded throughput of the pre-event-core
+//      fixed-tick simulator. This pins the event core's speedup: losing the
+//      tick-skipping win (e.g. a client whose next_wake() collapses to
+//      "every tick") fails CI even though the 3x band would forgive it.
 //
 //   bench_perf [--smoke] [--jobs N] [--out BENCH_PERF.json]
 //              [--check baseline.json] [--git-rev rev]
@@ -35,6 +42,15 @@
 using namespace vodx;
 
 namespace {
+
+/// Measured throughput of the smoke workload on the retired fixed-tick hot
+/// path (rev a5c7752, the last commit before the event-driven core), on the
+/// reference machine the checked-in baseline was recorded on. Written into
+/// every BENCH_PERF.json so baseline refreshes keep carrying it, and used by
+/// --check as the denominator of the 5x event-core speedup gate. The live
+/// kFixedTickReference core is *not* a substitute: it shares the memoized
+/// client code, so it no longer measures the old implementation.
+constexpr double kFixedTickBaselineCellsPerS = 102.5;
 
 struct Options {
   bool smoke = false;
@@ -94,10 +110,10 @@ std::string render_json(const Options& options, std::size_t cells,
   std::string out = format(
       "{\"git_rev\":\"%s\",\"date\":\"%s\",\"workload\":\"%s\","
       "\"jobs\":%d,\"cells\":%zu,\"wall_s\":%.3f,\"cells_per_s\":%.1f,"
-      "\"peak_rss_mb\":%.1f,\"zones\":{",
+      "\"fixed_tick_cells_per_s\":%.1f,\"peak_rss_mb\":%.1f,\"zones\":{",
       options.git_rev.c_str(), iso_date().c_str(),
       options.smoke ? "smoke" : "full", options.jobs, cells, wall_s,
-      cells_per_s, peak_rss_mb());
+      cells_per_s, kFixedTickBaselineCellsPerS, peak_rss_mb());
   for (std::size_t i = 0; i < zones.size(); ++i) {
     const obs::ZoneStats& z = zones[i];
     out += format("%s\"%s\":{\"count\":%llu,\"total_s\":%.4f,"
@@ -111,17 +127,21 @@ std::string render_json(const Options& options, std::size_t cells,
   return out;
 }
 
-/// Pulls "cells_per_s": <number> out of a baseline BENCH_PERF.json without a
-/// JSON parser; returns < 0 when the key is missing.
-double baseline_cells_per_s(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return -1;
-  std::string text((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
-  const std::string key = "\"cells_per_s\":";
-  std::size_t pos = text.find(key);
+/// Pulls "<key>": <number> out of a baseline BENCH_PERF.json without a JSON
+/// parser; returns < 0 when the key is missing. The quoted-key search means
+/// "cells_per_s" never matches inside "fixed_tick_cells_per_s".
+double baseline_number(const std::string& text, const char* key) {
+  const std::string needle = format("\"%s\":", key);
+  const std::size_t pos = text.find(needle);
   if (pos == std::string::npos) return -1;
-  return std::atof(text.c_str() + pos + key.size());
+  return std::atof(text.c_str() + pos + needle.size());
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
 }
 
 }  // namespace
@@ -213,7 +233,8 @@ int main(int argc, char** argv) {
                    options.check_path.c_str());
       return 0;
     }
-    const double baseline = baseline_cells_per_s(options.check_path);
+    const std::string baseline_text = read_file(options.check_path);
+    const double baseline = baseline_number(baseline_text, "cells_per_s");
     if (baseline <= 0) {
       std::fprintf(stderr, "bench_perf: no cells_per_s in baseline %s\n",
                    options.check_path.c_str());
@@ -224,6 +245,18 @@ int main(int argc, char** argv) {
                    "bench_perf: REGRESSION — %.1f cells/s is more than 3x "
                    "below the %.1f cells/s baseline\n",
                    cells_per_s, baseline);
+      return 1;
+    }
+    // Event-core speedup gate: pre-event-core baselines lack the key and
+    // skip it (the gate arms itself on the first refreshed baseline).
+    const double fixed_tick =
+        baseline_number(baseline_text, "fixed_tick_cells_per_s");
+    if (fixed_tick > 0 && cells_per_s < 5.0 * fixed_tick) {
+      std::fprintf(stderr,
+                   "bench_perf: REGRESSION — %.1f cells/s is below 5x the "
+                   "%.1f cells/s fixed-tick baseline; the event core's "
+                   "tick-skipping win has been lost\n",
+                   cells_per_s, fixed_tick);
       return 1;
     }
     std::fprintf(stderr, "bench_perf: ok — %.1f cells/s vs %.1f baseline\n",

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Fixed-budget fuzz smoke for vodx::chaos: 64 seeds through the chaos engine
 # must produce zero invariant violations, zero watchdog aborts, and a report
-# that is byte-identical across --jobs (the engine's determinism contract).
+# that is byte-identical across --jobs (the engine's determinism contract)
+# AND across simulator cores — running the same pinned budget on the
+# fixed-tick reference (--core fixed) is the fuzz-scale differential check
+# of the event-driven core.
 #
 #   ./scripts/chaos_smoke.sh [path/to/vodx]
 #
@@ -34,4 +37,15 @@ if ! cmp -s "$TMP/jobs1.txt" "$TMP/jobs4.txt"; then
   exit 1
 fi
 
-echo "chaos_smoke: $SEEDS clean and jobs-independent"
+# Differential leg: the same budget on the retained fixed-tick reference
+# core must reproduce the event-core report byte for byte.
+"$VODX" chaos --seeds "$SEEDS" --duration "$DURATION" --jobs 4 --core fixed \
+  --out "$TMP/fixed.txt"
+
+if ! cmp -s "$TMP/jobs4.txt" "$TMP/fixed.txt"; then
+  echo "chaos_smoke: report differs between --core event and --core fixed" >&2
+  diff "$TMP/jobs4.txt" "$TMP/fixed.txt" >&2 || true
+  exit 1
+fi
+
+echo "chaos_smoke: $SEEDS clean, jobs-independent and core-independent"

@@ -8,8 +8,8 @@
 #                                          # the batch/sweep tests
 #   ./scripts/check.sh --labels unit       # only tests with a matching
 #                                          # ctest label (unit|integration|
-#                                          # golden|faults|perf|chaos|diag;
-#                                          # regex accepted)
+#                                          # golden|faults|perf|chaos|diag|
+#                                          # simcore; regex accepted)
 #   BUILD_DIR=out ./scripts/check.sh       # custom build directory
 set -euo pipefail
 

@@ -1,19 +1,26 @@
 #!/usr/bin/env bash
-# Wall-clock perf gate around bench_perf (DESIGN.md §10).
+# Wall-clock perf gate around bench_perf (DESIGN.md §10, §13).
 #
 #   ./scripts/perf_check.sh            # smoke workload vs the checked-in
 #                                      # baseline; fails on a >3x regression
+#                                      # or on losing the 5x event-core
+#                                      # speedup over the fixed-tick baseline
 #   ./scripts/perf_check.sh --full     # full workload, no gate — refreshes
 #                                      # BENCH_PERF.json for inspection
 #   BUILD_DIR=out ./scripts/perf_check.sh
 #
 # The 3x factor is deliberately loose: throughput is machine- and
 # load-dependent, and this gate exists to catch accidental quadratic
-# blowups, not 10% drifts. To re-record the baseline after an intentional
-# change (or on new reference hardware):
+# blowups, not 10% drifts. The 5x floor compares against the recorded
+# fixed_tick_cells_per_s (the retired per-tick hot path, see DESIGN.md §13)
+# and catches regressions that quietly disable tick skipping. To re-record
+# the baseline after an intentional change (or on new reference hardware):
 #
 #   build/bench/bench_perf --smoke --jobs 4 --git-rev "$(git rev-parse \
 #     --short HEAD)" --out bench/perf_baseline.json
+#
+# bench_perf re-emits fixed_tick_cells_per_s on every run, so a refresh
+# keeps the speedup gate armed without manual JSON edits.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

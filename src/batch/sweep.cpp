@@ -141,6 +141,7 @@ SweepResult run_sweep(const SweepConfig& config) {
           session.content_duration = config.content_duration;
           session.content_seed = content_seed_for(cell.seed);
           session.qoe_options = config.qoe_options;
+          session.sim_core = config.sim_core;
           session.wall_budget = config.cell_wall_budget;
           session.max_events_per_instant = config.cell_max_events_per_instant;
           if (cell.fault != "none") {

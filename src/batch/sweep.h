@@ -125,6 +125,11 @@ struct SweepConfig {
   /// every value.
   int jobs = 1;
 
+  /// Simulator core every cell runs on (forwarded to SessionConfig). The
+  /// event core and the fixed-tick reference produce identical cells by
+  /// contract; the differential test harness sweeps both and compares.
+  net::SimCore sim_core = net::SimCore::kEvent;
+
   /// Capture a per-cell MetricsSnapshot into CellResult::metrics. Each cell
   /// gets its own registry (event tracing stays off unless `observe` is also
   /// set); snapshots are taken in the worker at session end, which is safe —

@@ -57,6 +57,7 @@ CheckedRun run_checked(core::SessionConfig config,
   if (config.observer == nullptr) config.observer = &local;
   config.wall_budget = options.wall_budget;
   config.max_events_per_instant = options.max_events_per_instant;
+  config.sim_core = options.sim_core;
   try {
     out.result = core::run_session(config);
   } catch (const net::WatchdogError& e) {
@@ -103,6 +104,7 @@ ChaosReport run_chaos(const ChaosConfig& config) {
   CheckOptions check;
   check.wall_budget = config.wall_budget;
   check.max_events_per_instant = config.max_events_per_instant;
+  check.sim_core = config.sim_core;
   check.test_hook = config.test_hook;
 
   ChaosReport report;

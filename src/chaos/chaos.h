@@ -44,6 +44,10 @@ struct CheckOptions {
   /// Max events fired at one simulated instant (0 = unbounded). Unlike the
   /// wall budget this is fully deterministic.
   std::uint64_t max_events_per_instant = 0;
+  /// Simulator core the session runs on. Fuzzing both cores with the same
+  /// pinned seed budget (chaos_smoke.sh) is the fuzz-scale differential
+  /// check: reports must be byte-identical across cores.
+  net::SimCore sim_core = net::SimCore::kEvent;
   TestHook test_hook;
 };
 
@@ -94,6 +98,9 @@ struct ChaosConfig {
   Seconds wall_budget = 60;
   /// Per-instant event bound (livelock detector).
   std::uint64_t max_events_per_instant = 100000;
+
+  /// Simulator core every cell runs on (see CheckOptions::sim_core).
+  net::SimCore sim_core = net::SimCore::kEvent;
 
   bool minimize = true;  ///< shrink violating plans before emitting repros
   MinimizeOptions minimize_options;

@@ -130,6 +130,7 @@ void emit_session_summary(obs::Observer* obs, const SessionResult& result,
 
 SessionResult run_session(const SessionConfig& config) {
   net::Simulator sim(config.tick);
+  sim.set_core(config.sim_core);
   sim.set_wall_budget(config.wall_budget);
   sim.set_max_events_per_instant(config.max_events_per_instant);
   // Blackout windows act on the link, not the proxy: the trace the session

@@ -21,6 +21,7 @@
 #include "http/interceptor.h"
 #include "http/proxy.h"
 #include "net/bandwidth_trace.h"
+#include "net/simulator.h"
 #include "obs/observer.h"
 #include "player/player.h"
 #include "services/service_catalog.h"
@@ -35,6 +36,12 @@ struct SessionConfig {
   Seconds tick = 0.01;
   Seconds rtt = 0.07;
   std::uint64_t content_seed = 42;
+
+  /// Simulator advancement core. kEvent (default) skips provably-inert grid
+  /// ticks; kFixedTickReference executes every tick — the retained reference
+  /// implementation the differential harness compares against. Outputs are
+  /// identical by contract (see DESIGN.md §13).
+  net::SimCore sim_core = net::SimCore::kEvent;
 
   /// Interceptors registered on the proxy in order (black-box probe hooks,
   /// middleware). Each is attach()ed to the live proxy before the session

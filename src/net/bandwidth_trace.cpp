@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/error.h"
 
@@ -56,6 +57,21 @@ Bps BandwidthTrace::at(Seconds t) const {
       [](Seconds value, const Sample& s) { return value < s.start; });
   VODX_ASSERT(it != samples_.begin(), "trace lookup before first sample");
   return std::prev(it)->bandwidth;
+}
+
+Seconds BandwidthTrace::next_change_after(Seconds t) const {
+  if (samples_.size() == 1) {
+    // One piece: replays are identical, so the value never changes.
+    return std::numeric_limits<double>::infinity();
+  }
+  Seconds local = std::fmod(t, duration_);
+  if (local < 0) local += duration_;
+  const Seconds base = t - local;  // start of the replay containing t
+  auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), local,
+      [](Seconds value, const Sample& s) { return value < s.start; });
+  if (it == samples_.end()) return base + duration_;  // wrap boundary
+  return base + it->start;
 }
 
 Bps BandwidthTrace::mean() const {

@@ -38,6 +38,14 @@ class BandwidthTrace {
   /// Bandwidth at absolute time t; t past the end wraps around.
   Bps at(Seconds t) const;
 
+  /// First absolute time strictly after t at which at() can change value —
+  /// the next sample boundary (honouring wrap-around), +infinity for a
+  /// constant trace. Conservative: adjacent samples with equal bandwidth
+  /// still report their boundary. This is what lets the event-driven core
+  /// wake the link exactly at trace steps so the obs capacity timeline
+  /// stays lossless without per-tick sampling.
+  Seconds next_change_after(Seconds t) const;
+
   /// Average bandwidth over one full trace length.
   Bps mean() const;
 

@@ -3,50 +3,12 @@
 #include <algorithm>
 
 #include "common/error.h"
-#include "obs/profiler.h"
 
 namespace vodx::net {
 
-namespace {
-
-/// Max-min fair allocation of `capacity` across `demands`. Returns per-flow
-/// grants; flows with zero demand get zero.
-std::vector<Bps> max_min_allocate(const std::vector<Bps>& demands,
-                                  Bps capacity) {
-  std::vector<Bps> alloc(demands.size(), 0.0);
-  std::vector<std::size_t> active;
-  for (std::size_t i = 0; i < demands.size(); ++i) {
-    if (demands[i] > 0) active.push_back(i);
-  }
-  Bps remaining = capacity;
-  while (!active.empty() && remaining > 0) {
-    Bps share = remaining / static_cast<double>(active.size());
-    bool progressed = false;
-    for (auto it = active.begin(); it != active.end();) {
-      if (demands[*it] <= share) {
-        alloc[*it] = demands[*it];
-        remaining -= demands[*it];
-        it = active.erase(it);
-        progressed = true;
-      } else {
-        ++it;
-      }
-    }
-    if (!progressed) {
-      // Every remaining flow wants more than an equal share: split evenly.
-      for (std::size_t i : active) alloc[i] = share;
-      remaining = 0;
-      break;
-    }
-  }
-  return alloc;
-}
-
-}  // namespace
-
 Link::Link(Simulator& sim, BandwidthTrace trace, Seconds rtt)
     : sim_(sim), trace_(std::move(trace)), rtt_(rtt) {
-  sim_.on_tick([this](Seconds dt) { tick(dt); });
+  sim_.add_tick_client(this);
 }
 
 void Link::set_observer(obs::Observer* observer) {
@@ -77,49 +39,102 @@ Bytes Link::total_delivered() const {
   return total;
 }
 
-void Link::tick(Seconds dt) {
-  VODX_PROFILE_ZONE("link.tick");
+void Link::max_min_allocate(Bps capacity) {
+  const std::vector<Bps>& demands = scratch_demands_;
+  std::vector<Bps>& alloc = scratch_grants_;
+  alloc.assign(demands.size(), 0.0);
+  std::vector<std::size_t>& active = scratch_active_;
+  active.clear();
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    if (demands[i] > 0) active.push_back(i);
+  }
+  Bps remaining = capacity;
+  while (!active.empty() && remaining > 0) {
+    Bps share = remaining / static_cast<double>(active.size());
+    bool progressed = false;
+    for (auto it = active.begin(); it != active.end();) {
+      if (demands[*it] <= share) {
+        alloc[*it] = demands[*it];
+        remaining -= demands[*it];
+        it = active.erase(it);
+        progressed = true;
+      } else {
+        ++it;
+      }
+    }
+    if (!progressed) {
+      // Every remaining flow wants more than an equal share: split evenly.
+      for (std::size_t i : active) alloc[i] = share;
+      remaining = 0;
+      break;
+    }
+  }
+}
+
+void Link::tick(Seconds now, Seconds dt) {
   // Snapshot: completion callbacks inside advance() may attach/detach
   // connections; newly attached ones start participating next tick.
-  std::vector<TcpConnection*> snapshot = connections_;
-  std::vector<Bps> demands(snapshot.size());
-  for (std::size_t i = 0; i < snapshot.size(); ++i) {
-    demands[i] = snapshot[i]->demand();
+  scratch_snapshot_.assign(connections_.begin(), connections_.end());
+  scratch_demands_.resize(scratch_snapshot_.size());
+  for (std::size_t i = 0; i < scratch_snapshot_.size(); ++i) {
+    scratch_demands_[i] = scratch_snapshot_[i]->demand();
   }
-  const Bps capacity = trace_.at(sim_.now());
-  std::vector<Bps> grants;
-  {
-    VODX_PROFILE_ZONE("link.fair_share");
-    grants = max_min_allocate(demands, capacity);
-  }
+  const Bps capacity = trace_.at(now);
+  max_min_allocate(capacity);
 
   if (obs::trace_on(obs_, obs::Category::kLink)) {
     // Counter tracks are sampled on change, not per tick: a 600 s session
     // over a 1 Hz bandwidth trace emits ~600 capacity points, not 60000.
     if (capacity != last_capacity_emitted_) {
-      obs_->trace.counter(sim_.now(), obs::Category::kLink,
-                          "link.capacity_mbps", obs_track_, capacity / 1e6);
+      obs_->trace.counter(now, obs::Category::kLink, "link.capacity_mbps",
+                          obs_track_, capacity / 1e6);
       last_capacity_emitted_ = capacity;
     }
     int active = 0;
-    for (Bps demand : demands) {
+    for (Bps demand : scratch_demands_) {
       if (demand > 0) ++active;
     }
     if (active != last_active_emitted_) {
-      obs_->trace.counter(sim_.now(), obs::Category::kLink,
-                          "link.active_conns", obs_track_, active);
+      obs_->trace.counter(now, obs::Category::kLink, "link.active_conns",
+                          obs_track_, active);
       last_active_emitted_ = active;
     }
   }
 
-  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+  for (std::size_t i = 0; i < scratch_snapshot_.size(); ++i) {
     // A callback earlier in this loop may have detached this connection.
-    if (std::find(connections_.begin(), connections_.end(), snapshot[i]) ==
-        connections_.end()) {
+    if (std::find(connections_.begin(), connections_.end(),
+                  scratch_snapshot_[i]) == connections_.end()) {
       continue;
     }
-    const bool saturated = grants[i] + 1e-6 < demands[i];
-    snapshot[i]->advance(sim_.now(), dt, grants[i], saturated);
+    const bool saturated = scratch_grants_[i] + 1e-6 < scratch_demands_[i];
+    scratch_snapshot_[i]->advance(now, dt, scratch_grants_[i], saturated);
+  }
+}
+
+Seconds Link::next_wake(Seconds now) {
+  // Any in-flight transfer makes the fluid model integrate per tick.
+  for (TcpConnection* c : connections_) {
+    if (c->busy()) return now;
+  }
+  if (obs::trace_on(obs_, obs::Category::kLink)) {
+    // Pending on-change emissions must land on the very next tick; after
+    // that the tracks only change at bandwidth-trace steps.
+    if (trace_.at(now) != last_capacity_emitted_) return now;
+    if (last_active_emitted_ != 0) return now;
+    return trace_.next_change_after(now);
+  }
+  return kNeverWakes;
+}
+
+void Link::fast_forward(Seconds now, Seconds dt, std::uint64_t ticks) {
+  (void)ticks;
+  // Every connection is idle or closed over a skipped span (a busy one pins
+  // next_wake to `now`), so the only per-tick effect advance() would have
+  // had is resetting the instrumentation-only last-granted rate — which is
+  // idempotent, so one zero-grant advance replays any number of ticks.
+  for (TcpConnection* c : connections_) {
+    c->advance(now, dt, /*granted=*/0, /*saturated=*/false);
   }
 }
 

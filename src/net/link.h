@@ -5,6 +5,13 @@
 // by all attached TCP connections with demand. Per-connection rates are
 // additionally capped by each connection's own cwnd/RTT (handled inside
 // TcpConnection::advance).
+//
+// The link is a TickClient: while any connection is mid-transfer it ticks
+// densely (the fluid model integrates per tick), but once every connection
+// is idle its only remaining observable work is the on-change capacity /
+// active-count emission, so next_wake() points the simulator at the next
+// bandwidth-trace step (BandwidthTrace::next_change_after) — which also
+// guarantees the obs capacity timeline records every trace step losslessly.
 #pragma once
 
 #include <vector>
@@ -17,9 +24,9 @@
 
 namespace vodx::net {
 
-class Link {
+class Link : public TickClient {
  public:
-  /// Registers itself as a tick handler of `sim`. The link must outlive the
+  /// Registers itself as a tick client of `sim`. The link must outlive the
   /// simulator run.
   Link(Simulator& sim, BandwidthTrace trace, Seconds rtt = 0.07);
 
@@ -42,14 +49,28 @@ class Link {
   /// Total payload bytes the link has carried (for conservation checks).
   Bytes total_delivered() const;
 
+  // --- TickClient --------------------------------------------------------
+  void tick(Seconds now, Seconds dt) override;
+  Seconds next_wake(Seconds now) override;
+  void fast_forward(Seconds now, Seconds dt, std::uint64_t ticks) override;
+
  private:
-  void tick(Seconds dt);
+  /// Max-min fair allocation of `capacity` across scratch_demands_ into
+  /// scratch_grants_; flows with zero demand get zero. Member so the
+  /// per-tick work lists live in reusable scratch storage.
+  void max_min_allocate(Bps capacity);
 
   Simulator& sim_;
   BandwidthTrace trace_;
   Seconds rtt_;
   std::vector<TcpConnection*> connections_;
   Bytes delivered_by_detached_ = 0;
+
+  // Per-tick scratch (the hot path must not allocate).
+  std::vector<TcpConnection*> scratch_snapshot_;
+  std::vector<Bps> scratch_demands_;
+  std::vector<Bps> scratch_grants_;
+  std::vector<std::size_t> scratch_active_;
 
   obs::Observer* obs_ = nullptr;
   int obs_track_ = 0;

@@ -26,10 +26,30 @@ void Simulator::set_observer(obs::Observer* observer) {
   cancelled_metric_ = &obs_->metrics.counter("sim.events_cancelled");
 }
 
+std::uint32_t Simulator::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+  slots_[slot].fn = nullptr;  // drop the capture eagerly
+  slots_[slot].id = 0;
+  slots_[slot].next_free = free_head_;
+  free_head_ = slot;
+}
+
 std::uint64_t Simulator::schedule(Seconds delay, std::function<void()> fn) {
   VODX_ASSERT(delay >= 0, "cannot schedule in the past");
-  std::uint64_t id = next_id_++;
-  events_.push(Event{now_ + delay, id, std::move(fn)});
+  const std::uint64_t id = next_id_++;
+  const std::uint32_t slot = acquire_slot();
+  slots_[slot].fn = std::move(fn);
+  slots_[slot].id = id;
+  queue_.push(QueueEntry{now_ + delay, id, slot});
   if (scheduled_metric_ != nullptr) scheduled_metric_->add();
   return id;
 }
@@ -40,30 +60,58 @@ void Simulator::cancel(std::uint64_t id) {
 }
 
 void Simulator::on_tick(std::function<void(Seconds)> fn) {
-  tick_handlers_.push_back(std::move(fn));
+  Handler handler;
+  handler.legacy = std::move(fn);
+  handlers_.push_back(std::move(handler));
+  ++legacy_handler_count_;
+}
+
+void Simulator::add_tick_client(TickClient* client) {
+  VODX_ASSERT(client != nullptr, "null tick client");
+  Handler handler;
+  handler.client = client;
+  handlers_.push_back(handler);
 }
 
 void Simulator::fire_due_events() {
   std::uint64_t fired_this_instant = 0;
-  while (!events_.empty() && events_.top().due <= now_ + 1e-12) {
-    Event ev = events_.top();
-    events_.pop();
-    auto it = std::find(cancelled_.begin(), cancelled_.end(), ev.id);
+  while (!queue_.empty() && queue_.top().due <= now_ + 1e-12) {
+    const QueueEntry entry = queue_.top();
+    queue_.pop();
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), entry.id);
     if (it != cancelled_.end()) {
       cancelled_.erase(it);
+      release_slot(entry.slot);
       continue;
     }
     if (fired_metric_ != nullptr) fired_metric_->add();
     if (max_events_per_instant_ > 0 &&
         ++fired_this_instant > max_events_per_instant_) {
+      release_slot(entry.slot);
       throw WatchdogError(format(
           "%llu events fired at t=%.3f s without time advancing "
           "(limit %llu) — zero-delay event livelock",
           static_cast<unsigned long long>(fired_this_instant), now_,
           static_cast<unsigned long long>(max_events_per_instant_)));
     }
-    ev.fn();
+    // Move the callable out before firing: the handler may schedule new
+    // events, which can recycle this very slot.
+    std::function<void()> fn = std::move(slots_[entry.slot].fn);
+    release_slot(entry.slot);
+    fn();
   }
+}
+
+Seconds Simulator::earliest_wake() {
+  // A cancelled event still in the heap reports its (dead) due time: the
+  // skip just stops early and the tick that pops it is a cheap no-op.
+  Seconds wake = queue_.empty() ? TickClient::kNeverWakes : queue_.top().due;
+  for (Handler& handler : handlers_) {
+    if (handler.client == nullptr) continue;
+    wake = std::min(wake, handler.client->next_wake(now_));
+    if (wake <= now_) break;  // already dense; no point asking the rest
+  }
+  return wake;
 }
 
 void Simulator::run_until(Seconds end) {
@@ -74,15 +122,51 @@ void Simulator::run_until(Seconds end) {
   const auto started = wall_budget_ > 0
                            ? std::chrono::steady_clock::now()
                            : std::chrono::steady_clock::time_point{};
-  int ticks_since_check = 0;
+  // A legacy on_tick handler is a black box that may do observable work on
+  // any tick, so its presence pins the run to dense ticking.
+  const bool can_skip = core_ == SimCore::kEvent && legacy_handler_count_ == 0;
+  int steps_since_check = 0;
   while (now_ + tick_ <= end + 1e-12) {
-    VODX_PROFILE_ZONE("sim.tick");
+    if (can_skip) {
+      // Skip every grid tick that provably precedes the next observable
+      // instant. The 1e-9 slack matches the loosest consumer epsilon (the
+      // player's kEps): a wake within slack of a tick keeps that tick
+      // executing, so conservative wakes only ever cost a no-op tick,
+      // never miss one.
+      const Seconds wake = earliest_wake();
+      std::uint64_t skipped = 0;
+      for (;;) {
+        const Seconds next_tick = now_ + tick_;
+        if (next_tick > end + 1e-12) break;
+        if (wake <= next_tick + 1e-9) break;
+        now_ = next_tick;  // the exact recurrence executed ticks use
+        ++skipped;
+      }
+      if (skipped > 0) {
+        ticks_covered_ += skipped;
+        if (ticks_metric_ != nullptr) {
+          ticks_metric_->add(static_cast<std::int64_t>(skipped));
+        }
+        for (Handler& handler : handlers_) {
+          handler.client->fast_forward(now_, tick_, skipped);
+        }
+        if (now_ + tick_ > end + 1e-12) break;  // window fully consumed
+      }
+    }
     now_ += tick_;
+    ++ticks_covered_;
+    ++ticks_executed_;
     if (ticks_metric_ != nullptr) ticks_metric_->add();
     fire_due_events();
-    for (auto& handler : tick_handlers_) handler(tick_);
-    if (wall_budget_ > 0 && ++ticks_since_check >= 64) {
-      ticks_since_check = 0;
+    for (Handler& handler : handlers_) {
+      if (handler.client != nullptr) {
+        handler.client->tick(now_, tick_);
+      } else {
+        handler.legacy(tick_);
+      }
+    }
+    if (wall_budget_ > 0 && ++steps_since_check >= 64) {
+      steps_since_check = 0;
       const std::chrono::duration<double> elapsed =
           std::chrono::steady_clock::now() - started;
       if (elapsed.count() > wall_budget_) {

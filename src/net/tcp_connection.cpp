@@ -4,7 +4,6 @@
 #include <limits>
 
 #include "common/error.h"
-#include "obs/profiler.h"
 
 namespace vodx::net {
 
@@ -165,7 +164,6 @@ void TcpConnection::grow_cwnd(Bytes acked, Bps granted, bool saturated) {
 
 void TcpConnection::advance(Seconds now, Seconds dt, Bps granted,
                             bool saturated) {
-  VODX_PROFILE_ZONE("tcp.advance");
   last_granted_ = granted;
   switch (phase_) {
     case Phase::kClosed:

@@ -16,6 +16,7 @@ void PlaybackBuffer::append(BufferedSegment segment) {
   VODX_ASSERT(it == segments_.end() || it->index != segment.index,
               "segment index already buffered; use replace()");
   segments_.insert(it, std::move(segment));
+  ++epoch_;
 }
 
 BufferedSegment PlaybackBuffer::replace(BufferedSegment segment) {
@@ -28,6 +29,7 @@ BufferedSegment PlaybackBuffer::replace(BufferedSegment segment) {
   VODX_ASSERT(it != segments_.end(), "replacing a segment not in the buffer");
   BufferedSegment old = *it;
   *it = std::move(segment);
+  ++epoch_;
   return old;
 }
 
@@ -39,6 +41,7 @@ std::vector<BufferedSegment> PlaybackBuffer::discard_from(int from_index) {
                              });
   discarded.assign(it, segments_.end());
   segments_.erase(it, segments_.end());
+  ++epoch_;
   return discarded;
 }
 
@@ -48,15 +51,29 @@ void PlaybackBuffer::consume_until(Seconds position) {
              position + 1e-9) {
     consumed_up_to_ = std::max(consumed_up_to_, segments_.front().index);
     segments_.pop_front();
+    ++epoch_;
   }
 }
 
 void PlaybackBuffer::reset() {
   segments_.clear();
   consumed_up_to_ = -1;
+  ++epoch_;
 }
 
 Seconds PlaybackBuffer::contiguous_end(Seconds position) const {
+  if (memo_valid_ && memo_epoch_ == epoch_) {
+    if (memo_position_ == position) return memo_end_;
+    // A position strictly inside the cached contiguous run resolves to the
+    // same run end: segments cannot appear or vanish without an epoch bump,
+    // and the walk from any interior position reaches the same gap. The
+    // 1e-9 guard matches the walk's own "already behind" epsilon — at the
+    // run boundary we fall through and recompute.
+    if (position >= memo_position_ && position < memo_end_ - 1e-9) {
+      memo_position_ = position;
+      return memo_end_;
+    }
+  }
   Seconds end = position;
   int expected_index = -1;
   for (const BufferedSegment& s : segments_) {
@@ -66,7 +83,12 @@ Seconds PlaybackBuffer::contiguous_end(Seconds position) const {
     end = s.start + s.duration;
     expected_index = s.index + 1;
   }
-  return std::max(end, position);
+  end = std::max(end, position);
+  memo_epoch_ = epoch_;
+  memo_position_ = position;
+  memo_end_ = end;
+  memo_valid_ = true;
+  return end;
 }
 
 int PlaybackBuffer::last_contiguous_index(Seconds position) const {

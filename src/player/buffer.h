@@ -13,6 +13,7 @@
 // prefix.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <optional>
 #include <vector>
@@ -89,6 +90,16 @@ class PlaybackBuffer {
   std::deque<BufferedSegment> segments_;
   bool allow_mid_replacement_;
   int consumed_up_to_ = -1;  ///< highest index ever consumed
+
+  // contiguous_end() is pure in (segments_, position) and the player queries
+  // it several times per tick at the same position, so the last result is
+  // memoized keyed on an exact position match + a mutation epoch. The memo
+  // can only ever return the value the walk would have produced.
+  std::uint64_t epoch_ = 0;  ///< bumped on every segment mutation
+  mutable std::uint64_t memo_epoch_ = 0;
+  mutable Seconds memo_position_ = 0;
+  mutable Seconds memo_end_ = 0;
+  mutable bool memo_valid_ = false;
 };
 
 }  // namespace vodx::player

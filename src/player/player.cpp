@@ -57,7 +57,7 @@ Player::Player(net::Simulator& sim, net::Link& link, http::Proxy& proxy,
                                                     AvScheduling::kSynced,
                 "cascade SR requires a single sequential video pipeline");
   }
-  sim_.on_tick([this](Seconds dt) { tick(dt); });
+  sim_.add_tick_client(this);
 }
 
 Player::~Player() = default;
@@ -165,7 +165,7 @@ void Player::seek(Seconds target) {
       state_ != PlayerState::kRebuffering) {
     return;  // nothing to seek in
   }
-  target = std::clamp(target, 0.0, presentation_.duration() - 0.5);
+  target = std::clamp(target, 0.0, presentation_duration_ - 0.5);
   events_.seeks.push_back(SeekEvent{sim_.now(), position_, target});
   if (obs::trace_on(obs_, obs::Category::kPlayer)) {
     obs_->trace.instant(sim_.now(), obs::Category::kPlayer, "seek",
@@ -225,6 +225,9 @@ void Player::on_manifest_ready(manifest::Presentation presentation) {
     on_manifest_error("presentation has no video tracks");
     return;
   }
+  // The ladder is immutable for the rest of the session and duration() walks
+  // every segment; cache it for the per-tick paths.
+  presentation_duration_ = presentation_.duration();
   // Resolve the configured startup bitrate to the nearest ladder rung.
   double best_gap = -1;
   for (int level = 0; level < static_cast<int>(presentation_.video.size());
@@ -277,7 +280,7 @@ Seconds Player::playable_end() const {
   return end;
 }
 
-void Player::tick(Seconds dt) {
+void Player::tick(Seconds /*now*/, Seconds dt) {
   switch (state_) {
     case PlayerState::kIdle:
     case PlayerState::kResolving:
@@ -305,8 +308,100 @@ void Player::tick(Seconds dt) {
   sample_observability();
 }
 
+Seconds Player::next_wake(Seconds now) {
+  switch (state_) {
+    case PlayerState::kIdle:
+    case PlayerState::kResolving:
+    case PlayerState::kEnded:
+    case PlayerState::kFailed:
+      // tick() early-returns in these states; manifest resolution keeps the
+      // link busy, which is what drives the kResolving phase forward.
+      return net::TickClient::kNeverWakes;
+    case PlayerState::kStartup:
+    case PlayerState::kPlaying:
+    case PlayerState::kRebuffering:
+      break;
+  }
+  // In-flight fetches complete inside the link's tick; stay dense.
+  if (!fetches_.empty()) return now;
+  // Bytes flowed since our last tick: the bandwidth meter must account the
+  // busy tick before anything can be skipped.
+  if (client_->total_delivered() != meter_last_seen_) return now;
+  // The per-segment SR probe runs an ABR decision (counter + trace event)
+  // every tick while future fetching is paused — never coast it.
+  if (config_.sr == SrPolicy::kPerSegment) return now;
+
+  // A pipeline that could issue a fetch right now means no coasting. (With
+  // no fetches in flight this cannot normally happen — the previous tick
+  // would have issued it — but stay conservative.)
+  const int video_count = static_cast<int>(video_track(0).segments.size());
+  if (!paused_[kVideoPipe] && next_index_[kVideoPipe] < video_count) {
+    return now;
+  }
+  int audio_count = 0;
+  if (presentation_.separate_audio()) {
+    audio_count = static_cast<int>(audio_track().segments.size());
+    if (!paused_[kAudioPipe] && next_index_[kAudioPipe] < audio_count) {
+      return now;
+    }
+  }
+
+  Seconds wake = net::TickClient::kNeverWakes;
+  if (seekbar_) wake = std::min(wake, next_seekbar_at_);
+  if (obs::trace_on(obs_, obs::Category::kPlayer)) {
+    wake = std::min(wake, next_obs_sample_at_);
+  }
+  for (int pipe : {kVideoPipe, kAudioPipe}) {
+    if (!retries_[pipe].empty()) {
+      wake = std::min(wake, std::max(now, retries_[pipe].front().eligible_at));
+    }
+  }
+
+  if (state_ == PlayerState::kPlaying && !user_paused_) {
+    // Playback advances: wake two ticks before the earliest position
+    // crossing so the crossing tick itself always executes (the margin
+    // swallows every comparison epsilon, all of which are << tick).
+    Seconds target = std::min(playable_end(), presentation_duration_);
+    const BufferedSegment* current = video_buffer_.at_position(position_);
+    if (current != nullptr) {
+      // Entering the next segment records a display event.
+      target = std::min(target, current->start + current->duration);
+    }
+    // A paused pipeline with future segments resumes (and fetches) once
+    // buffered falls to the resuming threshold.
+    auto resume_crossing = [&](int pipe, int count) {
+      if (!paused_[pipe] || next_index_[pipe] >= count) return;
+      target = std::min(target, buffer_of(pipe).contiguous_end(position_) -
+                                    config_.resuming_threshold);
+    };
+    resume_crossing(kVideoPipe, video_count);
+    if (presentation_.separate_audio()) {
+      resume_crossing(kAudioPipe, audio_count);
+    }
+    const Seconds dt = sim_.tick_duration();
+    wake = std::min(wake, now + (target - position_) - 2 * dt);
+  }
+  return wake;
+}
+
+void Player::fast_forward(Seconds now, Seconds dt, std::uint64_t ticks) {
+  (void)now;
+  if (state_ != PlayerState::kPlaying || user_paused_) return;
+  // Replay advance_playback's position recurrence tick by tick. The limit
+  // is loop-invariant over a skipped span (no downloads complete, and the
+  // contiguous run containing the position cannot shrink ahead of it), and
+  // next_wake guarantees no display boundary or state threshold is crossed,
+  // so the clamped additions are the span's only effect.
+  const Seconds limit = std::min(playable_end(), presentation_duration_);
+  for (std::uint64_t i = 0; i < ticks; ++i) {
+    position_ = std::min(position_ + dt, limit);
+  }
+  video_buffer_.consume_until(position_);
+  if (presentation_.separate_audio()) audio_buffer_.consume_until(position_);
+}
+
 void Player::advance_playback(Seconds dt) {
-  const Seconds limit = std::min(playable_end(), presentation_.duration());
+  const Seconds limit = std::min(playable_end(), presentation_duration_);
   record_display_if_new();
   position_ = std::min(position_ + dt, limit);
   record_display_if_new();
@@ -330,7 +425,7 @@ void Player::record_display_if_new() {
 }
 
 void Player::update_state() {
-  const Seconds duration = presentation_.duration();
+  const Seconds duration = presentation_duration_;
   const Seconds ahead = playable_end() - position_;
   const bool content_exhausted = playable_end() >= duration - kEps;
 

@@ -21,6 +21,7 @@
 #include "common/rng.h"
 #include "http/http_client.h"
 #include "manifest/presentation.h"
+#include "net/simulator.h"
 #include "obs/observer.h"
 #include "player/abr.h"
 #include "player/bandwidth_estimator.h"
@@ -90,7 +91,7 @@ struct PlayerEvents {
   }
 };
 
-class Player {
+class Player : public net::TickClient {
  public:
   Player(net::Simulator& sim, net::Link& link, http::Proxy& proxy,
          manifest::Protocol protocol, PlayerConfig config);
@@ -147,6 +148,21 @@ class Player {
   int next_video_index() const { return next_index_[0]; }
   Bps bandwidth_estimate() const { return estimator_.estimate(); }
 
+  // --- net::TickClient ----------------------------------------------------
+  void tick(Seconds now, Seconds dt) override;
+  /// Earliest instant the player could next do observable work. Dense while
+  /// anything is in flight; while coasting (playing out of a full buffer, or
+  /// parked in a terminal/stalled state) it is the min of the next seekbar /
+  /// obs-sample emission, the next retry-eligible time, and — when playback
+  /// advances — the next position crossing (segment display boundary,
+  /// pipeline resume threshold, underrun, end of content) with a two-tick
+  /// safety margin.
+  Seconds next_wake(Seconds now) override;
+  /// Replays the per-tick playback-position recurrence over a skipped span
+  /// (exactly `ticks` clamped additions, so the float result is identical
+  /// to having executed the ticks).
+  void fast_forward(Seconds now, Seconds dt, std::uint64_t ticks) override;
+
  private:
   struct Pipeline;  // per-content-type download state
 
@@ -169,7 +185,6 @@ class Player {
     Seconds eligible_at = 0;
   };
 
-  void tick(Seconds dt);
   void on_manifest_ready(manifest::Presentation presentation);
   void on_manifest_error(const std::string& reason);
 
@@ -223,6 +238,9 @@ class Player {
 
   PlayerState state_ = PlayerState::kIdle;
   manifest::Presentation presentation_;
+  /// presentation_.duration(), cached at manifest time (it walks every
+  /// segment and the per-tick paths consult it constantly).
+  Seconds presentation_duration_ = 0;
   PlaybackBuffer video_buffer_;
   PlaybackBuffer audio_buffer_;
 

@@ -1,0 +1,61 @@
+// Differential tests: the event-driven core vs the fixed-tick reference.
+//
+// Every observable output — SessionResult, ground-truth and inferred QoE,
+// player events, fault stats, metrics snapshots and the serialized sweep
+// documents — must be identical across net::SimCore::kEvent and
+// net::SimCore::kFixedTickReference for the same grid. These tests sweep
+// deliberately diverse slices of (service × profile × seed × fault
+// scenario): different protocols, persistent vs non-persistent connections,
+// parallel segment downloads, separate-audio pipelines, and every fault
+// scenario in the catalog.
+#include <gtest/gtest.h>
+
+#include "testing/differential.h"
+
+namespace vodx {
+namespace {
+
+TEST(DifferentialCore, CatalogServicesMatch) {
+  testing::DifferentialGrid grid;
+  // One service per architecture family: HLS persistent (H1), HLS
+  // non-persistent (H2), DASH with parallel downloads (D1), Smooth with
+  // separate audio and a tight resume threshold (S2).
+  grid.services = {"H1", "H2", "D1", "S2"};
+  grid.profiles = {7, 3};
+  grid.duration = 60;
+  const testing::DifferentialResult result = testing::run_differential(grid);
+  EXPECT_TRUE(result.ok()) << result.summary();
+  EXPECT_EQ(result.event.cells.size(), 8u);
+}
+
+TEST(DifferentialCore, SweepSeedsMatch) {
+  testing::DifferentialGrid grid;
+  grid.services = {"H3", "D4"};
+  grid.profiles = {1, 10};
+  grid.seeds = {0, 7, 123};
+  grid.duration = 60;
+  const testing::DifferentialResult result = testing::run_differential(grid);
+  EXPECT_TRUE(result.ok()) << result.summary();
+  EXPECT_EQ(result.event.cells.size(), 12u);
+}
+
+TEST(DifferentialCore, FaultScenariosMatch) {
+  testing::DifferentialGrid grid;
+  grid.services = {"H1", "D2"};
+  grid.profiles = {7};
+  grid.seeds = {0, 1};
+  // Every catalog scenario; 150 s so the first blackout window (120 s) is
+  // inside the session.
+  grid.fault_scenarios.clear();
+  for (const faults::Scenario& s : faults::scenario_catalog()) {
+    grid.fault_scenarios.push_back(s.name);
+  }
+  grid.duration = 150;
+  const testing::DifferentialResult result = testing::run_differential(grid);
+  EXPECT_TRUE(result.ok()) << result.summary();
+  EXPECT_EQ(result.event.cells.size(),
+            2u * 2u * faults::scenario_catalog().size());
+}
+
+}  // namespace
+}  // namespace vodx

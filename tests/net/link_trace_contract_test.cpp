@@ -1,0 +1,130 @@
+// Trace-sink contract for the link's capacity timeline.
+//
+// The link samples its counter tracks on *change*, not per tick — and the
+// event-driven core must not lose any of those changes to tick skipping:
+// Link::next_wake() asks the bandwidth trace for its next sample boundary
+// (BandwidthTrace::next_change_after), so a tick executes at every step of
+// the trace even when the link is otherwise idle. This file pins that
+// contract: the emitted (time, value) capacity series equals the trace's
+// own step sequence and is identical across both simulator cores.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/bandwidth_trace.h"
+#include "net/link.h"
+#include "net/simulator.h"
+#include "obs/observer.h"
+
+namespace vodx::net {
+namespace {
+
+struct CapacitySample {
+  Seconds time = 0;
+  double mbps = 0;
+
+  bool operator==(const CapacitySample& other) const {
+    return time == other.time && mbps == other.mbps;
+  }
+};
+
+/// Runs an idle link (no connections, nothing to transfer) over `trace` for
+/// `duration` under `core`, with kLink tracing on, and returns the emitted
+/// capacity counter series.
+std::vector<CapacitySample> run_idle_link(const BandwidthTrace& trace,
+                                          Seconds duration, SimCore core,
+                                          std::uint64_t* executed = nullptr) {
+  Simulator sim(0.01);
+  sim.set_core(core);
+  obs::Observer obs;
+  obs.trace.set_category_mask(obs::bit(obs::Category::kLink));
+  sim.set_observer(&obs);
+  Link link(sim, trace, 0.07);
+  link.set_observer(&obs);
+  sim.run_until(duration);
+  if (executed != nullptr) *executed = sim.ticks_executed();
+  std::vector<CapacitySample> series;
+  obs.trace.for_each([&](const obs::Event& event) {
+    if (std::string(event.name) != "link.capacity_mbps") return;
+    CapacitySample s;
+    s.time = event.sim_time;
+    if (!event.fields.empty()) s.mbps = event.fields.front().num;
+    series.push_back(s);
+  });
+  return series;
+}
+
+TEST(LinkTraceContract, CapacityTimelineIsLosslessUnderTickSkipping) {
+  // 1 Hz trace with a change at every boundary. The run ends mid-sample
+  // (7.5 s) so the wrap-around boundary is not in play here.
+  const BandwidthTrace trace = BandwidthTrace::per_second(
+      {4e6, 2e6, 6e6, 1e6, 5e6, 3e6, 7e6, 2.5e6});
+  const std::vector<CapacitySample> event_series =
+      run_idle_link(trace, 7.5, SimCore::kEvent);
+  const std::vector<CapacitySample> fixed_series =
+      run_idle_link(trace, 7.5, SimCore::kFixedTickReference);
+  // Identical series — same instants, same values, nothing dropped.
+  EXPECT_EQ(event_series, fixed_series);
+  // Lossless: one emission per distinct step (8 samples, all different).
+  EXPECT_EQ(event_series.size(), 8u);
+}
+
+TEST(LinkTraceContract, EqualAdjacentSamplesCollapseIdenticallyOnBothCores) {
+  // Adjacent equal samples emit no duplicate point (sampled on change); the
+  // event core's conservative boundary wake must not add extras either.
+  const BandwidthTrace trace =
+      BandwidthTrace::per_second({3e6, 3e6, 5e6, 5e6, 1e6});
+  const std::vector<CapacitySample> event_series =
+      run_idle_link(trace, 4.5, SimCore::kEvent);
+  const std::vector<CapacitySample> fixed_series =
+      run_idle_link(trace, 4.5, SimCore::kFixedTickReference);
+  EXPECT_EQ(event_series, fixed_series);
+  EXPECT_EQ(event_series.size(), 3u);  // 3e6, 5e6, 1e6
+}
+
+TEST(LinkTraceContract, WrapAroundBoundariesAreStillSampled) {
+  // Nearly three laps around a 3 s trace: the step pattern must repeat at
+  // every wrap on both cores.
+  const BandwidthTrace trace = BandwidthTrace::per_second({2e6, 4e6, 1e6});
+  const std::vector<CapacitySample> event_series =
+      run_idle_link(trace, 8.5, SimCore::kEvent);
+  const std::vector<CapacitySample> fixed_series =
+      run_idle_link(trace, 8.5, SimCore::kFixedTickReference);
+  EXPECT_EQ(event_series, fixed_series);
+  // Boundaries at 1..8 s plus the initial sample: every one changes value.
+  EXPECT_EQ(event_series.size(), 9u);
+}
+
+TEST(LinkTraceContract, ConstantTraceEmitsOnceAndCoasts) {
+  const BandwidthTrace trace = BandwidthTrace::constant(5e6, 60);
+  std::uint64_t executed = 0;
+  const std::vector<CapacitySample> event_series =
+      run_idle_link(trace, 60.0, SimCore::kEvent, &executed);
+  const std::vector<CapacitySample> fixed_series =
+      run_idle_link(trace, 60.0, SimCore::kFixedTickReference);
+  EXPECT_EQ(event_series, fixed_series);
+  ASSERT_EQ(event_series.size(), 1u);
+  EXPECT_DOUBLE_EQ(event_series[0].mbps, 5.0);
+  // The losslessness is not bought by dense ticking: after the initial
+  // emission the idle link coasts to the end of the run.
+  EXPECT_LT(executed, 5u);
+}
+
+TEST(LinkTraceContract, NextChangeAfterNamesTheSampleBoundaries) {
+  const BandwidthTrace trace = BandwidthTrace::per_second({2e6, 4e6, 1e6});
+  EXPECT_NEAR(trace.next_change_after(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(trace.next_change_after(0.99), 1.0, 1e-12);
+  EXPECT_NEAR(trace.next_change_after(1.0), 2.0, 1e-12);
+  EXPECT_NEAR(trace.next_change_after(2.5), 3.0, 1e-12);  // wrap boundary
+  EXPECT_NEAR(trace.next_change_after(3.0), 4.0, 1e-12);  // second lap
+  EXPECT_NEAR(trace.next_change_after(7.25), 8.0, 1e-12);
+  const BandwidthTrace constant = BandwidthTrace::constant(5e6, 10);
+  EXPECT_TRUE(std::isinf(constant.next_change_after(0.0)));
+  EXPECT_TRUE(std::isinf(constant.next_change_after(123.0)));
+}
+
+}  // namespace
+}  // namespace vodx::net

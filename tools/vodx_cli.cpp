@@ -107,6 +107,7 @@ int usage() {
       "             [--duration secs] [--jobs N] [--budget secs]\n"
       "             [--minimize|--no-minimize] [--artifacts dir]\n"
       "             [--out report.txt] [--repro file.json] [--invariants]\n"
+      "             [--core event|fixed]\n"
       "        fuzzes seeded fault plans through invariant-checked sessions\n"
       "        under watchdogs; violations are shrunk to minimal repro\n"
       "        artifacts. --budget is the per-session wall-clock budget\n"
@@ -694,6 +695,15 @@ int cmd_chaos(Args& args) {
     } else if (const char* v = args.value("--budget")) {
       budget = parse_double(v);  // "-1" = unlimited; parses as a value, not
                                  // a flag (tools::Args numeric-token rule)
+    } else if (const char* v = args.value("--core")) {
+      const std::string core = v;
+      if (core == "event") {
+        config.sim_core = net::SimCore::kEvent;
+      } else if (core == "fixed") {
+        config.sim_core = net::SimCore::kFixedTickReference;
+      } else {
+        throw Error(format("unknown --core '%s' (event|fixed)", v));
+      }
     } else if (args.flag("--minimize")) {
       config.minimize = true;
     } else if (args.flag("--no-minimize")) {
@@ -736,6 +746,7 @@ int cmd_chaos(Args& args) {
     chaos::CheckOptions options;
     options.wall_budget = config.wall_budget;
     options.max_events_per_instant = config.max_events_per_instant;
+    options.sim_core = config.sim_core;
     const chaos::CheckedRun run = chaos::replay(artifact, options);
     if (run.watchdog) {
       std::printf("replay: WATCHDOG — %s\n", run.watchdog_detail.c_str());
