@@ -4,7 +4,8 @@
 // BENCH_PERF.json for machines:
 //
 //   {"git_rev":..,"date":..,"workload":..,"jobs":..,"cells":..,"wall_s":..,
-//    "cells_per_s":..,"fixed_tick_cells_per_s":..,"peak_rss_mb":..,
+//    "cells_per_s":..,"fixed_tick_cells_per_s":..,"pop_sessions_per_s":..,
+//    "peak_rss_mb":..,
 //    "zones":{"<name>":{"count":..,"total_s":..,"self_s":..},...}}
 //
 // Everything here is wall-clock and machine-dependent by design — the
@@ -38,6 +39,7 @@
 
 #include "batch/sweep.h"
 #include "obs/profiler.h"
+#include "pop/population.h"
 
 using namespace vodx;
 
@@ -88,6 +90,27 @@ batch::SweepConfig workload(const Options& options) {
   return config;
 }
 
+/// The population stage: shared-cell hosting throughput, reported as
+/// sessions simulated per wall-clock second. Smoke keeps one busy tower;
+/// full spreads a heavier load over four towers so the parallel path is
+/// exercised too.
+pop::PopulationConfig pop_workload(const Options& options) {
+  pop::PopulationConfig config;
+  config.services = {"H1", "H2", "D1", "D2"};
+  config.seed = 1;
+  config.arrivals.rate_per_min = 12;
+  config.watch_time = 120;
+  if (options.smoke) {
+    config.towers = {7};
+    config.horizon = 300;
+  } else {
+    config.towers = {3, 7, 11, 13};
+    config.horizon = 900;
+  }
+  config.jobs = options.jobs;
+  return config;
+}
+
 std::string iso_date() {
   std::time_t now = std::time(nullptr);
   std::tm utc{};
@@ -106,14 +129,17 @@ double peak_rss_mb() {
 
 std::string render_json(const Options& options, std::size_t cells,
                         double wall_s, double cells_per_s,
+                        double pop_sessions_per_s,
                         const std::vector<obs::ZoneStats>& zones) {
   std::string out = format(
       "{\"git_rev\":\"%s\",\"date\":\"%s\",\"workload\":\"%s\","
       "\"jobs\":%d,\"cells\":%zu,\"wall_s\":%.3f,\"cells_per_s\":%.1f,"
-      "\"fixed_tick_cells_per_s\":%.1f,\"peak_rss_mb\":%.1f,\"zones\":{",
+      "\"fixed_tick_cells_per_s\":%.1f,\"pop_sessions_per_s\":%.1f,"
+      "\"peak_rss_mb\":%.1f,\"zones\":{",
       options.git_rev.c_str(), iso_date().c_str(),
       options.smoke ? "smoke" : "full", options.jobs, cells, wall_s,
-      cells_per_s, kFixedTickBaselineCellsPerS, peak_rss_mb());
+      cells_per_s, kFixedTickBaselineCellsPerS, pop_sessions_per_s,
+      peak_rss_mb());
   for (std::size_t i = 0; i < zones.size(); ++i) {
     const obs::ZoneStats& z = zones[i];
     out += format("%s\"%s\":{\"count\":%llu,\"total_s\":%.4f,"
@@ -203,10 +229,24 @@ int main(int argc, char** argv) {
   const double cells_per_s = wall_s > 0 ? cells / wall_s : 0;
   const std::vector<obs::ZoneStats> zones = obs::profiler_report();
 
+  // Population stage: many sessions sharing each tower's link. Timed
+  // outside the zone profiler snapshot so the sweep zone ratios above stay
+  // comparable across baselines.
+  const pop::PopulationConfig pop_config = pop_workload(options);
+  const auto pop_start = std::chrono::steady_clock::now();
+  const pop::PopulationReport pop_report = pop::run_population(pop_config);
+  const auto pop_stop = std::chrono::steady_clock::now();
+  const double pop_wall_s =
+      std::chrono::duration<double>(pop_stop - pop_start).count();
+  const double pop_sessions_per_s =
+      pop_wall_s > 0 ? pop_report.total_sessions / pop_wall_s : 0;
+
   std::printf("bench_perf: %s workload, %zu cells, jobs=%d\n",
               options.smoke ? "smoke" : "full", cells, options.jobs);
   std::printf("  wall        %.3f s\n", wall_s);
   std::printf("  throughput  %.1f cells/s\n", cells_per_s);
+  std::printf("  population  %.1f sessions/s (%d sessions in %.3f s)\n",
+              pop_sessions_per_s, pop_report.total_sessions, pop_wall_s);
   std::printf("  peak RSS    %.1f MB\n\n", peak_rss_mb());
   Table table({"zone", "count", "total_s", "self_s"});
   for (const obs::ZoneStats& z : zones) {
@@ -222,7 +262,8 @@ int main(int argc, char** argv) {
                  options.out_path.c_str());
     return 1;
   }
-  out << render_json(options, cells, wall_s, cells_per_s, zones);
+  out << render_json(options, cells, wall_s, cells_per_s, pop_sessions_per_s,
+                     zones);
   std::fprintf(stderr, "wrote %s\n", options.out_path.c_str());
 
   if (!options.check_path.empty()) {
@@ -257,6 +298,18 @@ int main(int argc, char** argv) {
                    "%.1f cells/s fixed-tick baseline; the event core's "
                    "tick-skipping win has been lost\n",
                    cells_per_s, fixed_tick);
+      return 1;
+    }
+    // Population-hosting gate: same loose 3x band as the sweep gate.
+    // Pre-population baselines lack the key and skip it (the gate arms
+    // itself on the first refreshed baseline).
+    const double pop_baseline =
+        baseline_number(baseline_text, "pop_sessions_per_s");
+    if (pop_baseline > 0 && pop_sessions_per_s < pop_baseline / 3.0) {
+      std::fprintf(stderr,
+                   "bench_perf: REGRESSION — %.1f pop sessions/s is more "
+                   "than 3x below the %.1f sessions/s baseline\n",
+                   pop_sessions_per_s, pop_baseline);
       return 1;
     }
     std::fprintf(stderr, "bench_perf: ok — %.1f cells/s vs %.1f baseline\n",

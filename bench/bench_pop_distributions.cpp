@@ -1,0 +1,58 @@
+// Population QoE distributions: three towers (profiles 3, 7, 11) each
+// hosting a shared-cell population — Poisson arrivals with diurnal
+// modulation plus a flash crowd on the middle tower's clock — folded into
+// p50/p95/p99 startup/stall and Jain fairness per tower and per service.
+//
+// This is the golden regression for the population determinism contract:
+// the harness runs the identical population at --jobs 1 and --jobs 8 and
+// refuses to print anything unless the rendered text report AND the
+// per-session JSONL are byte-identical between the two runs. The snapshot
+// in tests/golden/pop.txt then pins the distributions themselves.
+#include "support.h"
+
+#include <cstdio>
+
+#include "pop/population.h"
+
+using namespace vodx;
+
+namespace {
+
+pop::PopulationConfig population(int jobs) {
+  pop::PopulationConfig config;
+  config.services = {"H1", "H2", "D1", "D2"};
+  config.towers = {3, 7, 11};
+  config.seed = 1;
+  config.horizon = 300;
+  config.arrivals.rate_per_min = 3.0;
+  config.arrivals.diurnal_amplitude = 0.5;
+  config.arrivals.diurnal_period = 240;
+  config.arrivals.flash_at = 120;
+  config.arrivals.flash_window = 20;
+  config.arrivals.flash_arrivals = 12;
+  config.watch_time = 150;
+  config.watch_sigma = 0.5;
+  config.jobs = jobs;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Population",
+                "shared-cell QoE distributions — towers {3,7,11}, "
+                "Poisson + diurnal + flash crowd");
+
+  const pop::PopulationReport serial = pop::run_population(population(1));
+  const pop::PopulationReport threaded = pop::run_population(population(8));
+  if (pop::population_text(serial) != pop::population_text(threaded) ||
+      pop::population_jsonl(serial) != pop::population_jsonl(threaded)) {
+    std::fprintf(stderr,
+                 "jobs=1 and jobs=8 populations differ — the arrival "
+                 "process leaked schedule dependence\n");
+    return 1;
+  }
+
+  std::fputs(pop::population_text(serial).c_str(), stdout);
+  return 0;
+}

@@ -9,7 +9,7 @@
 #   ./scripts/check.sh --labels unit       # only tests with a matching
 #                                          # ctest label (unit|integration|
 #                                          # golden|faults|perf|chaos|diag|
-#                                          # simcore; regex accepted)
+#                                          # simcore|pop; regex accepted)
 #   BUILD_DIR=out ./scripts/check.sh       # custom build directory
 set -euo pipefail
 
@@ -30,13 +30,13 @@ while [[ $# -gt 0 ]]; do
       export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
       ;;
     --tsan)
-      # Thread-safety proof for the vodx::batch sweep engine: build
+      # Thread-safety proof for the multi-threaded engines: build
       # everything under ThreadSanitizer and run the batch/sweep suites
-      # (the only multi-threaded code in the tree).
+      # plus the population runner (one worker thread per tower).
       BUILD_DIR="${BUILD_DIR}-tsan"
       CMAKE_ARGS+=(-DVODX_SANITIZE=thread)
       export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
-      NAME_FILTER='^(BatchPool|SweepEngine|SweepDeterminism|SeedSensitivity|FaultSweepDeterminism)'
+      NAME_FILTER='^(BatchPool|SweepEngine|SweepDeterminism|SeedSensitivity|FaultSweepDeterminism|PopulationDeterminism)'
       ;;
     --labels)
       [[ $# -ge 2 ]] || { echo "error: --labels needs a regex" >&2; exit 2; }

@@ -10,7 +10,8 @@ BUILD_DIR="${BUILD_DIR:-build}"
 
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target bench_table1_design_choices bench_table2_issues \
-  bench_faults_resilience bench_report_rollup bench_diag_rootcause
+  bench_faults_resilience bench_report_rollup bench_diag_rootcause \
+  bench_pop_distributions
 
 mkdir -p tests/golden
 "$BUILD_DIR/bench/bench_table1_design_choices" > tests/golden/table1.txt
@@ -18,4 +19,5 @@ mkdir -p tests/golden
 "$BUILD_DIR/bench/bench_faults_resilience" > tests/golden/faults.txt
 "$BUILD_DIR/bench/bench_report_rollup" > tests/golden/report.txt
 "$BUILD_DIR/bench/bench_diag_rootcause" > tests/golden/diag.txt
-echo "refreshed tests/golden/{table1,table2,faults,report,diag}.txt"
+"$BUILD_DIR/bench/bench_pop_distributions" > tests/golden/pop.txt
+echo "refreshed tests/golden/{table1,table2,faults,report,diag,pop}.txt"

@@ -9,6 +9,7 @@
 #include "obs/profiler.h"
 #include "core/qoe.h"
 #include "core/report.h"
+#include "core/session_factory.h"
 #include "faults/fault_plan.h"
 
 namespace vodx::batch {
@@ -97,6 +98,16 @@ SweepResult run_sweep(const SweepConfig& config) {
     }
   }
 
+  // One construction path for every cell: the shared knobs are threaded
+  // into the factory once, here, and never per cell.
+  core::SessionFactory factory;
+  factory.session_duration = config.session_duration;
+  factory.content_duration = config.content_duration;
+  factory.qoe_options = config.qoe_options;
+  factory.sim_core = config.sim_core;
+  factory.wall_budget = config.cell_wall_budget;
+  factory.max_events_per_instant = config.cell_max_events_per_instant;
+
   std::mutex progress_mutex;
   std::size_t done = 0;
 
@@ -121,10 +132,16 @@ SweepResult run_sweep(const SweepConfig& config) {
     cell.fault = config.fault_scenarios[static_cast<std::size_t>(
         cell.cell.fault_index)];
 
-    if (cell.profile_id < 1 || cell.profile_id > trace::kProfileCount) {
-      cell.error = format("profile id %d out of range [1, %d]",
-                          cell.profile_id, trace::kProfileCount);
-    } else {
+    // A config-rejected cell never enters the attempt loop: the error is
+    // deterministic and must count zero attempts.
+    bool profile_ok = true;
+    try {
+      core::SessionFactory::validate_profile(cell.profile_id);
+    } catch (const std::exception& e) {
+      cell.error = e.what();
+      profile_ok = false;
+    }
+    if (profile_ok) {
       // Self-healing attempt loop: watchdog aborts (wall budget, event
       // livelock) get a bounded number of fresh attempts; any other failure
       // is deterministic and fails the cell immediately. A cell that burns
@@ -133,17 +150,9 @@ SweepResult run_sweep(const SweepConfig& config) {
       for (int attempt = 0; attempt < max_attempts; ++attempt) {
         ++cell.attempts;
         try {
-          core::SessionConfig session;
-          session.spec = spec;
-          session.trace = trace::cellular_profile(cell.profile_id,
-                                                  trace_seed_for(cell.seed));
-          session.session_duration = config.session_duration;
-          session.content_duration = config.content_duration;
-          session.content_seed = content_seed_for(cell.seed);
-          session.qoe_options = config.qoe_options;
-          session.sim_core = config.sim_core;
-          session.wall_budget = config.cell_wall_budget;
-          session.max_events_per_instant = config.cell_max_events_per_instant;
+          core::SessionConfig session =
+              factory.config(spec, cell.profile_id, trace_seed_for(cell.seed),
+                             content_seed_for(cell.seed));
           if (cell.fault != "none") {
             // Unknown scenario names throw ConfigError here and become a
             // per-cell failure with coordinates, like a bad profile id.

@@ -6,6 +6,7 @@
 #include "batch/thread_pool.h"
 #include "common/error.h"
 #include "common/strings.h"
+#include "core/session_factory.h"
 #include "net/simulator.h"
 #include "services/service_catalog.h"
 #include "trace/cellular_profiles.h"
@@ -35,17 +36,12 @@ std::uint64_t chaos_content_seed(std::uint64_t seed) {
 core::SessionConfig make_session(const std::string& service, int profile_id,
                                  Seconds duration, std::uint64_t chaos_seed,
                                  const faults::FaultPlan& plan) {
-  if (profile_id < 1 || profile_id > trace::kProfileCount) {
-    throw ConfigError(format("chaos: profile id %d out of range [1, %d]",
-                             profile_id, trace::kProfileCount));
-  }
-  core::SessionConfig session;
-  session.spec = services::service(service);
-  session.trace =
-      trace::cellular_profile(profile_id, chaos_trace_seed(chaos_seed));
-  session.content_duration = duration;
-  session.session_duration = duration;
-  session.content_seed = chaos_content_seed(chaos_seed);
+  core::SessionFactory factory;
+  factory.session_duration = duration;
+  factory.content_duration = duration;
+  core::SessionConfig session =
+      factory.config(service, profile_id, chaos_trace_seed(chaos_seed),
+                     chaos_content_seed(chaos_seed));
   session.fault_plan = plan;
   return session;
 }

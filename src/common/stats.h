@@ -15,6 +15,22 @@ double stddev(const std::vector<double>& xs);
 double min_of(const std::vector<double>& xs);
 double max_of(const std::vector<double>& xs);
 
+/// The three tail points population rollups report. One sort, three reads —
+/// callers that need p50/p95/p99 together should use this instead of three
+/// percentile() calls. Empty input yields all zeros.
+struct QuantileSummary {
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+QuantileSummary quantiles(std::vector<double> xs);
+
+/// Jain's fairness index (Σx)² / (n·Σx²) over non-negative allocations:
+/// 1.0 = perfectly equal shares, 1/n = one flow has everything. An all-zero
+/// population is perfectly equal (1.0); empty input returns 0.
+double jain_index(const std::vector<double>& xs);
+
 /// Running mean/min/max accumulator for streaming measurements.
 class Accumulator {
  public:

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "common/error.h"
+#include "core/session_factory.h"
 #include "manifest/dash_mpd.h"
 #include "manifest/hls.h"
 #include "manifest/smooth.h"
@@ -19,12 +20,12 @@ namespace {
 
 SessionConfig base_session(const services::ServiceSpec& spec,
                            net::BandwidthTrace trace, Seconds duration) {
-  SessionConfig config;
-  config.spec = spec;
-  config.trace = std::move(trace);
-  config.session_duration = duration;
-  config.content_duration = std::max(duration, 600.0);
-  return config;
+  SessionFactory factory;
+  factory.session_duration = duration;
+  // Probes run short sessions against full-length content: the startup
+  // probe must never be rescued by content simply running out.
+  factory.content_duration = std::max(duration, 600.0);
+  return factory.config(spec, std::move(trace));
 }
 
 /// Modal declared bitrate (by downloaded duration) among steady-state video

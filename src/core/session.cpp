@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/session_factory.h"
 #include "net/link.h"
 #include "net/simulator.h"
-#include "services/content_factory.h"
 
 namespace vodx::core {
 
@@ -156,59 +156,15 @@ SessionResult run_session(const SessionConfig& config) {
     }
   }
 
-  http::OriginServer origin = services::make_origin(
-      config.spec, config.content_duration, config.content_seed);
-  http::Proxy proxy(origin);
-  for (const http::InterceptorPtr& interceptor : config.interceptors) {
-    proxy.use(interceptor);
-  }
-  // The fault injector goes last: probes see requests first, faults mutate
-  // responses first (reverse-order response stage).
-  std::shared_ptr<faults::FaultInjector> injector;
-  if (config.fault_plan) {
-    injector = std::make_shared<faults::FaultInjector>(*config.fault_plan);
-    injector->set_observer(obs);
-    proxy.use(injector);
-  }
-
-  player::PlayerConfig player_config = config.spec.player;
-  player_config.tcp.rtt = config.rtt;
-
-  player::Player player(sim, link, proxy, config.spec.protocol, player_config);
-  if (obs != nullptr) player.set_observer(obs);
-  UiMonitor ui_monitor;
-  player.set_seekbar_callback([&ui_monitor](Seconds wall, int progress) {
-    ui_monitor.on_progress(wall, progress);
-  });
-
-  player.start(origin.manifest_url());
+  // World construction lives in HostedSession (shared with the population
+  // runner, which hosts many of these on one simulator); this function owns
+  // the single-session world: the private sim + link pair and the
+  // session-level observability around the run.
+  HostedSession session(sim, link, config);
+  session.start();
   sim.run_until(config.session_duration);
 
-  SessionResult result;
-  result.session_end = sim.now();
-  result.events = player.events();
-  result.final_state = player.state();
-  result.final_position = player.position();
-
-  try {
-    result.traffic = analyze_traffic(proxy.log());
-  } catch (const ParseError&) {
-    // A session can legitimately end with an unanalyzable wire log — e.g.
-    // every manifest fetch failed under injected faults and the player
-    // parked in its error state. That is a (bad) outcome to report, not a
-    // crash: carry on with an empty analysis and zeroed QoE.
-    result.traffic = AnalyzedTraffic{};
-    result.traffic.total_payload_bytes = proxy.log().total_bytes();
-  }
-  result.ui = ui_monitor.infer(result.events.session_start);
-  result.qoe =
-      compute_qoe(result.traffic, result.ui, result.session_end,
-                  config.qoe_options);
-  result.buffer = infer_buffer(result.traffic, result.ui, result.session_end);
-  result.ground_truth = qoe_from_events(result.events, result.traffic,
-                                        result.session_end,
-                                        config.qoe_options);
-  if (injector != nullptr) result.faults = injector->stats();
+  SessionResult result = session.finish(sim.now());
 
   if (obs != nullptr) {
     if (obs->trace.enabled(obs::Category::kSession)) {

@@ -1,0 +1,128 @@
+#include "core/session_factory.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "services/content_factory.h"
+#include "trace/cellular_profiles.h"
+
+namespace vodx::core {
+
+void SessionFactory::validate_profile(int profile_id) {
+  if (profile_id < 1 || profile_id > trace::kProfileCount) {
+    throw ConfigError(format("profile id %d out of range [1, %d]", profile_id,
+                             trace::kProfileCount));
+  }
+}
+
+SessionConfig SessionFactory::config(const services::ServiceSpec& spec,
+                                     net::BandwidthTrace trace) const {
+  SessionConfig session;
+  session.spec = spec;
+  session.trace = std::move(trace);
+  session.session_duration = session_duration;
+  session.content_duration = content_duration;
+  session.qoe_options = qoe_options;
+  session.sim_core = sim_core;
+  session.wall_budget = wall_budget;
+  session.max_events_per_instant = max_events_per_instant;
+  return session;
+}
+
+SessionConfig SessionFactory::config(const services::ServiceSpec& spec,
+                                     int profile_id, std::uint64_t trace_seed,
+                                     std::uint64_t content_seed) const {
+  validate_profile(profile_id);
+  SessionConfig session =
+      config(spec, trace::cellular_profile(profile_id, trace_seed));
+  session.content_seed = content_seed;
+  return session;
+}
+
+SessionConfig SessionFactory::config(const std::string& service,
+                                     int profile_id, std::uint64_t trace_seed,
+                                     std::uint64_t content_seed) const {
+  return config(services::service(service), profile_id, trace_seed,
+                content_seed);
+}
+
+namespace {
+
+player::PlayerConfig player_config_for(const SessionConfig& config) {
+  player::PlayerConfig player_config = config.spec.player;
+  player_config.tcp.rtt = config.rtt;
+  return player_config;
+}
+
+}  // namespace
+
+HostedSession::HostedSession(net::Simulator& sim, net::Link& link,
+                             const SessionConfig& config)
+    : qoe_options_(config.qoe_options),
+      origin_(services::make_origin(config.spec, config.content_duration,
+                                    config.content_seed)),
+      proxy_(origin_),
+      player_(sim, link, proxy_, config.spec.protocol,
+              player_config_for(config)) {
+  for (const http::InterceptorPtr& interceptor : config.interceptors) {
+    proxy_.use(interceptor);
+  }
+  // The fault injector goes last: probes see requests first, faults mutate
+  // responses first (reverse-order response stage).
+  if (config.fault_plan) {
+    injector_ = std::make_shared<faults::FaultInjector>(*config.fault_plan);
+    injector_->set_observer(config.observer);
+    proxy_.use(injector_);
+  }
+  if (config.observer != nullptr) player_.set_observer(config.observer);
+  player_.set_seekbar_callback([this](Seconds wall, int progress) {
+    ui_monitor_.on_progress(wall, progress);
+  });
+}
+
+void HostedSession::start() { player_.start(origin_.manifest_url()); }
+
+void HostedSession::stop() { player_.stop(); }
+
+SessionResult HostedSession::finish(Seconds session_end) {
+  SessionResult result;
+  result.session_end = session_end;
+  result.events = player_.events();
+  result.final_state = player_.state();
+  result.final_position = player_.position();
+
+  try {
+    result.traffic = analyze_traffic(proxy_.log());
+  } catch (const ParseError&) {
+    // A session can legitimately end with an unanalyzable wire log — e.g.
+    // every manifest fetch failed under injected faults and the player
+    // parked in its error state. That is a (bad) outcome to report, not a
+    // crash: carry on with an empty analysis and zeroed QoE.
+    result.traffic = AnalyzedTraffic{};
+    result.traffic.total_payload_bytes = proxy_.log().total_bytes();
+  }
+  result.ui = ui_monitor_.infer(result.events.session_start);
+  result.qoe =
+      compute_qoe(result.traffic, result.ui, session_end, qoe_options_);
+  result.buffer = infer_buffer(result.traffic, result.ui, session_end);
+  result.ground_truth =
+      qoe_from_events(result.events, result.traffic, session_end,
+                      qoe_options_);
+  if (injector_ != nullptr) result.faults = injector_->stats();
+  return result;
+}
+
+SessionResult HostedSession::finish_light(Seconds session_end) {
+  SessionResult result;
+  result.session_end = session_end;
+  result.events = player_.events();
+  result.final_state = player_.state();
+  result.final_position = player_.position();
+  result.traffic.total_payload_bytes = proxy_.log().total_bytes();
+  result.ground_truth =
+      qoe_from_events(result.events, result.traffic, session_end,
+                      qoe_options_);
+  if (injector_ != nullptr) result.faults = injector_->stats();
+  return result;
+}
+
+}  // namespace vodx::core

@@ -13,12 +13,19 @@ HttpClient::HttpClient(net::Simulator& sim, net::Link& link, Proxy& proxy,
   VODX_ASSERT(options_.max_connections > 0, "need at least one connection");
 }
 
-HttpClient::~HttpClient() {
+HttpClient::~HttpClient() { shutdown(); }
+
+void HttpClient::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
   for (auto& [id, pending] : in_flight_) {
     proxy_.log().abort(id, pending.connection->transfer_delivered());
     pending.connection->abort_transfer();
   }
+  in_flight_.clear();
   for (auto& connection : connections_) link_.detach(connection.get());
+  connections_.clear();
+  usage_.clear();
 }
 
 int HttpClient::free_slots() const {
@@ -47,6 +54,7 @@ void HttpClient::set_observer(obs::Observer* observer) {
 }
 
 net::TcpConnection* HttpClient::acquire_connection() {
+  if (shut_down_) return nullptr;
   for (auto& connection : connections_) {
     if (!connection->busy()) return connection.get();
   }

@@ -49,6 +49,14 @@ class HttpClient {
   /// the underlying connection is closed. No callback fires.
   void abort(int transfer_id);
 
+  /// Permanent teardown (session departure): aborts every in-flight
+  /// transfer without firing callbacks, detaches and destroys all
+  /// connections — the link redistributes their share to the surviving
+  /// flows on its next allocation pass — and refuses further fetches
+  /// (fetch() returns -1). Idempotent.
+  void shutdown();
+  bool shut_down() const { return shut_down_; }
+
   bool can_fetch() const { return free_slots() > 0; }
   int free_slots() const;
   int active_transfers() const { return static_cast<int>(in_flight_.size()); }
@@ -87,6 +95,7 @@ class HttpClient {
   std::vector<std::unique_ptr<net::TcpConnection>> connections_;
   std::map<net::TcpConnection*, ConnectionUsage> usage_;
   std::map<int, Pending> in_flight_;
+  bool shut_down_ = false;
 
   obs::Observer* obs_ = nullptr;
   obs::Counter* requests_metric_ = nullptr;

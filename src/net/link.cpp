@@ -6,6 +6,50 @@
 
 namespace vodx::net {
 
+void max_min_shares(const std::vector<Bps>& demands, Bps capacity,
+                    std::vector<Bps>& grants,
+                    std::vector<std::size_t>& active_scratch) {
+  grants.assign(demands.size(), 0.0);
+  std::vector<std::size_t>& active = active_scratch;
+  active.clear();
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    if (demands[i] > 0) active.push_back(i);
+  }
+  Bps remaining = capacity;
+  while (!active.empty() && remaining > 0) {
+    Bps share = remaining / static_cast<double>(active.size());
+    // Satisfy every flow whose demand fits under the current equal share;
+    // keep the rest, in order, for the next round. The in-place compaction
+    // performs the identical float operations in the identical order as a
+    // remove-as-you-iterate pass, in O(active) instead of O(active²).
+    std::size_t kept = 0;
+    for (std::size_t j = 0; j < active.size(); ++j) {
+      const std::size_t i = active[j];
+      if (demands[i] <= share) {
+        grants[i] = demands[i];
+        remaining -= demands[i];
+      } else {
+        active[kept++] = i;
+      }
+    }
+    if (kept == active.size()) {
+      // Every remaining flow wants more than an equal share: split evenly.
+      for (std::size_t i : active) grants[i] = share;
+      remaining = 0;
+      break;
+    }
+    active.resize(kept);
+  }
+}
+
+std::vector<Bps> max_min_shares(const std::vector<Bps>& demands,
+                                Bps capacity) {
+  std::vector<Bps> grants;
+  std::vector<std::size_t> scratch;
+  max_min_shares(demands, capacity, grants, scratch);
+  return grants;
+}
+
 Link::Link(Simulator& sim, BandwidthTrace trace, Seconds rtt)
     : sim_(sim), trace_(std::move(trace)), rtt_(rtt) {
   sim_.add_tick_client(this);
@@ -31,44 +75,13 @@ void Link::detach(TcpConnection* connection) {
   if (it == connections_.end()) return;
   delivered_by_detached_ += connection->lifetime_delivered();
   connections_.erase(it);
+  ++detach_epoch_;
 }
 
 Bytes Link::total_delivered() const {
   Bytes total = delivered_by_detached_;
   for (const TcpConnection* c : connections_) total += c->lifetime_delivered();
   return total;
-}
-
-void Link::max_min_allocate(Bps capacity) {
-  const std::vector<Bps>& demands = scratch_demands_;
-  std::vector<Bps>& alloc = scratch_grants_;
-  alloc.assign(demands.size(), 0.0);
-  std::vector<std::size_t>& active = scratch_active_;
-  active.clear();
-  for (std::size_t i = 0; i < demands.size(); ++i) {
-    if (demands[i] > 0) active.push_back(i);
-  }
-  Bps remaining = capacity;
-  while (!active.empty() && remaining > 0) {
-    Bps share = remaining / static_cast<double>(active.size());
-    bool progressed = false;
-    for (auto it = active.begin(); it != active.end();) {
-      if (demands[*it] <= share) {
-        alloc[*it] = demands[*it];
-        remaining -= demands[*it];
-        it = active.erase(it);
-        progressed = true;
-      } else {
-        ++it;
-      }
-    }
-    if (!progressed) {
-      // Every remaining flow wants more than an equal share: split evenly.
-      for (std::size_t i : active) alloc[i] = share;
-      remaining = 0;
-      break;
-    }
-  }
 }
 
 void Link::tick(Seconds now, Seconds dt) {
@@ -80,7 +93,8 @@ void Link::tick(Seconds now, Seconds dt) {
     scratch_demands_[i] = scratch_snapshot_[i]->demand();
   }
   const Bps capacity = trace_.at(now);
-  max_min_allocate(capacity);
+  max_min_shares(scratch_demands_, capacity, scratch_grants_,
+                 scratch_active_);
 
   if (obs::trace_on(obs_, obs::Category::kLink)) {
     // Counter tracks are sampled on change, not per tick: a 600 s session
@@ -101,9 +115,13 @@ void Link::tick(Seconds now, Seconds dt) {
     }
   }
 
+  const std::uint64_t epoch = detach_epoch_;
   for (std::size_t i = 0; i < scratch_snapshot_.size(); ++i) {
-    // A callback earlier in this loop may have detached this connection.
-    if (std::find(connections_.begin(), connections_.end(),
+    // A callback earlier in this loop may have detached this connection;
+    // the liveness scan only runs once a detach has actually happened
+    // (population-scale ticks would otherwise go quadratic on it).
+    if (detach_epoch_ != epoch &&
+        std::find(connections_.begin(), connections_.end(),
                   scratch_snapshot_[i]) == connections_.end()) {
       continue;
     }

@@ -24,6 +24,20 @@
 
 namespace vodx::net {
 
+/// Max-min fair (progressive-filling) allocation of `capacity` across
+/// `demands` into `grants`; flows with zero demand get zero. Exposed as a
+/// free function so fairness properties (equal demands ⇒ equal grants,
+/// water-filling monotonicity, conservation) are testable on raw demand
+/// vectors; the Link calls it with reusable scratch storage so the per-tick
+/// hot path never allocates.
+void max_min_shares(const std::vector<Bps>& demands, Bps capacity,
+                    std::vector<Bps>& grants,
+                    std::vector<std::size_t>& active_scratch);
+
+/// Allocating convenience overload (tests, one-shot callers).
+std::vector<Bps> max_min_shares(const std::vector<Bps>& demands,
+                                Bps capacity);
+
 class Link : public TickClient {
  public:
   /// Registers itself as a tick client of `sim`. The link must outlive the
@@ -33,8 +47,18 @@ class Link : public TickClient {
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
 
+  /// Adds a flow to the shared bottleneck; it starts competing for capacity
+  /// on the next allocation pass.
   void attach(TcpConnection* connection);
+
+  /// Removes a flow (session departure, client shutdown). Idempotent. The
+  /// departing flow's share is redistributed to the survivors by the very
+  /// next allocation pass — a detach between ticks is already excluded from
+  /// that tick's snapshot.
   void detach(TcpConnection* connection);
+
+  /// Currently attached flow count (population observability).
+  int attached() const { return static_cast<int>(connections_.size()); }
 
   /// Attaches an observability context. The link emits a capacity counter
   /// track (sampled on change) and an active-connection-count track.
@@ -55,16 +79,15 @@ class Link : public TickClient {
   void fast_forward(Seconds now, Seconds dt, std::uint64_t ticks) override;
 
  private:
-  /// Max-min fair allocation of `capacity` across scratch_demands_ into
-  /// scratch_grants_; flows with zero demand get zero. Member so the
-  /// per-tick work lists live in reusable scratch storage.
-  void max_min_allocate(Bps capacity);
-
   Simulator& sim_;
   BandwidthTrace trace_;
   Seconds rtt_;
   std::vector<TcpConnection*> connections_;
   Bytes delivered_by_detached_ = 0;
+  /// Bumped by every detach; lets tick() skip the per-connection liveness
+  /// scan (quadratic at population scale) unless a completion callback
+  /// actually detached something mid-tick.
+  std::uint64_t detach_epoch_ = 0;
 
   // Per-tick scratch (the hot path must not allocate).
   std::vector<TcpConnection*> scratch_snapshot_;

@@ -147,8 +147,12 @@ void Simulator::run_until(Seconds end) {
         if (ticks_metric_ != nullptr) {
           ticks_metric_->add(static_cast<std::int64_t>(skipped));
         }
-        for (Handler& handler : handlers_) {
-          handler.client->fast_forward(now_, tick_, skipped);
+        // Indexed with a snapshotted bound: a client registered from inside
+        // a callback (a population arrival spawning a session) must not
+        // invalidate this traversal, and first participates next tick.
+        const std::size_t n_clients = handlers_.size();
+        for (std::size_t i = 0; i < n_clients; ++i) {
+          handlers_[i].client->fast_forward(now_, tick_, skipped);
         }
         if (now_ + tick_ > end + 1e-12) break;  // window fully consumed
       }
@@ -158,7 +162,9 @@ void Simulator::run_until(Seconds end) {
     ++ticks_executed_;
     if (ticks_metric_ != nullptr) ticks_metric_->add();
     fire_due_events();
-    for (Handler& handler : handlers_) {
+    const std::size_t n_handlers = handlers_.size();
+    for (std::size_t i = 0; i < n_handlers; ++i) {
+      Handler& handler = handlers_[i];
       if (handler.client != nullptr) {
         handler.client->tick(now_, tick_);
       } else {

@@ -156,6 +156,27 @@ void Player::start(const std::string& manifest_url) {
       [this](const std::string& reason) { on_manifest_error(reason); });
 }
 
+void Player::stop() {
+  if (finished() && client_->shut_down()) return;
+  // Abort through the player path first so every transfer is logged as an
+  // abort with its partial bytes, then shut the client down for good (which
+  // also aborts anything the MediaSource still has outstanding).
+  for (auto& [key, info] : fetches_) {
+    for (int id : info.transfer_ids) client_->abort(id);
+  }
+  fetches_.clear();
+  retries_[kVideoPipe].clear();
+  retries_[kAudioPipe].clear();
+  in_flight_count_[kVideoPipe] = 0;
+  in_flight_count_[kAudioPipe] = 0;
+  // A stall open at departure ends now: the viewer who leaves mid-stall
+  // stops accumulating stall time (qoe_from_events would otherwise charge
+  // it until session_end).
+  if (!events_.stalls.empty() && events_.stalls.back().end < 0) end_stall();
+  if (!finished()) set_state(PlayerState::kEnded);
+  client_->shutdown();
+}
+
 void Player::pause() { user_paused_ = true; }
 
 void Player::resume() { user_paused_ = false; }

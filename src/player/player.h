@@ -115,6 +115,13 @@ class Player : public net::TickClient {
   /// re-enters buffering; the interruption is recorded as a stall.
   void seek(Seconds position);
 
+  /// The user closes the app (population departure): aborts every in-flight
+  /// fetch, closes any open stall at the current instant, parks the state
+  /// machine in kEnded and permanently shuts the HTTP client down — the
+  /// link redistributes this session's share on its next allocation pass.
+  /// Idempotent; safe in any state, including a never-started player.
+  void stop();
+
   /// The user pauses/resumes playback. While paused the position freezes
   /// (the seekbar keeps reporting the same value — indistinguishable from a
   /// stall to the outside, a real limitation of UI-based inference) but

@@ -1,0 +1,366 @@
+#include "pop/population.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "batch/sweep.h"
+#include "batch/thread_pool.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/session_factory.h"
+#include "net/link.h"
+#include "obs/profiler.h"
+#include "services/service_catalog.h"
+#include "trace/cellular_profiles.h"
+
+namespace vodx::pop {
+
+namespace {
+
+// Coordinate tags for batch::derive_seed — distinct per draw family so the
+// streams never correlate.
+constexpr std::uint64_t kTraceTag = 0x746F7765ULL;    // "towe"
+constexpr std::uint64_t kSlotTag = 0x736C6F74ULL;     // "slot"
+constexpr std::uint64_t kFlashTag = 0x666C6173ULL;    // "flas"
+constexpr std::uint64_t kContentTag = 0x636F6E74ULL;  // "cont"
+
+/// Knuth's product-of-uniforms Poisson draw; fine for the per-second rates
+/// a cell sees (lambda well under ~30).
+int poisson(Rng& rng, double lambda) {
+  if (lambda <= 0) return 0;
+  const double limit = std::exp(-lambda);
+  int k = 0;
+  double product = 1.0;
+  do {
+    ++k;
+    product *= rng.uniform(0, 1);
+  } while (product > limit);
+  return k - 1;
+}
+
+/// Instantaneous arrival rate per second at simulated time t.
+double rate_at(const ArrivalProcess& process, Seconds t) {
+  double rate = process.rate_per_min / 60.0;
+  if (process.diurnal_amplitude > 0 && process.diurnal_period > 0) {
+    constexpr double kTwoPi = 6.283185307179586476925286766559;
+    rate *= 1.0 + process.diurnal_amplitude *
+                      std::sin(kTwoPi * t / process.diurnal_period);
+  }
+  return std::max(0.0, rate);
+}
+
+/// Per-arrival material drawn from the slot's (or the flash window's) own
+/// stream; `counter` is the tower-local generation ordinal that keys the
+/// content seed.
+Arrival draw_arrival(const PopulationConfig& config, Rng& rng, Seconds at,
+                     int tower_index, int service_count, int counter) {
+  Arrival arrival;
+  arrival.at = at;
+  arrival.watch =
+      config.watch_sigma > 0
+          ? std::max(1.0, rng.lognormal(config.watch_time, config.watch_sigma))
+          : config.watch_time;
+  arrival.service_index =
+      static_cast<int>(rng.uniform_int(0, service_count - 1));
+  arrival.content_seed =
+      batch::derive_seed(config.seed, kContentTag,
+                         static_cast<std::uint64_t>(tower_index),
+                         static_cast<std::uint64_t>(counter));
+  return arrival;
+}
+
+}  // namespace
+
+std::vector<Arrival> tower_arrivals(const PopulationConfig& config,
+                                    int tower_index, int service_count) {
+  VODX_ASSERT(service_count > 0, "empty service pool");
+  std::vector<Arrival> arrivals;
+  int counter = 0;
+  // Poisson-by-1s-slot: each slot's draw count and placements come from the
+  // slot's own stream, keyed (seed, tower, slot) — a worker can regenerate
+  // any tower's schedule without any shared state.
+  const int slots = static_cast<int>(config.horizon);
+  for (int slot = 0; slot < slots; ++slot) {
+    const double lambda =
+        rate_at(config.arrivals, static_cast<Seconds>(slot) + 0.5);
+    Rng rng(batch::derive_seed(config.seed, kSlotTag,
+                               static_cast<std::uint64_t>(tower_index),
+                               static_cast<std::uint64_t>(slot)));
+    const int n = poisson(rng, lambda);
+    for (int k = 0; k < n; ++k) {
+      const Seconds at = static_cast<Seconds>(slot) + rng.uniform(0, 1);
+      arrivals.push_back(draw_arrival(config, rng, at, tower_index,
+                                      service_count, counter++));
+    }
+  }
+  const ArrivalProcess& process = config.arrivals;
+  if (process.flash_at >= 0 && process.flash_arrivals > 0) {
+    Rng rng(batch::derive_seed(config.seed, kFlashTag,
+                               static_cast<std::uint64_t>(tower_index)));
+    for (int k = 0; k < process.flash_arrivals; ++k) {
+      const Seconds at =
+          process.flash_at +
+          rng.uniform(0, std::max(1e-3, process.flash_window));
+      if (at >= config.horizon) continue;
+      arrivals.push_back(draw_arrival(config, rng, at, tower_index,
+                                      service_count, counter++));
+    }
+  }
+  // Stable by time: same-instant arrivals keep generation order, so the
+  // schedule is reproducible float for float.
+  std::stable_sort(arrivals.begin(), arrivals.end(),
+                   [](const Arrival& a, const Arrival& b) {
+                     return a.at < b.at;
+                   });
+  if (config.max_sessions_per_tower > 0 &&
+      static_cast<int>(arrivals.size()) > config.max_sessions_per_tower) {
+    arrivals.resize(static_cast<std::size_t>(config.max_sessions_per_tower));
+  }
+  return arrivals;
+}
+
+namespace {
+
+TowerReport run_tower(const PopulationConfig& config, int tower_index,
+                      const std::vector<services::ServiceSpec>& pool) {
+  VODX_PROFILE_ZONE("pop.tower");
+  const int profile_id =
+      config.towers[static_cast<std::size_t>(tower_index)];
+  core::SessionFactory::validate_profile(profile_id);
+
+  net::Simulator sim(config.tick);
+  sim.set_core(config.sim_core);
+  sim.set_wall_budget(config.wall_budget);
+  sim.set_max_events_per_instant(config.max_events_per_instant);
+  net::Link link(
+      sim,
+      trace::cellular_profile(
+          profile_id,
+          batch::derive_seed(config.seed, kTraceTag,
+                             static_cast<std::uint64_t>(tower_index))),
+      config.rtt);
+
+  const std::vector<Arrival> arrivals =
+      tower_arrivals(config, tower_index, static_cast<int>(pool.size()));
+
+  core::SessionFactory factory;
+  factory.session_duration = config.horizon;
+  factory.content_duration = config.content_duration;
+  factory.sim_core = config.sim_core;
+
+  struct Hosted {
+    std::unique_ptr<core::HostedSession> session;
+    Seconds departure = 0;  ///< min(arrival + watch, horizon)
+  };
+  std::vector<Hosted> hosted(arrivals.size());
+  int live = 0;
+  int peak = 0;
+
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const Arrival& a = arrivals[i];
+    sim.schedule(a.at, [&, i] {
+      const Arrival& arr = arrivals[i];
+      core::SessionConfig session_config = factory.config(
+          pool[static_cast<std::size_t>(arr.service_index)],
+          net::BandwidthTrace());  // the shared link already embodies it
+      session_config.content_seed = arr.content_seed;
+      session_config.tick = config.tick;
+      session_config.rtt = config.rtt;
+      Hosted& slot = hosted[i];
+      slot.session =
+          std::make_unique<core::HostedSession>(sim, link, session_config);
+      slot.session->start();
+      peak = std::max(peak, ++live);
+      slot.departure = std::min(arr.at + arr.watch, config.horizon);
+      if (slot.departure < config.horizon) {
+        sim.schedule(std::max(0.0, slot.departure - sim.now()), [&, i] {
+          hosted[i].session->stop();
+          --live;
+        });
+      }
+    });
+  }
+  sim.run_until(config.horizon);
+
+  TowerReport report;
+  report.profile_id = profile_id;
+  report.peak_concurrent = peak;
+
+  std::vector<double> startups;
+  std::vector<double> stalls;
+  std::vector<double> rates;
+  for (std::size_t i = 0; i < hosted.size(); ++i) {
+    if (hosted[i].session == nullptr) continue;  // arrival beyond the run
+    const Arrival& a = arrivals[i];
+    const core::SessionResult result =
+        hosted[i].session->finish_light(sim.now());
+
+    SessionOutcome outcome;
+    outcome.tower = tower_index;
+    outcome.ordinal = static_cast<int>(report.outcomes.size());
+    outcome.arrival = a.at;
+    outcome.departure = hosted[i].departure;
+    outcome.service =
+        pool[static_cast<std::size_t>(a.service_index)].name;
+    outcome.startup_delay = result.ground_truth.startup_delay;
+    outcome.stall_time = result.ground_truth.total_stall;
+    outcome.stall_count = result.ground_truth.stall_count;
+    outcome.total_bytes = result.ground_truth.total_bytes;
+    const Seconds active =
+        std::max(config.tick, outcome.departure - outcome.arrival);
+    outcome.mbps =
+        static_cast<double>(outcome.total_bytes) * 8.0 / active / 1e6;
+    outcome.final_state = player::to_string(result.final_state);
+
+    if (outcome.startup_delay >= 0) startups.push_back(outcome.startup_delay);
+    stalls.push_back(outcome.stall_time);
+    rates.push_back(outcome.mbps);
+    report.outcomes.push_back(std::move(outcome));
+  }
+  // Sessions must be destroyed before sim + link leave scope; explicit for
+  // clarity (the vector would go out of scope in the right order anyway).
+  hosted.clear();
+
+  report.sessions = static_cast<int>(report.outcomes.size());
+  report.startup = quantiles(startups);
+  report.stall = quantiles(stalls);
+  report.jain = jain_index(rates);
+  report.mean_mbps = mean(rates);
+  return report;
+}
+
+}  // namespace
+
+PopulationReport run_population(const PopulationConfig& config) {
+  // Resolve the service pool up front: unknown names throw here, once, and
+  // the catalog's magic static warms before any worker spawns (same
+  // rationale as batch::run_sweep).
+  std::vector<services::ServiceSpec> pool;
+  if (config.services.empty()) {
+    pool = services::catalog();
+  } else {
+    for (const std::string& name : config.services) {
+      pool.push_back(services::service(name));
+    }
+  }
+  for (int id : config.towers) core::SessionFactory::validate_profile(id);
+  for (int id : config.towers) trace::profile_mean(id);
+
+  PopulationReport report;
+  report.towers = batch::parallel_map<TowerReport>(
+      config.towers.size(), config.jobs,
+      [&](std::size_t index) {
+        return run_tower(config, static_cast<int>(index), pool);
+      });
+
+  std::vector<double> startups;
+  std::vector<double> stalls;
+  struct PerService {
+    std::vector<double> startups, stalls, rates;
+  };
+  std::vector<PerService> per_service(pool.size());
+  for (const TowerReport& tower : report.towers) {
+    report.total_sessions += tower.sessions;
+    for (const SessionOutcome& outcome : tower.outcomes) {
+      if (outcome.startup_delay >= 0) {
+        startups.push_back(outcome.startup_delay);
+      } else {
+        ++report.never_started;
+      }
+      stalls.push_back(outcome.stall_time);
+      for (std::size_t s = 0; s < pool.size(); ++s) {
+        if (pool[s].name != outcome.service) continue;
+        if (outcome.startup_delay >= 0) {
+          per_service[s].startups.push_back(outcome.startup_delay);
+        }
+        per_service[s].stalls.push_back(outcome.stall_time);
+        per_service[s].rates.push_back(outcome.mbps);
+        break;
+      }
+    }
+  }
+  report.startup = quantiles(startups);
+  report.stall = quantiles(stalls);
+  for (std::size_t s = 0; s < pool.size(); ++s) {
+    ServiceRollup rollup;
+    rollup.service = pool[s].name;
+    rollup.sessions = static_cast<int>(per_service[s].stalls.size());
+    rollup.startup = quantiles(per_service[s].startups);
+    rollup.stall = quantiles(per_service[s].stalls);
+    rollup.mean_mbps = mean(per_service[s].rates);
+    report.by_service.push_back(std::move(rollup));
+  }
+  return report;
+}
+
+std::string population_text(const PopulationReport& report) {
+  std::string out = format(
+      "population: %zu tower(s), %d session(s), %d never started playback\n",
+      report.towers.size(), report.total_sessions, report.never_started);
+  out +=
+      "tower profile sessions  peak  start_p50  start_p95  start_p99  "
+      "stall_p50  stall_p95  stall_p99   jain  mean_mbps\n";
+  for (std::size_t i = 0; i < report.towers.size(); ++i) {
+    const TowerReport& t = report.towers[i];
+    out += format(
+        "%5zu %7d %8d %5d %10.2f %10.2f %10.2f %10.2f %10.2f %10.2f %6.3f "
+        "%10.3f\n",
+        i, t.profile_id, t.sessions, t.peak_concurrent, t.startup.p50,
+        t.startup.p95, t.startup.p99, t.stall.p50, t.stall.p95, t.stall.p99,
+        t.jain, t.mean_mbps);
+  }
+  out += "service  sessions  start_p50  start_p95  start_p99  stall_p50  "
+         "stall_p95  stall_p99  mean_mbps\n";
+  for (const ServiceRollup& s : report.by_service) {
+    if (s.sessions == 0) continue;
+    out += format(
+        "%-7s %9d %10.2f %10.2f %10.2f %10.2f %10.2f %10.2f %10.3f\n",
+        s.service.c_str(), s.sessions, s.startup.p50, s.startup.p95,
+        s.startup.p99, s.stall.p50, s.stall.p95, s.stall.p99, s.mean_mbps);
+  }
+  out += format(
+      "overall: startup p50/p95/p99 = %.2f/%.2f/%.2f s, "
+      "stall p50/p95/p99 = %.2f/%.2f/%.2f s\n",
+      report.startup.p50, report.startup.p95, report.startup.p99,
+      report.stall.p50, report.stall.p95, report.stall.p99);
+  return out;
+}
+
+std::string population_jsonl(const PopulationReport& report) {
+  std::string out;
+  for (const TowerReport& tower : report.towers) {
+    for (const SessionOutcome& s : tower.outcomes) {
+      out += format(
+          R"({"tower":%d,"profile":%d,"ordinal":%d,"service":"%s",)"
+          R"("arrival_s":%.3f,"departure_s":%.3f,"startup_delay_s":%.3f,)"
+          R"("stall_time_s":%.3f,"stall_count":%d,"total_bytes":%lld,)"
+          R"("mbps":%.4f,"final_state":"%s"})",
+          s.tower, tower.profile_id, s.ordinal, s.service.c_str(), s.arrival,
+          s.departure, s.startup_delay, s.stall_time, s.stall_count,
+          static_cast<long long>(s.total_bytes), s.mbps,
+          s.final_state.c_str());
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string population_csv(const PopulationReport& report) {
+  std::string out =
+      "tower,profile,ordinal,service,arrival_s,departure_s,startup_delay_s,"
+      "stall_time_s,stall_count,total_bytes,mbps,final_state\n";
+  for (const TowerReport& tower : report.towers) {
+    for (const SessionOutcome& s : tower.outcomes) {
+      out += format("%d,%d,%d,%s,%.3f,%.3f,%.3f,%.3f,%d,%lld,%.4f,%s\n",
+                    s.tower, tower.profile_id, s.ordinal, s.service.c_str(),
+                    s.arrival, s.departure, s.startup_delay, s.stall_time,
+                    s.stall_count, static_cast<long long>(s.total_bytes),
+                    s.mbps, s.final_state.c_str());
+    }
+  }
+  return out;
+}
+
+}  // namespace vodx::pop

@@ -47,6 +47,45 @@ TEST(MinMax, Basics) {
   EXPECT_DOUBLE_EQ(min_of({}), 0);
 }
 
+TEST(Quantiles, MatchesPercentileCalls) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(101 - i));
+  const QuantileSummary q = quantiles(xs);
+  EXPECT_DOUBLE_EQ(q.p50, percentile(xs, 50));
+  EXPECT_DOUBLE_EQ(q.p95, percentile(xs, 95));
+  EXPECT_DOUBLE_EQ(q.p99, percentile(xs, 99));
+}
+
+TEST(Quantiles, EmptyAndSingle) {
+  const QuantileSummary empty = quantiles({});
+  EXPECT_DOUBLE_EQ(empty.p50, 0);
+  EXPECT_DOUBLE_EQ(empty.p95, 0);
+  EXPECT_DOUBLE_EQ(empty.p99, 0);
+  const QuantileSummary one = quantiles({7});
+  EXPECT_DOUBLE_EQ(one.p50, 7);
+  EXPECT_DOUBLE_EQ(one.p99, 7);
+}
+
+TEST(JainIndex, EqualSharesAreFair) {
+  EXPECT_DOUBLE_EQ(jain_index({5, 5, 5, 5}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index({3}), 1.0);
+}
+
+TEST(JainIndex, OneFlowHasEverything) {
+  // (Σx)²/(n·Σx²) = 1/n when a single flow holds all the capacity.
+  EXPECT_NEAR(jain_index({10, 0, 0, 0}), 0.25, 1e-12);
+}
+
+TEST(JainIndex, KnownUnevenSplit) {
+  // (1+2+3)² / (3 * (1+4+9)) = 36/42.
+  EXPECT_NEAR(jain_index({1, 2, 3}), 36.0 / 42.0, 1e-12);
+}
+
+TEST(JainIndex, EdgeCases) {
+  EXPECT_DOUBLE_EQ(jain_index({}), 0.0);       // no population
+  EXPECT_DOUBLE_EQ(jain_index({0, 0, 0}), 1.0);  // all-zero: equally poor
+}
+
 TEST(Accumulator, TracksRunningStats) {
   Accumulator acc;
   EXPECT_EQ(acc.count(), 0);

@@ -44,6 +44,7 @@
 #include "diag/validate.h"
 #include "faults/fault_plan.h"
 #include "obs/observer.h"
+#include "pop/population.h"
 #include "trace/cellular_profiles.h"
 #include "trace/trace_io.h"
 
@@ -103,6 +104,18 @@ int usage() {
       "        precision/recall harness: checks fault.injected blame lands\n"
       "        inside the injected windows for every catalog scenario.\n"
       "        Exit 0 = every scenario meets the threshold.\n"
+      "  vodx pop [--services all|H1,...] [--towers 7|3,7,12] [--seed N]\n"
+      "           [--horizon secs] [--rate arrivals/min] [--diurnal 0..1]\n"
+      "           [--diurnal-period secs] [--flash-at secs]\n"
+      "           [--flash-window secs] [--flash-arrivals N]\n"
+      "           [--watch-time secs] [--watch-sigma s] [--max-sessions N]\n"
+      "           [--jobs N] [--core event|fixed] [--out report.txt]\n"
+      "           [--jsonl sessions.jsonl] [--csv sessions.csv]\n"
+      "        population run: each tower's simulator hosts every viewer\n"
+      "        arriving on that cell (Poisson + diurnal + flash crowds);\n"
+      "        concurrent sessions share the link max-min fairly. Prints\n"
+      "        p50/p95/p99 startup/stall and Jain fairness per tower and\n"
+      "        per service; byte-identical for every --jobs value.\n"
       "  vodx chaos [--seeds 0..63] [--services H1,...] [--profiles 1-14]\n"
       "             [--duration secs] [--jobs N] [--budget secs]\n"
       "             [--minimize|--no-minimize] [--artifacts dir]\n"
@@ -666,6 +679,83 @@ int cmd_diagnose(Args& args) {
   return diagnosis.failed > 0 ? 1 : 0;
 }
 
+int cmd_pop(Args& args) {
+  pop::PopulationConfig config;
+  config.jobs = 0;
+  config.towers.clear();
+  std::string out_path, jsonl_path, csv_path;
+  while (!args.done()) {
+    if (const char* v = args.value("--services")) {
+      std::vector<std::string> all;
+      for (const services::ServiceSpec& s : services::catalog()) {
+        all.push_back(s.name);
+      }
+      config.services = tools::parse_name_list(v, all);
+    } else if (const char* v = args.value("--towers")) {
+      for (std::int64_t id :
+           tools::parse_int_list(v, 1, trace::kProfileCount, "profile")) {
+        config.towers.push_back(static_cast<int>(id));
+      }
+    } else if (const char* v = args.value("--seed")) {
+      config.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (const char* v = args.value("--horizon")) {
+      config.horizon = parse_double(v);
+    } else if (const char* v = args.value("--rate")) {
+      config.arrivals.rate_per_min = parse_double(v);
+    } else if (const char* v = args.value("--diurnal")) {
+      config.arrivals.diurnal_amplitude = parse_double(v);
+    } else if (const char* v = args.value("--diurnal-period")) {
+      config.arrivals.diurnal_period = parse_double(v);
+    } else if (const char* v = args.value("--flash-at")) {
+      config.arrivals.flash_at = parse_double(v);
+    } else if (const char* v = args.value("--flash-window")) {
+      config.arrivals.flash_window = parse_double(v);
+    } else if (const char* v = args.value("--flash-arrivals")) {
+      config.arrivals.flash_arrivals = std::atoi(v);
+    } else if (const char* v = args.value("--watch-time")) {
+      config.watch_time = parse_double(v);
+    } else if (const char* v = args.value("--watch-sigma")) {
+      config.watch_sigma = parse_double(v);
+    } else if (const char* v = args.value("--max-sessions")) {
+      config.max_sessions_per_tower = std::atoi(v);
+    } else if (const char* v = args.value("--jobs")) {
+      config.jobs = std::atoi(v);
+    } else if (const char* v = args.value("--core")) {
+      const std::string core = v;
+      if (core == "event") {
+        config.sim_core = net::SimCore::kEvent;
+      } else if (core == "fixed") {
+        config.sim_core = net::SimCore::kFixedTickReference;
+      } else {
+        throw Error(format("unknown --core '%s' (event|fixed)", v));
+      }
+    } else if (const char* v = args.value("--out")) {
+      out_path = v;
+    } else if (const char* v = args.value("--jsonl")) {
+      jsonl_path = v;
+    } else if (const char* v = args.value("--csv")) {
+      csv_path = v;
+    } else {
+      args.unknown();
+    }
+  }
+  if (args.failed()) return usage();
+  if (config.towers.empty()) config.towers = {7};
+
+  const pop::PopulationReport report = pop::run_population(config);
+  const std::string text = pop::population_text(report);
+  if (out_path.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    write_file(out_path, text);
+  }
+  if (!jsonl_path.empty()) {
+    write_file(jsonl_path, pop::population_jsonl(report));
+  }
+  if (!csv_path.empty()) write_file(csv_path, pop::population_csv(report));
+  return 0;
+}
+
 int cmd_chaos(Args& args) {
   chaos::ChaosConfig config;
   config.jobs = 0;
@@ -818,6 +908,10 @@ int main(int argc, char** argv) {
     if (command == "report") {
       Args args(argc - 2, argv + 2);
       return cmd_report(args);
+    }
+    if (command == "pop") {
+      Args args(argc - 2, argv + 2);
+      return cmd_pop(args);
     }
     if (command == "chaos") {
       Args args(argc - 2, argv + 2);
