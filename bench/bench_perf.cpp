@@ -130,16 +130,18 @@ double peak_rss_mb() {
 std::string render_json(const Options& options, std::size_t cells,
                         double wall_s, double cells_per_s,
                         double pop_sessions_per_s,
+                        double pop_timeline_sessions_per_s,
                         const std::vector<obs::ZoneStats>& zones) {
   std::string out = format(
       "{\"git_rev\":\"%s\",\"date\":\"%s\",\"workload\":\"%s\","
       "\"jobs\":%d,\"cells\":%zu,\"wall_s\":%.3f,\"cells_per_s\":%.1f,"
       "\"fixed_tick_cells_per_s\":%.1f,\"pop_sessions_per_s\":%.1f,"
+      "\"pop_timeline_sessions_per_s\":%.1f,"
       "\"peak_rss_mb\":%.1f,\"zones\":{",
       options.git_rev.c_str(), iso_date().c_str(),
       options.smoke ? "smoke" : "full", options.jobs, cells, wall_s,
       cells_per_s, kFixedTickBaselineCellsPerS, pop_sessions_per_s,
-      peak_rss_mb());
+      pop_timeline_sessions_per_s, peak_rss_mb());
   for (std::size_t i = 0; i < zones.size(); ++i) {
     const obs::ZoneStats& z = zones[i];
     out += format("%s\"%s\":{\"count\":%llu,\"total_s\":%.4f,"
@@ -241,12 +243,32 @@ int main(int argc, char** argv) {
   const double pop_sessions_per_s =
       pop_wall_s > 0 ? pop_report.total_sessions / pop_wall_s : 0;
 
+  // Same population with per-bin telemetry sampling on (default bin). The
+  // sampler's contract is near-zero cost: one forced tick plus an O(live)
+  // walk per bin, so this rate must stay within 10% of the plain rate.
+  pop::PopulationConfig pop_timeline_config = pop_config;
+  pop_timeline_config.collect_timeline = true;
+  const auto pop_tl_start = std::chrono::steady_clock::now();
+  const pop::PopulationReport pop_tl_report =
+      pop::run_population(pop_timeline_config);
+  const auto pop_tl_stop = std::chrono::steady_clock::now();
+  const double pop_tl_wall_s =
+      std::chrono::duration<double>(pop_tl_stop - pop_tl_start).count();
+  const double pop_timeline_sessions_per_s =
+      pop_tl_wall_s > 0 ? pop_tl_report.total_sessions / pop_tl_wall_s : 0;
+
   std::printf("bench_perf: %s workload, %zu cells, jobs=%d\n",
               options.smoke ? "smoke" : "full", cells, options.jobs);
   std::printf("  wall        %.3f s\n", wall_s);
   std::printf("  throughput  %.1f cells/s\n", cells_per_s);
   std::printf("  population  %.1f sessions/s (%d sessions in %.3f s)\n",
               pop_sessions_per_s, pop_report.total_sessions, pop_wall_s);
+  std::printf("  pop+timeline %.1f sessions/s (sampling overhead %.1f%%)\n",
+              pop_timeline_sessions_per_s,
+              pop_sessions_per_s > 0
+                  ? 100.0 * (1.0 - pop_timeline_sessions_per_s /
+                                       pop_sessions_per_s)
+                  : 0.0);
   std::printf("  peak RSS    %.1f MB\n\n", peak_rss_mb());
   Table table({"zone", "count", "total_s", "self_s"});
   for (const obs::ZoneStats& z : zones) {
@@ -263,7 +285,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   out << render_json(options, cells, wall_s, cells_per_s, pop_sessions_per_s,
-                     zones);
+                     pop_timeline_sessions_per_s, zones);
   std::fprintf(stderr, "wrote %s\n", options.out_path.c_str());
 
   if (!options.check_path.empty()) {
@@ -310,6 +332,18 @@ int main(int argc, char** argv) {
                    "bench_perf: REGRESSION — %.1f pop sessions/s is more "
                    "than 3x below the %.1f sessions/s baseline\n",
                    pop_sessions_per_s, pop_baseline);
+      return 1;
+    }
+    // Telemetry-sampling gate: measured within this very run (both rates
+    // share the process and machine), so it needs no baseline key — the
+    // sampled population must stay within 10% of the plain rate.
+    if (pop_sessions_per_s > 0 &&
+        pop_timeline_sessions_per_s < 0.9 * pop_sessions_per_s) {
+      std::fprintf(stderr,
+                   "bench_perf: REGRESSION — timeline sampling drops the "
+                   "population rate to %.1f sessions/s (> 10%% below the "
+                   "%.1f sessions/s unsampled rate)\n",
+                   pop_timeline_sessions_per_s, pop_sessions_per_s);
       return 1;
     }
     std::fprintf(stderr, "bench_perf: ok — %.1f cells/s vs %.1f baseline\n",

@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # Runs a harness binary and diffs its stdout against a golden snapshot.
-# Usage: golden_check.sh <binary> <golden-file>
+# Usage: golden_check.sh <binary> <golden-file> [harness args...]
 set -euo pipefail
 
 bin="$1"
 golden="$2"
+shift 2
 
-if ! "$bin" | diff -u "$golden" -; then
+if ! "$bin" "$@" | diff -u "$golden" -; then
   echo >&2
   echo "golden mismatch for $(basename "$bin")." >&2
   echo "If the output change is intentional, run scripts/refresh_golden.sh" >&2

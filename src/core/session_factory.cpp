@@ -111,6 +111,15 @@ SessionResult HostedSession::finish(Seconds session_end) {
   return result;
 }
 
+HostedSession::Sample HostedSession::sample() const {
+  Sample sample;
+  sample.state = player_.state();
+  const player::PlayerEvents& events = player_.events();
+  sample.playback_started = events.playback_started >= 0;
+  if (!events.displayed.empty()) sample.rung = events.displayed.back().level;
+  return sample;
+}
+
 SessionResult HostedSession::finish_light(Seconds session_end) {
   SessionResult result;
   result.session_end = session_end;

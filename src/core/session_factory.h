@@ -110,6 +110,16 @@ class HostedSession {
   player::Player& player() { return player_; }
   http::Proxy& proxy() { return proxy_; }
 
+  /// Instantaneous state for population telemetry samplers (vodx::pop reads
+  /// this once per timeline bin per live session). O(1), no allocation.
+  struct Sample {
+    player::PlayerState state = player::PlayerState::kIdle;
+    /// Last displayed video rung, -1 before the first rendered segment.
+    int rung = -1;
+    bool playback_started = false;
+  };
+  Sample sample() const;
+
  private:
   QoeOptions qoe_options_;
   http::OriginServer origin_;

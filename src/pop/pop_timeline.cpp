@@ -1,0 +1,316 @@
+#include "pop/pop_timeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "pop/population.h"
+
+namespace vodx::pop {
+
+namespace {
+
+constexpr const char* kRungNames[kRungBuckets] = {
+    "rung_0", "rung_1", "rung_2", "rung_3", "rung_4", "rung_5",
+};
+
+// diag::Cause order (cause.h); blame columns exist only on diagnosed runs.
+constexpr const char* kBlameNames[] = {
+    "blame_fault", "blame_restart", "blame_origin", "blame_deficit",
+    "blame_abr",   "blame_pacing",  "blame_unknown",
+};
+
+}  // namespace
+
+const char* blame_series_name(int cause_index) {
+  VODX_ASSERT(cause_index >= 0 &&
+                  cause_index < static_cast<int>(std::size(kBlameNames)),
+              "blame cause index out of range");
+  return kBlameNames[cause_index];
+}
+
+int timeline_bin_count(Seconds horizon, Seconds bin_width) {
+  VODX_ASSERT(bin_width > 0, "timeline bin width must be positive");
+  return std::max(1, static_cast<int>(std::ceil(horizon / bin_width - 1e-9)));
+}
+
+obs::Timeline make_tower_timeline(Seconds bin_width, Seconds horizon,
+                                  bool with_blame) {
+  obs::Timeline timeline(bin_width, timeline_bin_count(horizon, bin_width));
+  using Fold = obs::Timeline::Fold;
+  timeline.add_series("arrivals", Fold::kSum);
+  timeline.add_series("departures", Fold::kSum);
+  timeline.add_series("capacity_mbit", Fold::kSum);
+  timeline.add_series("concurrent", Fold::kSum);
+  timeline.add_series("stalled", Fold::kSum);
+  timeline.add_series("in_startup", Fold::kSum);
+  for (const char* name : kRungNames) timeline.add_series(name, Fold::kSum);
+  timeline.add_series("delivered_mbit", Fold::kSum);
+  if (with_blame) {
+    for (const char* name : kBlameNames) timeline.add_series(name, Fold::kSum);
+  }
+  return timeline;
+}
+
+void record_schedule(obs::Timeline& timeline,
+                     const std::vector<Arrival>& arrivals, Seconds horizon) {
+  const int arrivals_series = timeline.add_series(
+      "arrivals", obs::Timeline::Fold::kSum);
+  const int departures_series = timeline.add_series(
+      "departures", obs::Timeline::Fold::kSum);
+  for (const Arrival& arrival : arrivals) {
+    if (arrival.at >= horizon) continue;
+    timeline.add(arrivals_series, timeline.bin_index(arrival.at), 1.0);
+    const Seconds depart = std::min(arrival.at + arrival.watch, horizon);
+    // Sessions still live at the horizon are folded in-place, not departed.
+    if (depart < horizon) {
+      timeline.add(departures_series, timeline.bin_index(depart), 1.0);
+    }
+  }
+}
+
+void record_capacity(obs::Timeline& timeline, const net::BandwidthTrace& trace,
+                     Seconds horizon) {
+  const int capacity_series = timeline.add_series(
+      "capacity_mbit", obs::Timeline::Fold::kSum);
+  for (int bin = 0; bin < timeline.bin_count(); ++bin) {
+    const Seconds start = timeline.bin_start(bin);
+    const Seconds end =
+        std::min(horizon, timeline.bin_start(bin) + timeline.bin_width());
+    if (end <= start) break;
+    timeline.set(capacity_series, bin, trace.bits_between(start, end) / 1e6);
+  }
+}
+
+TowerSampler::TowerSampler(obs::Timeline& timeline, const net::Link& link,
+                           SampleFn fn)
+    : timeline_(timeline), link_(link), fn_(std::move(fn)) {
+  concurrent_ = timeline_.add_series("concurrent", obs::Timeline::Fold::kSum);
+  stalled_ = timeline_.add_series("stalled", obs::Timeline::Fold::kSum);
+  in_startup_ = timeline_.add_series("in_startup", obs::Timeline::Fold::kSum);
+  delivered_ =
+      timeline_.add_series("delivered_mbit", obs::Timeline::Fold::kSum);
+  for (int r = 0; r < kRungBuckets; ++r) {
+    rung_[r] = timeline_.add_series(kRungNames[r], obs::Timeline::Fold::kSum);
+  }
+}
+
+void TowerSampler::close_bin() {
+  const int bin = closed_;
+  const LiveSample sample = fn_();
+  timeline_.set(concurrent_, bin, sample.concurrent);
+  timeline_.set(stalled_, bin, sample.stalled);
+  timeline_.set(in_startup_, bin, sample.in_startup);
+  for (int r = 0; r < kRungBuckets; ++r) {
+    timeline_.set(rung_[r], bin, sample.rung[r]);
+  }
+  const Bytes delivered = link_.total_delivered();
+  timeline_.set(delivered_, bin,
+                static_cast<double>(delivered - last_delivered_) * 8.0 / 1e6);
+  last_delivered_ = delivered;
+  ++closed_;
+}
+
+void TowerSampler::tick(Seconds now, Seconds dt) {
+  (void)dt;
+  // The 1e-9 forgiveness matches the simulator's wake slack: the grid tick
+  // nearest a bin boundary may sit a hair below k * bin_width.
+  while (closed_ < timeline_.bin_count() &&
+         now + 1e-9 >= timeline_.bin_start(closed_) + timeline_.bin_width()) {
+    close_bin();
+  }
+}
+
+Seconds TowerSampler::next_wake(Seconds now) {
+  (void)now;
+  if (closed_ >= timeline_.bin_count()) return kNeverWakes;
+  return timeline_.bin_start(closed_) + timeline_.bin_width();
+}
+
+void TowerSampler::finalize(Seconds end) {
+  (void)end;
+  // run_until's accumulated `now += tick` recurrence can stop one float ulp
+  // short of the horizon, in which case the final boundary tick never ran.
+  // Nothing fires after the last executed tick, so closing late reads the
+  // same frozen state that tick would have seen.
+  while (closed_ < timeline_.bin_count()) close_bin();
+}
+
+// --- Population exports ----------------------------------------------------
+
+namespace {
+
+/// Derived ratios for one bin of one timeline; 0 on empty/idle bins.
+struct DerivedBin {
+  double stalled_frac = 0;
+  double utilization = 0;
+};
+
+DerivedBin derived_bin(const obs::Timeline& timeline, int bin) {
+  DerivedBin out;
+  const int concurrent = timeline.find("concurrent");
+  const int stalled = timeline.find("stalled");
+  const int delivered = timeline.find("delivered_mbit");
+  const int capacity = timeline.find("capacity_mbit");
+  if (concurrent >= 0 && stalled >= 0) {
+    out.stalled_frac = timeline.value(stalled, bin) /
+                       std::max(1.0, timeline.value(concurrent, bin));
+  }
+  if (delivered >= 0 && capacity >= 0 &&
+      timeline.value(capacity, bin) > 0) {
+    out.utilization =
+        timeline.value(delivered, bin) / timeline.value(capacity, bin);
+  }
+  return out;
+}
+
+/// Visits every exported row: each tower by index, then the merged
+/// population timeline under the key "pop".
+void for_each_row(const PopulationReport& report,
+                  const std::function<void(const std::string& key,
+                                           const obs::Timeline&)>& fn) {
+  for (std::size_t i = 0; i < report.towers.size(); ++i) {
+    if (report.towers[i].timeline.empty()) continue;
+    fn(format("%zu", i), report.towers[i].timeline);
+  }
+  if (!report.timeline.empty()) fn("pop", report.timeline);
+}
+
+}  // namespace
+
+std::string population_timeline_csv(const PopulationReport& report) {
+  // The merged timeline carries the union schema; its series order is the
+  // canonical column order for every row.
+  const obs::Timeline& schema = report.timeline;
+  std::string out = "tower,bin,t_start_s";
+  for (const obs::Timeline::Series& series : schema.all()) {
+    out += ',';
+    out += series.name;
+  }
+  out += ",stalled_frac,utilization\n";
+  for_each_row(report, [&](const std::string& key,
+                           const obs::Timeline& timeline) {
+    for (int bin = 0; bin < timeline.bin_count(); ++bin) {
+      out += format("%s,%d,%.3f", key.c_str(), bin, timeline.bin_start(bin));
+      for (const obs::Timeline::Series& series : schema.all()) {
+        const int index = timeline.find(series.name);
+        out += format(",%.6g", index >= 0 ? timeline.value(index, bin) : 0.0);
+      }
+      const DerivedBin derived = derived_bin(timeline, bin);
+      out += format(",%.6g,%.6g\n", derived.stalled_frac, derived.utilization);
+    }
+  });
+  return out;
+}
+
+std::string population_timeline_jsonl(const PopulationReport& report) {
+  const obs::Timeline& schema = report.timeline;
+  std::string out;
+  for_each_row(report, [&](const std::string& key,
+                           const obs::Timeline& timeline) {
+    for (int bin = 0; bin < timeline.bin_count(); ++bin) {
+      out += format(R"({"tower":"%s","bin":%d,"t_start_s":%.3f)", key.c_str(),
+                    bin, timeline.bin_start(bin));
+      for (const obs::Timeline::Series& series : schema.all()) {
+        const int index = timeline.find(series.name);
+        out += format(R"(,"%s":%.6g)", series.name.c_str(),
+                      index >= 0 ? timeline.value(index, bin) : 0.0);
+      }
+      const DerivedBin derived = derived_bin(timeline, bin);
+      out += format(R"(,"stalled_frac":%.6g,"utilization":%.6g})",
+                    derived.stalled_frac, derived.utilization);
+      out += '\n';
+    }
+  });
+  return out;
+}
+
+namespace {
+
+/// Inline-SVG sparkline: values normalised to their own max, rendered as a
+/// polyline (flat baseline when the series never rises above zero).
+std::string sparkline(const std::vector<double>& values, const char* color) {
+  constexpr double kWidth = 240, kHeight = 36, kPad = 2;
+  double peak = 0;
+  for (double v : values) peak = std::max(peak, v);
+  std::string points;
+  const int n = std::max<std::size_t>(values.size(), 2);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double x = kPad + (kWidth - 2 * kPad) * static_cast<double>(i) /
+                                static_cast<double>(n - 1);
+    const double frac = peak > 0 ? values[i] / peak : 0;
+    const double y = kHeight - kPad - (kHeight - 2 * kPad) * frac;
+    if (!points.empty()) points += ' ';
+    points += format("%.1f,%.1f", x, y);
+  }
+  return format(
+      "<svg class=\"spark\" width=\"%.0f\" height=\"%.0f\" "
+      "viewBox=\"0 0 %.0f %.0f\"><polyline fill=\"none\" stroke=\"%s\" "
+      "stroke-width=\"1.5\" points=\"%s\"/></svg>"
+      "<span class=\"peak\">%.3g</span>",
+      kWidth, kHeight, kWidth, kHeight, color, points.c_str(), peak);
+}
+
+std::vector<double> series_values(const obs::Timeline& timeline,
+                                  const char* name) {
+  std::vector<double> values(static_cast<std::size_t>(timeline.bin_count()),
+                             0.0);
+  const int index = timeline.find(name);
+  if (index < 0) return values;
+  for (int bin = 0; bin < timeline.bin_count(); ++bin) {
+    values[static_cast<std::size_t>(bin)] = timeline.value(index, bin);
+  }
+  return values;
+}
+
+std::vector<double> derived_values(const obs::Timeline& timeline,
+                                   bool utilization) {
+  std::vector<double> values(static_cast<std::size_t>(timeline.bin_count()),
+                             0.0);
+  for (int bin = 0; bin < timeline.bin_count(); ++bin) {
+    const DerivedBin derived = derived_bin(timeline, bin);
+    values[static_cast<std::size_t>(bin)] =
+        utilization ? derived.utilization : derived.stalled_frac;
+  }
+  return values;
+}
+
+}  // namespace
+
+std::string population_timeline_html(const PopulationReport& report) {
+  std::string out =
+      "<!doctype html>\n<html><head><meta charset=\"utf-8\">\n"
+      "<title>vodx population timeline</title>\n"
+      "<style>\n"
+      "body{font:13px/1.4 system-ui,sans-serif;margin:24px;color:#222}\n"
+      "table{border-collapse:collapse}\n"
+      "th,td{padding:4px 10px;text-align:left;vertical-align:middle;"
+      "border-bottom:1px solid #e3e3e3}\n"
+      "th{font-weight:600;color:#555}\n"
+      ".spark{vertical-align:middle}\n"
+      ".peak{color:#888;font-size:11px;margin-left:4px}\n"
+      "</style></head><body>\n";
+  out += format("<h2>Population timeline</h2>\n<p>%zu tower(s), bin width "
+                "%.3g s, %d bin(s)</p>\n",
+                report.towers.size(), report.timeline.bin_width(),
+                report.timeline.bin_count());
+  out += "<table>\n<tr><th>tower</th><th>concurrent</th>"
+         "<th>stalled frac</th><th>utilization</th><th>arrivals</th></tr>\n";
+  for_each_row(report, [&](const std::string& key,
+                           const obs::Timeline& timeline) {
+    out += format("<tr><td>%s</td>", key.c_str());
+    out += "<td>" + sparkline(series_values(timeline, "concurrent"), "#1565c0") +
+           "</td>";
+    out += "<td>" + sparkline(derived_values(timeline, false), "#c62828") +
+           "</td>";
+    out += "<td>" + sparkline(derived_values(timeline, true), "#2e7d32") +
+           "</td>";
+    out += "<td>" + sparkline(series_values(timeline, "arrivals"), "#6a1b9a") +
+           "</td></tr>\n";
+  });
+  out += "</table>\n</body></html>\n";
+  return out;
+}
+
+}  // namespace vodx::pop

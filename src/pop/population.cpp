@@ -10,8 +10,12 @@
 #include "common/rng.h"
 #include "common/strings.h"
 #include "core/session_factory.h"
+#include "diag/cause.h"
 #include "net/link.h"
+#include "obs/observer.h"
 #include "obs/profiler.h"
+#include "player/player.h"
+#include "pop/pop_timeline.h"
 #include "services/service_catalog.h"
 #include "trace/cellular_profiles.h"
 
@@ -74,7 +78,9 @@ Arrival draw_arrival(const PopulationConfig& config, Rng& rng, Seconds at,
 }  // namespace
 
 std::vector<Arrival> tower_arrivals(const PopulationConfig& config,
-                                    int tower_index, int service_count) {
+                                    int tower_index, int service_count,
+                                    int* capped) {
+  if (capped != nullptr) *capped = 0;
   VODX_ASSERT(service_count > 0, "empty service pool");
   std::vector<Arrival> arrivals;
   int counter = 0;
@@ -116,6 +122,10 @@ std::vector<Arrival> tower_arrivals(const PopulationConfig& config,
                    });
   if (config.max_sessions_per_tower > 0 &&
       static_cast<int>(arrivals.size()) > config.max_sessions_per_tower) {
+    if (capped != nullptr) {
+      *capped = static_cast<int>(arrivals.size()) -
+                config.max_sessions_per_tower;
+    }
     arrivals.resize(static_cast<std::size_t>(config.max_sessions_per_tower));
   }
   return arrivals;
@@ -142,8 +152,9 @@ TowerReport run_tower(const PopulationConfig& config, int tower_index,
                              static_cast<std::uint64_t>(tower_index))),
       config.rtt);
 
-  const std::vector<Arrival> arrivals =
-      tower_arrivals(config, tower_index, static_cast<int>(pool.size()));
+  int capped = 0;
+  const std::vector<Arrival> arrivals = tower_arrivals(
+      config, tower_index, static_cast<int>(pool.size()), &capped);
 
   core::SessionFactory factory;
   factory.session_duration = config.horizon;
@@ -157,6 +168,18 @@ TowerReport run_tower(const PopulationConfig& config, int tower_index,
   std::vector<Hosted> hosted(arrivals.size());
   int live = 0;
   int peak = 0;
+  Seconds peak_time = 0;
+
+  // Per-session observers for the diagnosed prefix of the arrival order.
+  // Masked to the evidence categories diag reads, so undiagnosed-category
+  // emission sites stay on their null-observer fast path.
+  const bool diagnose = config.diagnose;
+  std::vector<std::unique_ptr<obs::Observer>> observers(
+      diagnose ? arrivals.size() : 0);
+  const auto diagnosed_ordinal = [&](std::size_t i) {
+    return diagnose && (config.diag_session_budget <= 0 ||
+                        static_cast<int>(i) < config.diag_session_budget);
+  };
 
   for (std::size_t i = 0; i < arrivals.size(); ++i) {
     const Arrival& a = arrivals[i];
@@ -168,11 +191,23 @@ TowerReport run_tower(const PopulationConfig& config, int tower_index,
       session_config.content_seed = arr.content_seed;
       session_config.tick = config.tick;
       session_config.rtt = config.rtt;
+      if (diagnosed_ordinal(i)) {
+        observers[i] = std::make_unique<obs::Observer>(std::size_t{1} << 15);
+        observers[i]->trace.set_category_mask(obs::bit(obs::Category::kTcp) |
+                                              obs::bit(obs::Category::kFault) |
+                                              obs::bit(obs::Category::kLink));
+        observers[i]->trace.set_clock([&sim] { return sim.now(); });
+        session_config.observer = observers[i].get();
+      }
       Hosted& slot = hosted[i];
       slot.session =
           std::make_unique<core::HostedSession>(sim, link, session_config);
       slot.session->start();
-      peak = std::max(peak, ++live);
+      ++live;
+      if (live > peak) {
+        peak = live;
+        peak_time = sim.now();
+      }
       slot.departure = std::min(arr.at + arr.watch, config.horizon);
       if (slot.departure < config.horizon) {
         sim.schedule(std::max(0.0, slot.departure - sim.now()), [&, i] {
@@ -182,11 +217,45 @@ TowerReport run_tower(const PopulationConfig& config, int tower_index,
       }
     });
   }
+
+  // Telemetry: prefill the schedule-derived and trace-derived series, then
+  // register the skip-aware sampler (after the Link, so a bin close reads
+  // the bin's final link state).
+  const bool with_timeline = config.collect_timeline || diagnose;
+  obs::Timeline timeline;
+  std::unique_ptr<TowerSampler> sampler;
+  if (with_timeline) {
+    timeline = make_tower_timeline(config.timeline_bin, config.horizon,
+                                   diagnose);
+    record_schedule(timeline, arrivals, config.horizon);
+    record_capacity(timeline, link.trace(), config.horizon);
+    sampler = std::make_unique<TowerSampler>(timeline, link, [&] {
+      LiveSample sample;
+      for (const Hosted& h : hosted) {
+        if (h.session == nullptr) continue;
+        const core::HostedSession::Sample s = h.session->sample();
+        if (s.state == player::PlayerState::kEnded) continue;  // departed
+        ++sample.concurrent;
+        if (s.state == player::PlayerState::kRebuffering) ++sample.stalled;
+        if (s.state == player::PlayerState::kResolving ||
+            s.state == player::PlayerState::kStartup) {
+          ++sample.in_startup;
+        }
+        if (s.rung >= 0) ++sample.rung[std::min(s.rung, kRungBuckets - 1)];
+      }
+      return sample;
+    });
+    sim.add_tick_client(sampler.get());
+  }
+
   sim.run_until(config.horizon);
+  if (sampler != nullptr) sampler->finalize(config.horizon);
 
   TowerReport report;
   report.profile_id = profile_id;
+  report.capped_arrivals = capped;
   report.peak_concurrent = peak;
+  report.time_of_peak = peak_time;
 
   std::vector<double> startups;
   std::vector<double> stalls;
@@ -219,6 +288,31 @@ TowerReport run_tower(const PopulationConfig& config, int tower_index,
     rates.push_back(outcome.mbps);
     report.outcomes.push_back(std::move(outcome));
   }
+
+  if (diagnose) {
+    const std::vector<obs::Event> capacity_events =
+        fair_share_capacity_events(timeline);
+    diag::DiagOptions options;
+    options.rtt = config.rtt;
+    for (std::size_t i = 0; i < hosted.size(); ++i) {
+      if (hosted[i].session == nullptr) continue;
+      if (observers[i] == nullptr) {
+        ++report.diag.sessions_skipped;
+        continue;
+      }
+      // Diagnosis reads the full finish() analysis (finish_light leaves
+      // result.traffic empty, blinding the deficit/ABR evidence); outcomes
+      // above still fold from finish_light, so they are byte-identical
+      // whether diagnosis is on or off.
+      const core::SessionResult full = hosted[i].session->finish(sim.now());
+      const diag::Diagnosis diagnosis =
+          diagnose_session(full, *observers[i], capacity_events, options);
+      fold_diagnosis(report.diag, diagnosis);
+      fold_blame_bins(timeline, diagnosis);
+    }
+  }
+  report.timeline = std::move(timeline);
+
   // Sessions must be destroyed before sim + link leave scope; explicit for
   // clarity (the vector would go out of scope in the right order anyway).
   hosted.clear();
@@ -261,8 +355,11 @@ PopulationReport run_population(const PopulationConfig& config) {
     std::vector<double> startups, stalls, rates;
   };
   std::vector<PerService> per_service(pool.size());
+  report.diagnosed = config.diagnose;
   for (const TowerReport& tower : report.towers) {
     report.total_sessions += tower.sessions;
+    report.timeline.merge_from(tower.timeline);
+    report.diag.merge_from(tower.diag);
     for (const SessionOutcome& outcome : tower.outcomes) {
       if (outcome.startup_delay >= 0) {
         startups.push_back(outcome.startup_delay);
@@ -300,16 +397,24 @@ std::string population_text(const PopulationReport& report) {
       "population: %zu tower(s), %d session(s), %d never started playback\n",
       report.towers.size(), report.total_sessions, report.never_started);
   out +=
-      "tower profile sessions  peak  start_p50  start_p95  start_p99  "
-      "stall_p50  stall_p95  stall_p99   jain  mean_mbps\n";
+      "tower profile sessions capped  peak   peak_t  start_p50  start_p95  "
+      "start_p99  stall_p50  stall_p95  stall_p99   jain  mean_mbps\n";
   for (std::size_t i = 0; i < report.towers.size(); ++i) {
     const TowerReport& t = report.towers[i];
     out += format(
-        "%5zu %7d %8d %5d %10.2f %10.2f %10.2f %10.2f %10.2f %10.2f %6.3f "
-        "%10.3f\n",
-        i, t.profile_id, t.sessions, t.peak_concurrent, t.startup.p50,
-        t.startup.p95, t.startup.p99, t.stall.p50, t.stall.p95, t.stall.p99,
-        t.jain, t.mean_mbps);
+        "%5zu %7d %8d %6d %5d %8.1f %10.2f %10.2f %10.2f %10.2f %10.2f "
+        "%10.2f %6.3f %10.3f\n",
+        i, t.profile_id, t.sessions, t.capped_arrivals, t.peak_concurrent,
+        t.time_of_peak, t.startup.p50, t.startup.p95, t.startup.p99,
+        t.stall.p50, t.stall.p95, t.stall.p99, t.jain, t.mean_mbps);
+  }
+  for (std::size_t i = 0; i < report.towers.size(); ++i) {
+    const TowerReport& t = report.towers[i];
+    if (t.capped_arrivals == 0) continue;
+    out += format(
+        "warning: tower %zu dropped %d arrival(s) at the "
+        "max-sessions-per-tower cap; its distributions are censored\n",
+        i, t.capped_arrivals);
   }
   out += "service  sessions  start_p50  start_p95  start_p99  stall_p50  "
          "stall_p95  stall_p99  mean_mbps\n";
@@ -325,11 +430,42 @@ std::string population_text(const PopulationReport& report) {
       "stall p50/p95/p99 = %.2f/%.2f/%.2f s\n",
       report.startup.p50, report.startup.p95, report.startup.p99,
       report.stall.p50, report.stall.p95, report.stall.p99);
+  if (report.diagnosed) {
+    const TowerDiag& d = report.diag;
+    out += format(
+        "diag: %d session(s) diagnosed, %d skipped (budget); "
+        "stall %.2f s, startup %.2f s, stall attribution %.1f%%\n",
+        d.sessions_diagnosed, d.sessions_skipped, d.stall_s, d.startup_s,
+        d.stall_attributed_fraction() * 100.0);
+    out += "cause                 blamed_s    stall_s  stall_share\n";
+    for (int c = 0; c < diag::kCauseCount; ++c) {
+      const double share =
+          d.stall_s > 0 ? d.stall_blamed_s[c] / d.stall_s : 0.0;
+      out += format("%-22s %8.2f %10.2f %12.3f\n",
+                    diag::to_string(static_cast<diag::Cause>(c)),
+                    d.blamed_s[c], d.stall_blamed_s[c], share);
+    }
+    if (d.trace_dropped > 0) {
+      out += format(
+          "warning: %llu trace event(s) dropped across diagnosed sessions; "
+          "evidence may be incomplete\n",
+          static_cast<unsigned long long>(d.trace_dropped));
+    }
+  }
   return out;
 }
 
 std::string population_jsonl(const PopulationReport& report) {
   std::string out;
+  for (std::size_t i = 0; i < report.towers.size(); ++i) {
+    const TowerReport& t = report.towers[i];
+    out += format(
+        R"({"type":"tower","tower":%zu,"profile":%d,"sessions":%d,)"
+        R"("capped_arrivals":%d,"peak_concurrent":%d,"time_of_peak_s":%.3f})",
+        i, t.profile_id, t.sessions, t.capped_arrivals, t.peak_concurrent,
+        t.time_of_peak);
+    out += '\n';
+  }
   for (const TowerReport& tower : report.towers) {
     for (const SessionOutcome& s : tower.outcomes) {
       out += format(
@@ -359,6 +495,39 @@ std::string population_csv(const PopulationReport& report) {
                     s.stall_count, static_cast<long long>(s.total_bytes),
                     s.mbps, s.final_state.c_str());
     }
+  }
+  return out;
+}
+
+std::string population_tower_csv(const PopulationReport& report) {
+  std::string out =
+      "tower,profile,sessions,capped_arrivals,peak_concurrent,time_of_peak_s,"
+      "startup_p50,startup_p95,startup_p99,stall_p50,stall_p95,stall_p99,"
+      "jain,mean_mbps";
+  if (report.diagnosed) {
+    out += ",sessions_diagnosed,sessions_skipped,stall_attributed_frac";
+    for (int c = 0; c < diag::kCauseCount; ++c) {
+      out += format(",stall_s_%s", diag::to_string(static_cast<diag::Cause>(c)));
+    }
+  }
+  out += '\n';
+  for (std::size_t i = 0; i < report.towers.size(); ++i) {
+    const TowerReport& t = report.towers[i];
+    out += format("%zu,%d,%d,%d,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.4f,"
+                  "%.4f",
+                  i, t.profile_id, t.sessions, t.capped_arrivals,
+                  t.peak_concurrent, t.time_of_peak, t.startup.p50,
+                  t.startup.p95, t.startup.p99, t.stall.p50, t.stall.p95,
+                  t.stall.p99, t.jain, t.mean_mbps);
+    if (report.diagnosed) {
+      out += format(",%d,%d,%.4f", t.diag.sessions_diagnosed,
+                    t.diag.sessions_skipped,
+                    t.diag.stall_attributed_fraction());
+      for (int c = 0; c < diag::kCauseCount; ++c) {
+        out += format(",%.3f", t.diag.stall_blamed_s[c]);
+      }
+    }
+    out += '\n';
   }
   return out;
 }

@@ -24,6 +24,8 @@
 #include "common/stats.h"
 #include "common/units.h"
 #include "net/simulator.h"
+#include "obs/timeline.h"
+#include "pop/pop_diag.h"
 
 namespace vodx::pop {
 
@@ -67,6 +69,22 @@ struct PopulationConfig {
   // Watchdogs, per tower run (see core::SessionConfig).
   Seconds wall_budget = 0;
   std::uint64_t max_events_per_instant = 0;
+
+  // --- Telemetry (DESIGN.md §15) -----------------------------------------
+  /// Sample every tower into an obs::Timeline (per-bin concurrency, stall /
+  /// startup fractions, rung mix, goodput vs capacity); towers merge into a
+  /// population timeline post-join. Off by default: the sampler costs one
+  /// forced tick plus an O(live sessions) walk per bin.
+  bool collect_timeline = false;
+  /// Timeline bin width, seconds.
+  Seconds timeline_bin = 1.0;
+  /// Diagnose sessions with vodx::diag and fold blame rollups per tower and
+  /// per time bin. Implies collect_timeline (the fair-share capacity
+  /// evidence is synthesised from the timeline).
+  bool diagnose = false;
+  /// Per-tower cap on diagnosed sessions, first-arrival order (diagnosis
+  /// needs a per-session trace + the full finish() analysis); 0 = all.
+  int diag_session_budget = 64;
 };
 
 /// One generated viewer: when they arrive, how long they intend to watch,
@@ -80,9 +98,13 @@ struct Arrival {
 
 /// The tower's full arrival schedule, sorted by time — a pure function of
 /// (config, tower_index, service_count). Exposed so determinism tests can
-/// pin the process without running any session.
+/// pin the process without running any session. When the schedule exceeds
+/// `max_sessions_per_tower` it is truncated to the cap (earliest arrivals
+/// keep their slots) and `capped`, when non-null, receives the number of
+/// arrivals dropped.
 std::vector<Arrival> tower_arrivals(const PopulationConfig& config,
-                                    int tower_index, int service_count);
+                                    int tower_index, int service_count,
+                                    int* capped = nullptr);
 
 /// Per-session ground-truth outcome, folded into the distributions.
 struct SessionOutcome {
@@ -102,12 +124,22 @@ struct SessionOutcome {
 struct TowerReport {
   int profile_id = 0;
   int sessions = 0;
+  /// Arrivals dropped by max_sessions_per_tower — a capped tower's
+  /// distributions describe a censored population, so every exporter
+  /// surfaces this count rather than truncating silently.
+  int capped_arrivals = 0;
   int peak_concurrent = 0;
+  /// Simulated time the peak was first reached (0 when no session arrived).
+  Seconds time_of_peak = 0;
   QuantileSummary startup;  ///< over sessions whose playback started
   QuantileSummary stall;    ///< stall seconds, all sessions
   double jain = 0;          ///< fairness over per-session throughput
   double mean_mbps = 0;
   std::vector<SessionOutcome> outcomes;  ///< arrival order
+  /// Telemetry timeline (empty unless collect_timeline/diagnose).
+  obs::Timeline timeline;
+  /// Attribution rollup (zero unless diagnose).
+  TowerDiag diag;
 };
 
 /// The population axis of the paper's per-service tables: Table 2's issue
@@ -128,6 +160,11 @@ struct PopulationReport {
   QuantileSummary startup;
   QuantileSummary stall;
   std::vector<ServiceRollup> by_service;  ///< service-pool order
+  /// Per-tower timelines folded in tower order (empty unless collected).
+  obs::Timeline timeline;
+  /// Per-tower attribution rollups folded in tower order.
+  TowerDiag diag;
+  bool diagnosed = false;  ///< whether the diag rollup was populated
 };
 
 /// Runs every tower (parallel across towers, deterministic at any jobs
@@ -135,11 +172,16 @@ struct PopulationReport {
 /// services or out-of-range tower profiles.
 PopulationReport run_population(const PopulationConfig& config);
 
-/// Fixed-width human-readable rollup; byte-stable.
+/// Fixed-width human-readable rollup; byte-stable. Capped towers draw a
+/// warning line; diagnosed runs append the stall-blame table.
 std::string population_text(const PopulationReport& report);
-/// One JSON object per session, tower-index then arrival order.
+/// Per-tower summary objects (type "tower") followed by one JSON object per
+/// session, tower-index then arrival order.
 std::string population_jsonl(const PopulationReport& report);
-/// Per-session CSV with header, same order as the jsonl.
+/// Per-session CSV with header, same order as the jsonl's session lines.
 std::string population_csv(const PopulationReport& report);
+/// One CSV row per tower: sessions, cap drops, peak (+ when it happened),
+/// the tower's QoE quantiles and, on diagnosed runs, attribution columns.
+std::string population_tower_csv(const PopulationReport& report);
 
 }  // namespace vodx::pop

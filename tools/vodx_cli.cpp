@@ -44,6 +44,7 @@
 #include "diag/validate.h"
 #include "faults/fault_plan.h"
 #include "obs/observer.h"
+#include "pop/pop_timeline.h"
 #include "pop/population.h"
 #include "trace/cellular_profiles.h"
 #include "trace/trace_io.h"
@@ -111,11 +112,20 @@ int usage() {
       "           [--watch-time secs] [--watch-sigma s] [--max-sessions N]\n"
       "           [--jobs N] [--core event|fixed] [--out report.txt]\n"
       "           [--jsonl sessions.jsonl] [--csv sessions.csv]\n"
+      "           [--tower-csv towers.csv] [--timeline-out tl.csv|tl.jsonl]\n"
+      "           [--timeline-bin secs] [--html dashboard.html]\n"
+      "           [--diag] [--diag-budget N]\n"
       "        population run: each tower's simulator hosts every viewer\n"
       "        arriving on that cell (Poisson + diurnal + flash crowds);\n"
       "        concurrent sessions share the link max-min fairly. Prints\n"
       "        p50/p95/p99 startup/stall and Jain fairness per tower and\n"
       "        per service; byte-identical for every --jobs value.\n"
+      "        --timeline-out samples every tower into per-bin telemetry\n"
+      "        (concurrency, stalls, rung mix, goodput vs capacity; CSV, or\n"
+      "        JSONL when the path ends .jsonl) and --html renders the\n"
+      "        per-tower sparkline dashboard; --diag additionally runs\n"
+      "        root-cause attribution over up to --diag-budget sessions per\n"
+      "        tower (0 = all) and folds blame rollups per tower and bin.\n"
       "  vodx chaos [--seeds 0..63] [--services H1,...] [--profiles 1-14]\n"
       "             [--duration secs] [--jobs N] [--budget secs]\n"
       "             [--minimize|--no-minimize] [--artifacts dir]\n"
@@ -684,6 +694,7 @@ int cmd_pop(Args& args) {
   config.jobs = 0;
   config.towers.clear();
   std::string out_path, jsonl_path, csv_path;
+  std::string tower_csv_path, timeline_path, html_path;
   while (!args.done()) {
     if (const char* v = args.value("--services")) {
       std::vector<std::string> all;
@@ -735,6 +746,20 @@ int cmd_pop(Args& args) {
       jsonl_path = v;
     } else if (const char* v = args.value("--csv")) {
       csv_path = v;
+    } else if (const char* v = args.value("--tower-csv")) {
+      tower_csv_path = v;
+    } else if (const char* v = args.value("--timeline-out")) {
+      timeline_path = v;
+      config.collect_timeline = true;
+    } else if (const char* v = args.value("--timeline-bin")) {
+      config.timeline_bin = parse_double(v);
+    } else if (const char* v = args.value("--html")) {
+      html_path = v;
+      config.collect_timeline = true;
+    } else if (args.flag("--diag")) {
+      config.diagnose = true;
+    } else if (const char* v = args.value("--diag-budget")) {
+      config.diag_session_budget = std::atoi(v);
     } else {
       args.unknown();
     }
@@ -753,6 +778,20 @@ int cmd_pop(Args& args) {
     write_file(jsonl_path, pop::population_jsonl(report));
   }
   if (!csv_path.empty()) write_file(csv_path, pop::population_csv(report));
+  if (!tower_csv_path.empty()) {
+    write_file(tower_csv_path, pop::population_tower_csv(report));
+  }
+  if (!timeline_path.empty()) {
+    const bool jsonl = timeline_path.size() >= 6 &&
+                       timeline_path.compare(timeline_path.size() - 6, 6,
+                                             ".jsonl") == 0;
+    write_file(timeline_path,
+               jsonl ? pop::population_timeline_jsonl(report)
+                     : pop::population_timeline_csv(report));
+  }
+  if (!html_path.empty()) {
+    write_file(html_path, pop::population_timeline_html(report));
+  }
   return 0;
 }
 
