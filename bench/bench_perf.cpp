@@ -111,6 +111,16 @@ pop::PopulationConfig pop_workload(const Options& options) {
   return config;
 }
 
+/// The origin stage: the sweep workload behind the hardened origin tier
+/// (edge cache + retries + breaker on every request), reported as its own
+/// cells/s rate so interceptor-chain overhead regressions are gated
+/// separately from the plain sweep.
+batch::SweepConfig origin_workload(const Options& options) {
+  batch::SweepConfig config = workload(options);
+  config.origin_modes = {"hardened"};
+  return config;
+}
+
 std::string iso_date() {
   std::time_t now = std::time(nullptr);
   std::tm utc{};
@@ -131,17 +141,19 @@ std::string render_json(const Options& options, std::size_t cells,
                         double wall_s, double cells_per_s,
                         double pop_sessions_per_s,
                         double pop_timeline_sessions_per_s,
+                        double origin_cells_per_s,
                         const std::vector<obs::ZoneStats>& zones) {
   std::string out = format(
       "{\"git_rev\":\"%s\",\"date\":\"%s\",\"workload\":\"%s\","
       "\"jobs\":%d,\"cells\":%zu,\"wall_s\":%.3f,\"cells_per_s\":%.1f,"
       "\"fixed_tick_cells_per_s\":%.1f,\"pop_sessions_per_s\":%.1f,"
       "\"pop_timeline_sessions_per_s\":%.1f,"
+      "\"origin_cells_per_s\":%.1f,"
       "\"peak_rss_mb\":%.1f,\"zones\":{",
       options.git_rev.c_str(), iso_date().c_str(),
       options.smoke ? "smoke" : "full", options.jobs, cells, wall_s,
       cells_per_s, kFixedTickBaselineCellsPerS, pop_sessions_per_s,
-      pop_timeline_sessions_per_s, peak_rss_mb());
+      pop_timeline_sessions_per_s, origin_cells_per_s, peak_rss_mb());
   for (std::size_t i = 0; i < zones.size(); ++i) {
     const obs::ZoneStats& z = zones[i];
     out += format("%s\"%s\":{\"count\":%llu,\"total_s\":%.4f,"
@@ -257,6 +269,21 @@ int main(int argc, char** argv) {
   const double pop_timeline_sessions_per_s =
       pop_tl_wall_s > 0 ? pop_tl_report.total_sessions / pop_tl_wall_s : 0;
 
+  // Origin stage: the same sweep behind the hardened origin tier.
+  const batch::SweepConfig origin_config = origin_workload(options);
+  const auto origin_start = std::chrono::steady_clock::now();
+  const batch::SweepResult origin_result = batch::run_sweep(origin_config);
+  const auto origin_stop = std::chrono::steady_clock::now();
+  if (origin_result.failed > 0) {
+    std::fprintf(stderr, "bench_perf: %d origin cells failed\n",
+                 origin_result.failed);
+    return 1;
+  }
+  const double origin_wall_s =
+      std::chrono::duration<double>(origin_stop - origin_start).count();
+  const double origin_cells_per_s =
+      origin_wall_s > 0 ? origin_result.cells.size() / origin_wall_s : 0;
+
   std::printf("bench_perf: %s workload, %zu cells, jobs=%d\n",
               options.smoke ? "smoke" : "full", cells, options.jobs);
   std::printf("  wall        %.3f s\n", wall_s);
@@ -269,6 +296,8 @@ int main(int argc, char** argv) {
                   ? 100.0 * (1.0 - pop_timeline_sessions_per_s /
                                        pop_sessions_per_s)
                   : 0.0);
+  std::printf("  origin      %.1f cells/s (%zu cells in %.3f s)\n",
+              origin_cells_per_s, origin_result.cells.size(), origin_wall_s);
   std::printf("  peak RSS    %.1f MB\n\n", peak_rss_mb());
   Table table({"zone", "count", "total_s", "self_s"});
   for (const obs::ZoneStats& z : zones) {
@@ -285,7 +314,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   out << render_json(options, cells, wall_s, cells_per_s, pop_sessions_per_s,
-                     pop_timeline_sessions_per_s, zones);
+                     pop_timeline_sessions_per_s, origin_cells_per_s, zones);
   std::fprintf(stderr, "wrote %s\n", options.out_path.c_str());
 
   if (!options.check_path.empty()) {
@@ -332,6 +361,18 @@ int main(int argc, char** argv) {
                    "bench_perf: REGRESSION — %.1f pop sessions/s is more "
                    "than 3x below the %.1f sessions/s baseline\n",
                    pop_sessions_per_s, pop_baseline);
+      return 1;
+    }
+    // Origin-tier gate: same loose 3x band. Pre-origin baselines lack the
+    // key and skip it (the gate arms itself on the first refreshed
+    // baseline).
+    const double origin_baseline =
+        baseline_number(baseline_text, "origin_cells_per_s");
+    if (origin_baseline > 0 && origin_cells_per_s < origin_baseline / 3.0) {
+      std::fprintf(stderr,
+                   "bench_perf: REGRESSION — %.1f origin cells/s is more "
+                   "than 3x below the %.1f cells/s baseline\n",
+                   origin_cells_per_s, origin_baseline);
       return 1;
     }
     // Telemetry-sampling gate: measured within this very run (both rates

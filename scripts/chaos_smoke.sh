@@ -48,4 +48,20 @@ if ! cmp -s "$TMP/jobs4.txt" "$TMP/fixed.txt"; then
   exit 1
 fi
 
+# Origin leg: the same budget with the hardened origin tier enabled — the
+# generator adds origin-targeted windows (cache flushes, DC blackouts) and
+# the invariant catalog checks cache consistency, bounded failover and
+# coalescing on every seed. Still jobs-independent, still zero violations.
+"$VODX" chaos --seeds "$SEEDS" --duration "$DURATION" --jobs 4 \
+  --origin hardened --out "$TMP/origin4.txt"
+"$VODX" chaos --seeds "$SEEDS" --duration "$DURATION" --jobs 1 \
+  --origin hardened --out "$TMP/origin1.txt"
+
+if ! cmp -s "$TMP/origin1.txt" "$TMP/origin4.txt"; then
+  echo "chaos_smoke: origin report differs between --jobs 1 and --jobs 4" >&2
+  diff "$TMP/origin1.txt" "$TMP/origin4.txt" >&2 || true
+  exit 1
+fi
+
 echo "chaos_smoke: $SEEDS clean, jobs-independent and core-independent"
+echo "chaos_smoke: origin leg ($SEEDS, hardened tier) clean and jobs-independent"

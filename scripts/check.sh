@@ -9,8 +9,8 @@
 #   ./scripts/check.sh --labels unit       # only tests with a matching
 #                                          # ctest label (unit|integration|
 #                                          # golden|faults|perf|chaos|diag|
-#                                          # simcore|pop|popobs; regex
-#                                          # accepted)
+#                                          # simcore|pop|popobs|origin;
+#                                          # regex accepted)
 #   BUILD_DIR=out ./scripts/check.sh       # custom build directory
 set -euo pipefail
 
@@ -37,7 +37,7 @@ while [[ $# -gt 0 ]]; do
       BUILD_DIR="${BUILD_DIR}-tsan"
       CMAKE_ARGS+=(-DVODX_SANITIZE=thread)
       export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
-      NAME_FILTER='^(BatchPool|SweepEngine|SweepDeterminism|SeedSensitivity|FaultSweepDeterminism|PopulationDeterminism|PopulationTimeline)'
+      NAME_FILTER='^(BatchPool|SweepEngine|SweepDeterminism|SeedSensitivity|FaultSweepDeterminism|PopulationDeterminism|PopulationTimeline|PopulationOriginStopRace)'
       ;;
     --labels)
       [[ $# -ge 2 ]] || { echo "error: --labels needs a regex" >&2; exit 2; }

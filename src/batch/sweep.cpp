@@ -61,6 +61,7 @@ std::string CellResult::coordinates() const {
       format("(%s, profile %d, seed %llu", service.c_str(), profile_id,
              static_cast<unsigned long long>(seed));
   if (fault != "none") out += format(", fault %s", fault.c_str());
+  if (origin != "none") out += format(", origin %s", origin.c_str());
   return out + ")";
 }
 
@@ -69,7 +70,9 @@ SweepResult run_sweep(const SweepConfig& config) {
   const std::size_t n_profiles = config.profiles.size();
   const std::size_t n_seeds = config.seeds.size();
   const std::size_t n_faults = config.fault_scenarios.size();
-  const std::size_t total = n_services * n_profiles * n_seeds * n_faults;
+  const std::size_t n_origins = config.origin_modes.size();
+  const std::size_t total =
+      n_services * n_profiles * n_seeds * n_faults * n_origins;
 
   SweepResult out;
   out.cells.resize(total);
@@ -113,15 +116,17 @@ SweepResult run_sweep(const SweepConfig& config) {
 
   parallel_for(total, config.jobs, [&](std::size_t index) {
     VODX_PROFILE_ZONE("sweep.cell");
-    const std::size_t per_service = n_profiles * n_seeds * n_faults;
-    const std::size_t per_profile = n_seeds * n_faults;
+    const std::size_t per_service = n_profiles * n_seeds * n_faults * n_origins;
+    const std::size_t per_profile = n_seeds * n_faults * n_origins;
+    const std::size_t per_seed = n_faults * n_origins;
     CellResult& cell = out.cells[index];
     cell.cell.service_index = static_cast<int>(index / per_service);
     cell.cell.profile_index =
         static_cast<int>((index % per_service) / per_profile);
     cell.cell.seed_index =
-        static_cast<int>((index % per_profile) / n_faults);
-    cell.cell.fault_index = static_cast<int>(index % n_faults);
+        static_cast<int>((index % per_profile) / per_seed);
+    cell.cell.fault_index = static_cast<int>((index % per_seed) / n_origins);
+    cell.cell.origin_index = static_cast<int>(index % n_origins);
 
     const services::ServiceSpec& spec =
         config.services[static_cast<std::size_t>(cell.cell.service_index)];
@@ -131,6 +136,8 @@ SweepResult run_sweep(const SweepConfig& config) {
     cell.seed = config.seeds[static_cast<std::size_t>(cell.cell.seed_index)];
     cell.fault = config.fault_scenarios[static_cast<std::size_t>(
         cell.cell.fault_index)];
+    cell.origin = config.origin_modes[static_cast<std::size_t>(
+        cell.cell.origin_index)];
 
     // A config-rejected cell never enters the attempt loop: the error is
     // deterministic and must count zero attempts.
@@ -161,6 +168,17 @@ SweepResult run_sweep(const SweepConfig& config) {
                                        cell.cell.profile_index,
                                        cell.cell.fault_index);
             session.fault_plan = std::move(plan);
+          }
+          if (cell.origin != "none") {
+            // Unknown modes throw ConfigError like unknown scenarios; the
+            // jitter seed decorrelates across coordinates the same way the
+            // fault seed does.
+            session.origin = origin::preset(origin::parse_mode(cell.origin));
+            session.origin.seed = derive_seed(
+                derive_seed(cell.seed, /*a=*/4),
+                static_cast<std::uint64_t>(cell.cell.service_index),
+                static_cast<std::uint64_t>(cell.cell.profile_index),
+                static_cast<std::uint64_t>(cell.cell.origin_index));
           }
           if (config.prepare) config.prepare(cell.cell, session);
           if (!observers.empty()) {
@@ -234,13 +252,13 @@ std::string sweep_csv(const SweepResult& result) {
   std::string header = core::qoe_csv_header();
   const std::string label_prefix = "label,";
   if (starts_with(header, label_prefix)) header.erase(0, label_prefix.size());
-  std::string out = "service,profile,seed,fault," + header;
+  std::string out = "service,profile,seed,fault,origin," + header;
   for (const CellResult& cell : result.cells) {
     if (!cell.ok) continue;
     out += core::qoe_csv_row(
-        format("%s,%d,%llu,%s", cell.service.c_str(), cell.profile_id,
-               static_cast<unsigned long long>(cell.seed),
-               cell.fault.c_str()),
+        format("%s,%d,%llu,%s,%s", cell.service.c_str(), cell.profile_id,
+               static_cast<unsigned long long>(cell.seed), cell.fault.c_str(),
+               cell.origin.c_str()),
         cell.result);
   }
   return out;
@@ -249,10 +267,12 @@ std::string sweep_csv(const SweepResult& result) {
 std::string sweep_jsonl(const SweepResult& result) {
   std::string out;
   for (const CellResult& cell : result.cells) {
-    out += format(R"({"service":"%s","profile":%d,"seed":%llu,"fault":"%s",)",
-                  cell.service.c_str(), cell.profile_id,
-                  static_cast<unsigned long long>(cell.seed),
-                  cell.fault.c_str());
+    out += format(
+        R"({"service":"%s","profile":%d,"seed":%llu,"fault":"%s",)"
+        R"("origin":"%s",)",
+        cell.service.c_str(), cell.profile_id,
+        static_cast<unsigned long long>(cell.seed), cell.fault.c_str(),
+        cell.origin.c_str());
     if (!cell.ok) {
       // Error text is free-form; escape the two characters that can break
       // a JSON string literal coming from our own error messages.

@@ -60,12 +60,13 @@ std::uint64_t fault_seed_for(std::uint64_t sweep_seed, int service_index,
                              int profile_index, int fault_index);
 
 /// Grid coordinates of one experiment cell (indices into SweepConfig's
-/// services / profiles / seeds / fault_scenarios vectors).
+/// services / profiles / seeds / fault_scenarios / origin_modes vectors).
 struct Cell {
   int service_index = 0;
   int profile_index = 0;
   int seed_index = 0;
   int fault_index = 0;
+  int origin_index = 0;
 };
 
 struct CellResult {
@@ -73,7 +74,8 @@ struct CellResult {
   std::string service;     ///< spec name (or the raw token if unresolvable)
   int profile_id = 0;      ///< 1-based profile id as requested
   std::uint64_t seed = 0;  ///< sweep seed value
-  std::string fault = "none";  ///< fault scenario name
+  std::string fault = "none";   ///< fault scenario name
+  std::string origin = "none";  ///< origin-tier mode name
 
   bool ok = false;
   std::string error;  ///< populated when !ok
@@ -103,7 +105,7 @@ struct CellResult {
   std::uint64_t trace_dropped = 0;
 
   /// "(H1, profile 7, seed 0)" — the coordinate string used in diagnostics;
-  /// ", fault <name>" is appended when a non-trivial scenario is set.
+  /// ", fault <name>" / ", origin <mode>" are appended when non-trivial.
   std::string coordinates() const;
 };
 
@@ -113,9 +115,15 @@ struct SweepConfig {
   std::vector<std::uint64_t> seeds = {0};  ///< 0 = paper-default seeds
 
   /// Fault scenarios by catalog name (faults::scenario()); "none" runs the
-  /// cell without a fault plan. The fault axis is innermost, so the default
-  /// single-entry vector leaves the legacy grid order untouched.
+  /// cell without a fault plan. The default single-entry vector leaves the
+  /// legacy grid order untouched.
   std::vector<std::string> fault_scenarios = {"none"};
+
+  /// Origin-tier modes ("none" | "naive" | "hardened",
+  /// origin::parse_mode()); the innermost axis, inside fault. "none" runs
+  /// the plain single-origin path, so the default vector multiplies the
+  /// grid by exactly 1 and changes nothing.
+  std::vector<std::string> origin_modes = {"none"};
 
   Seconds session_duration = 600;
   Seconds content_duration = 600;
@@ -184,8 +192,9 @@ SweepConfig full_grid();
 /// {1, 2, ..., trace::kProfileCount}.
 std::vector<int> all_profile_ids();
 
-/// CSV of all successful cells in grid order: "service,profile,seed,fault,"
-/// + the core QoE columns. Byte-stable across job counts and repeat runs.
+/// CSV of all successful cells in grid order:
+/// "service,profile,seed,fault,origin," + the core QoE columns. Byte-stable
+/// across job counts and repeat runs.
 std::string sweep_csv(const SweepResult& result);
 
 /// One JSON object per cell (including failed cells, which carry an

@@ -35,7 +35,8 @@ std::uint64_t chaos_content_seed(std::uint64_t seed) {
 
 core::SessionConfig make_session(const std::string& service, int profile_id,
                                  Seconds duration, std::uint64_t chaos_seed,
-                                 const faults::FaultPlan& plan) {
+                                 const faults::FaultPlan& plan,
+                                 origin::Mode origin) {
   core::SessionFactory factory;
   factory.session_duration = duration;
   factory.content_duration = duration;
@@ -43,6 +44,9 @@ core::SessionConfig make_session(const std::string& service, int profile_id,
       factory.config(service, profile_id, chaos_trace_seed(chaos_seed),
                      chaos_content_seed(chaos_seed));
   session.fault_plan = plan;
+  session.origin = origin::preset(origin);
+  session.origin.seed =
+      batch::derive_seed(chaos_seed, /*a=*/0x6F726967ULL);  // "orig"
   return session;
 }
 
@@ -121,7 +125,7 @@ ChaosReport run_chaos(const ChaosConfig& config) {
 
         const CheckedRun run = run_checked(
             make_session(row.service, row.profile_id, config.duration, seed,
-                         plan),
+                         plan, config.origin),
             check);
         row.ok = run.ok();
         row.watchdog = run.watchdog;
@@ -132,6 +136,7 @@ ChaosReport run_chaos(const ChaosConfig& config) {
         row.artifact.profile_id = row.profile_id;
         row.artifact.duration = config.duration;
         row.artifact.chaos_seed = seed;
+        row.artifact.origin_mode = origin::to_string(config.origin);
         row.artifact.plan = plan;
 
         if (run.watchdog) {
@@ -155,7 +160,7 @@ ChaosReport run_chaos(const ChaosConfig& config) {
           const auto still_fails = [&](const faults::FaultPlan& candidate) {
             const CheckedRun probe = run_checked(
                 make_session(row.service, row.profile_id, config.duration,
-                             seed, candidate),
+                             seed, candidate, config.origin),
                 check);
             if (probe.watchdog) return false;
             for (const Violation& v : probe.report.violations) {
@@ -186,7 +191,8 @@ ChaosReport run_chaos(const ChaosConfig& config) {
 CheckedRun replay(const ReproArtifact& artifact, const CheckOptions& options) {
   return run_checked(make_session(artifact.service, artifact.profile_id,
                                   artifact.duration, artifact.chaos_seed,
-                                  artifact.plan),
+                                  artifact.plan,
+                                  origin::parse_mode(artifact.origin_mode)),
                      options);
 }
 

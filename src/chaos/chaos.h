@@ -68,10 +68,13 @@ std::uint64_t chaos_content_seed(std::uint64_t seed);
 
 /// Builds the SessionConfig a chaos cell (or a repro replay) runs: service
 /// + profile + duration + plan, with trace/content seeds derived from
-/// `chaos_seed`. Throws ConfigError on unknown service / bad profile id.
+/// `chaos_seed`. `origin` selects the origin-tier preset the session runs
+/// behind (kNone = the plain path); its retry-jitter seed is derived from
+/// `chaos_seed` too. Throws ConfigError on unknown service / bad profile id.
 core::SessionConfig make_session(const std::string& service, int profile_id,
                                  Seconds duration, std::uint64_t chaos_seed,
-                                 const faults::FaultPlan& plan);
+                                 const faults::FaultPlan& plan,
+                                 origin::Mode origin = origin::Mode::kNone);
 
 /// Runs one session under the watchdogs in `options` and checks the
 /// invariant catalog. Forces an Observer (the evidence source) if the
@@ -101,6 +104,11 @@ struct ChaosConfig {
 
   /// Simulator core every cell runs on (see CheckOptions::sim_core).
   net::SimCore sim_core = net::SimCore::kEvent;
+
+  /// Origin-tier preset every cell streams behind (kNone = no tier). Pair
+  /// with gen.origin_faults so generated plans draw the cache-flush /
+  /// DC-blackout windows that exercise it.
+  origin::Mode origin = origin::Mode::kNone;
 
   bool minimize = true;  ///< shrink violating plans before emitting repros
   MinimizeOptions minimize_options;

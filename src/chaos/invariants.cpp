@@ -268,6 +268,56 @@ void check_stall_well_formed(Ctx& ctx) {
   }
 }
 
+// --- Origin-tier invariants ------------------------------------------------
+//
+// All three read the session's metrics snapshot: the origin tier publishes
+// its cache/failover counters and configuration gauges through obs, so a
+// session that ran without an origin tier trivially passes (no counters).
+
+void check_cache_consistency(Ctx& ctx) {
+  const obs::MetricsSnapshot snap =
+      ctx.observer.metrics.snapshot(ctx.result.session_end);
+  const obs::MetricsSnapshot::Entry* fails =
+      snap.find("origin.cache.consistency_fail");
+  if (fails != nullptr && fails->count > 0) {
+    ctx.violate("cache.consistency", ctx.result.session_end,
+                format("%lld edge-cache responses diverged from the origin's "
+                       "canonical bytes",
+                       static_cast<long long>(fails->count)));
+  }
+}
+
+void check_no_dup_fetch(Ctx& ctx) {
+  const obs::MetricsSnapshot snap =
+      ctx.observer.metrics.snapshot(ctx.result.session_end);
+  const obs::MetricsSnapshot::Entry* coalesce =
+      snap.find("origin.coalesce.enabled");
+  if (coalesce == nullptr || coalesce->value < 0.5) return;  // storms allowed
+  const obs::MetricsSnapshot::Entry* dups =
+      snap.find("origin.cache.dup_fills");
+  if (dups != nullptr && dups->count > 0) {
+    ctx.violate("coalesce.no_dup_fetch", ctx.result.session_end,
+                format("%lld duplicate origin fills despite coalescing on",
+                       static_cast<long long>(dups->count)));
+  }
+}
+
+void check_failover_bounded(Ctx& ctx) {
+  const obs::MetricsSnapshot snap =
+      ctx.observer.metrics.snapshot(ctx.result.session_end);
+  const obs::MetricsSnapshot::Entry* threshold =
+      snap.find("origin.breaker.threshold");
+  if (threshold == nullptr || threshold->value <= 0) return;  // no breaker
+  const obs::MetricsSnapshot::Entry* consec =
+      snap.find("origin.failover.max_consec");
+  if (consec != nullptr && consec->value > threshold->value) {
+    ctx.violate("failover.bounded", ctx.result.session_end,
+                format("%.0f consecutive primary failures exceed the breaker "
+                       "threshold %.0f (breaker failed to trip)",
+                       consec->value, threshold->value));
+  }
+}
+
 }  // namespace
 
 std::string InvariantReport::summary() const {
@@ -312,6 +362,12 @@ const std::vector<InvariantInfo>& invariant_catalog() {
        "stalls ordered, non-overlapping, only the last open-ended"},
       {"session.completes",
        "run_session returns under any fault plan (no uncaught exception)"},
+      {"cache.consistency",
+       "edge-cache responses byte-identical to the origin's canonical bytes"},
+      {"coalesce.no_dup_fetch",
+       "with coalescing on, an in-flight fill never refetches the origin"},
+      {"failover.bounded",
+       "consecutive primary-DC failures never exceed the breaker threshold"},
   };
   return catalog;
 }
@@ -329,6 +385,9 @@ InvariantReport check_invariants(const core::SessionConfig& config,
   check_retry_bounds(ctx);
   check_qoe_finite(ctx);
   check_stall_well_formed(ctx);
+  check_cache_consistency(ctx);
+  check_no_dup_fetch(ctx);
+  check_failover_bounded(ctx);
   return report;
 }
 

@@ -37,6 +37,13 @@
 //   session.completes   run_session returns under any fault plan; an
 //                       escaped exception is reported (by chaos::run_checked)
 //                       as a violation rather than crashing the fuzz run
+//   cache.consistency   origin-tier edge-cache responses stay byte-identical
+//                       to the origin's canonical bytes (digest-checked on
+//                       every hit)
+//   coalesce.no_dup_fetch  with coalescing enabled, a miss on a key whose
+//                       fill is in flight joins it — never a duplicate fetch
+//   failover.bounded    consecutive primary-DC failures never exceed the
+//                       configured breaker threshold (the breaker trips)
 #pragma once
 
 #include <string>

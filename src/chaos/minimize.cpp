@@ -9,7 +9,15 @@ namespace {
 /// A fault's position in the plan, independent of kind, so the drop pass
 /// can treat the plan as one flat list.
 struct FaultRef {
-  enum Kind { kLatency, kError, kReset, kReject, kBlackout } kind;
+  enum Kind {
+    kLatency,
+    kError,
+    kReset,
+    kReject,
+    kBlackout,
+    kCacheFlush,
+    kDcBlackout,
+  } kind;
   std::size_t index;
 };
 
@@ -29,6 +37,12 @@ std::vector<FaultRef> flatten(const faults::FaultPlan& plan) {
   }
   for (std::size_t i = 0; i < plan.blackouts.size(); ++i) {
     refs.push_back({FaultRef::kBlackout, i});
+  }
+  for (std::size_t i = 0; i < plan.cache_flushes.size(); ++i) {
+    refs.push_back({FaultRef::kCacheFlush, i});
+  }
+  for (std::size_t i = 0; i < plan.dc_blackouts.size(); ++i) {
+    refs.push_back({FaultRef::kDcBlackout, i});
   }
   return refs;
 }
@@ -50,6 +64,12 @@ faults::FaultPlan without(const faults::FaultPlan& plan, const FaultRef& ref) {
       break;
     case FaultRef::kBlackout:
       out.blackouts.erase(out.blackouts.begin() + ref.index);
+      break;
+    case FaultRef::kCacheFlush:
+      out.cache_flushes.erase(out.cache_flushes.begin() + ref.index);
+      break;
+    case FaultRef::kDcBlackout:
+      out.dc_blackouts.erase(out.dc_blackouts.begin() + ref.index);
       break;
   }
   return out;
@@ -170,13 +190,21 @@ void soften(faults::FaultPlan& best, const Oracle& oracle, Budget& budget) {
            })) {
     }
   }
+  for (std::size_t i = 0; i < best.dc_blackouts.size(); ++i) {
+    while (best.dc_blackouts[i].duration > 1 && budget.remaining > 0 &&
+           try_keep(best, oracle, budget, [i](faults::FaultPlan& candidate) {
+             candidate.dc_blackouts[i].duration /= 2;
+           })) {
+    }
+  }
 }
 
 }  // namespace
 
 std::size_t fault_count(const faults::FaultPlan& plan) {
   return plan.latency.size() + plan.errors.size() + plan.resets.size() +
-         plan.rejects.size() + plan.blackouts.size();
+         plan.rejects.size() + plan.blackouts.size() +
+         plan.cache_flushes.size() + plan.dc_blackouts.size();
 }
 
 MinimizeResult minimize(const faults::FaultPlan& plan, const Oracle& oracle,
@@ -189,6 +217,9 @@ MinimizeResult minimize(const faults::FaultPlan& plan, const Oracle& oracle,
   // or a default fuzz horizon. Only used to give narrowing a finite end.
   Seconds horizon = 120;
   for (const faults::BlackoutFault& b : plan.blackouts) {
+    horizon = std::max(horizon, b.start + b.duration);
+  }
+  for (const faults::DcBlackoutFault& b : plan.dc_blackouts) {
     horizon = std::max(horizon, b.start + b.duration);
   }
 

@@ -66,8 +66,9 @@ faults::FaultPlan generate_plan(std::uint64_t seed,
   const int span = std::max(0, options.max_faults - options.min_faults);
   const int count =
       options.min_faults + static_cast<int>(rng.below(span + 1));
+  const std::uint64_t kinds = options.origin_faults ? 7 : 5;
   for (int i = 0; i < count; ++i) {
-    switch (rng.below(5)) {
+    switch (rng.below(kinds)) {
       case 0: {
         faults::LatencyFault fault;
         fault.match = draw_match(rng, options);
@@ -108,11 +109,24 @@ faults::FaultPlan generate_plan(std::uint64_t seed,
         plan.rejects.push_back(fault);
         break;
       }
-      default: {
+      case 4: {
         faults::BlackoutFault fault;
         fault.start = rng.range(0, options.horizon * 0.9);
         fault.duration = rng.range(0.5, options.max_blackout);
         plan.blackouts.push_back(fault);
+        break;
+      }
+      case 5: {
+        faults::CacheFlushFault fault;
+        fault.at = rng.range(0, options.horizon);
+        plan.cache_flushes.push_back(fault);
+        break;
+      }
+      default: {
+        faults::DcBlackoutFault fault;
+        fault.start = rng.range(0, options.horizon * 0.9);
+        fault.duration = rng.range(0.5, options.max_blackout);
+        plan.dc_blackouts.push_back(fault);
         break;
       }
     }
@@ -132,6 +146,8 @@ std::string plan_summary(const faults::FaultPlan& plan) {
   add(plan.resets.size(), "reset");
   add(plan.rejects.size(), "reject");
   add(plan.blackouts.size(), "blackout");
+  add(plan.cache_flushes.size(), "cache-flush");
+  add(plan.dc_blackouts.size(), "dc-blackout");
   return out.empty() ? "empty" : out;
 }
 

@@ -26,6 +26,11 @@ struct GenOptions {
   Seconds max_blackout = 20;   ///< BlackoutFault duration ceiling
   double min_probability = 0.05;
   double max_probability = 1.0;
+  /// Adds origin-targeted kinds (cache flushes, DC blackout windows) to the
+  /// draw. Off by default: enabling it widens the kind die, so plans for a
+  /// given seed differ from the origin-free stream — existing campaign seeds
+  /// stay byte-identical unless a run opts in.
+  bool origin_faults = false;
 };
 
 /// Deterministically expands `seed` into a FaultPlan within `options`'

@@ -232,6 +232,8 @@ std::string to_json(const ReproArtifact& artifact) {
                 static_cast<unsigned long long>(artifact.chaos_seed));
   out += format("  \"invariants\": \"%s\",\n",
                 escape(artifact.invariants).c_str());
+  out += format("  \"origin_mode\": \"%s\",\n",
+                escape(artifact.origin_mode).c_str());
   out += format("  \"plan\": {\n    \"name\": \"%s\",\n    \"seed\": %llu,\n",
                 escape(plan.name).c_str(),
                 static_cast<unsigned long long>(plan.seed));
@@ -272,6 +274,17 @@ std::string to_json(const ReproArtifact& artifact) {
     out += format(R"(%s{"start":%.6g,"duration":%.6g})", i == 0 ? "" : ",",
                   f.start, f.duration);
   }
+  out += "],\n    \"cache_flushes\": [";
+  for (std::size_t i = 0; i < plan.cache_flushes.size(); ++i) {
+    out += format(R"(%s{"at":%.6g})", i == 0 ? "" : ",",
+                  plan.cache_flushes[i].at);
+  }
+  out += "],\n    \"dc_blackouts\": [";
+  for (std::size_t i = 0; i < plan.dc_blackouts.size(); ++i) {
+    const faults::DcBlackoutFault& f = plan.dc_blackouts[i];
+    out += format(R"(%s{"start":%.6g,"duration":%.6g})", i == 0 ? "" : ",",
+                  f.start, f.duration);
+  }
   out += "]\n  }\n}\n";
   return out;
 }
@@ -288,6 +301,7 @@ ReproArtifact parse_repro(const std::string& json) {
   artifact.chaos_seed =
       static_cast<std::uint64_t>(root.num_or("chaos_seed", 0));
   artifact.invariants = root.str_or("invariants", "");
+  artifact.origin_mode = root.str_or("origin_mode", "none");
 
   const Json* plan = root.find("plan");
   if (plan == nullptr || plan->type != Json::Type::kObject) {
@@ -340,6 +354,21 @@ ReproArtifact parse_repro(const std::string& json) {
       f.start = j.num_or("start", 0);
       f.duration = j.num_or("duration", 10);
       out.blackouts.push_back(f);
+    }
+  }
+  if (const Json* list = plan->find("cache_flushes")) {
+    for (const Json& j : list->array) {
+      faults::CacheFlushFault f;
+      f.at = j.num_or("at", 0);
+      out.cache_flushes.push_back(f);
+    }
+  }
+  if (const Json* list = plan->find("dc_blackouts")) {
+    for (const Json& j : list->array) {
+      faults::DcBlackoutFault f;
+      f.start = j.num_or("start", 0);
+      f.duration = j.num_or("duration", 10);
+      out.dc_blackouts.push_back(f);
     }
   }
   return artifact;

@@ -21,6 +21,9 @@ struct ReproArtifact {
   Seconds duration = 120;    ///< session duration
   std::uint64_t chaos_seed = 0;  ///< the fuzz seed that found it
   std::string invariants;    ///< violated invariant names (summary string)
+  /// Origin-tier preset the session ran with ("none"|"naive"|"hardened");
+  /// replay reconstructs the tier so origin-targeted faults land somewhere.
+  std::string origin_mode = "none";
   faults::FaultPlan plan;    ///< the (minimized) plan to replay
 
   /// "vodx chaos --repro <path>" — the line a human runs.

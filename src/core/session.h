@@ -23,6 +23,7 @@
 #include "net/bandwidth_trace.h"
 #include "net/simulator.h"
 #include "obs/observer.h"
+#include "origin/origin.h"
 #include "player/player.h"
 #include "services/service_catalog.h"
 
@@ -52,6 +53,15 @@ struct SessionConfig {
   /// before the link is built; the remaining faults run as a FaultInjector
   /// registered after `interceptors`.
   std::optional<faults::FaultPlan> fault_plan;
+
+  /// Origin/CDN tier (DESIGN.md §16). mode kNone = no tier (the historical
+  /// single-origin path, byte-identical). When enabled, an origin::OriginTier
+  /// is registered FIRST on the proxy — before `interceptors` and the fault
+  /// injector — so the edge cache short-circuits injected origin errors and
+  /// the failover machinery sees injector-mutated responses.
+  origin::OriginOptions origin;
+  /// Shared cache/breaker state (population towers); null = per-session.
+  std::shared_ptr<origin::OriginState> origin_state;
 
   QoeOptions qoe_options;
 

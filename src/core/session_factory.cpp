@@ -25,6 +25,7 @@ SessionConfig SessionFactory::config(const services::ServiceSpec& spec,
   session.sim_core = sim_core;
   session.wall_budget = wall_budget;
   session.max_events_per_instant = max_events_per_instant;
+  session.origin = origin;
   return session;
 }
 
@@ -63,6 +64,21 @@ HostedSession::HostedSession(net::Simulator& sim, net::Link& link,
       proxy_(origin_),
       player_(sim, link, proxy_, config.spec.protocol,
               player_config_for(config)) {
+  // The origin tier goes first: its cache can short-circuit the whole chain
+  // (edge hits bypass injected origin errors), and its response stage runs
+  // last, seeing injector-mutated responses as primary-DC failures.
+  if (config.origin.mode != origin::Mode::kNone) {
+    origin_tier_ = std::make_shared<origin::OriginTier>(
+        config.origin, config.origin_state,
+        format("%s#%llu", config.spec.name.c_str(),
+               static_cast<unsigned long long>(config.content_seed)));
+    if (config.fault_plan) {
+      origin_tier_->set_fault_schedule(config.fault_plan->cache_flushes,
+                                       config.fault_plan->dc_blackouts);
+    }
+    origin_tier_->set_observer(config.observer);
+    proxy_.use(origin_tier_);
+  }
   for (const http::InterceptorPtr& interceptor : config.interceptors) {
     proxy_.use(interceptor);
   }

@@ -28,6 +28,7 @@
 #include "faults/fault_injector.h"
 #include "http/proxy.h"
 #include "net/link.h"
+#include "origin/origin.h"
 #include "net/simulator.h"
 #include "player/player.h"
 #include "services/service_catalog.h"
@@ -42,6 +43,8 @@ struct SessionFactory {
   net::SimCore sim_core = net::SimCore::kEvent;
   Seconds wall_budget = 0;
   std::uint64_t max_events_per_instant = 0;
+  /// Origin tier preset applied to every session (mode kNone = disabled).
+  origin::OriginOptions origin;
 
   /// Throws ConfigError when `profile_id` is outside [1, kProfileCount].
   /// Exposed separately so batch::run_sweep can reject a cell before its
@@ -124,6 +127,7 @@ class HostedSession {
   QoeOptions qoe_options_;
   http::OriginServer origin_;
   http::Proxy proxy_;
+  std::shared_ptr<origin::OriginTier> origin_tier_;
   std::shared_ptr<faults::FaultInjector> injector_;
   player::Player player_;
   UiMonitor ui_monitor_;

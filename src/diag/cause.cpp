@@ -6,6 +6,8 @@ const char* to_string(Cause cause) {
   switch (cause) {
     case Cause::kFaultInjected: return "fault.injected";
     case Cause::kTcpSlowStartRestart: return "tcp.slow_start_restart";
+    case Cause::kOriginFailover: return "origin.failover";
+    case Cause::kOriginCacheMiss: return "origin.cache_miss";
     case Cause::kOriginLatency: return "origin.latency";
     case Cause::kLinkDeficit: return "link.deficit";
     case Cause::kAbrOverestimate: return "abr.overestimate";
@@ -19,6 +21,8 @@ const char* short_label(Cause cause) {
   switch (cause) {
     case Cause::kFaultInjected: return "fault";
     case Cause::kTcpSlowStartRestart: return "restart";
+    case Cause::kOriginFailover: return "failover";
+    case Cause::kOriginCacheMiss: return "cache_miss";
     case Cause::kOriginLatency: return "origin";
     case Cause::kLinkDeficit: return "link";
     case Cause::kAbrOverestimate: return "abr";
@@ -34,6 +38,10 @@ const char* describe(Cause cause) {
       return "overlap with a fired FaultPlan fault or blackout window";
     case Cause::kTcpSlowStartRestart:
       return "idle/non-persistent connection re-paying the cwnd ramp";
+    case Cause::kOriginFailover:
+      return "primary-DC retries/backoff or a breaker trip to the secondary";
+    case Cause::kOriginCacheMiss:
+      return "edge cache-miss service time (packaging, coalesced fill waits)";
     case Cause::kOriginLatency:
       return "first-byte dominated waits (RTTs + server-side latency)";
     case Cause::kLinkDeficit:
@@ -51,6 +59,7 @@ const char* describe(Cause cause) {
 const std::array<Cause, kCauseCount>& all_causes() {
   static const std::array<Cause, kCauseCount> causes = {
       Cause::kFaultInjected,  Cause::kTcpSlowStartRestart,
+      Cause::kOriginFailover, Cause::kOriginCacheMiss,
       Cause::kOriginLatency,  Cause::kLinkDeficit,
       Cause::kAbrOverestimate, Cause::kServerPacing,
       Cause::kUnknown};

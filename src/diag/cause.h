@@ -19,6 +19,12 @@ enum class Cause {
   /// Idle gap on a non-persistent / idle-killed connection followed by a
   /// cwnd ramp (RFC 2861 restart, re-paid handshake).
   kTcpSlowStartRestart,
+  /// Origin tier failover activity: primary-DC retries/backoff or a breaker
+  /// trip to the secondary datacenter (origin::OriginTier evidence).
+  kOriginFailover,
+  /// Origin tier cache-miss service time: packaging latency and coalesced
+  /// fill waits at the edge (origin::OriginTier evidence).
+  kOriginCacheMiss,
   /// First-byte dominated waits: handshake/request RTTs and server-side
   /// added latency before any payload flows.
   kOriginLatency,
@@ -35,7 +41,7 @@ enum class Cause {
   kUnknown,
 };
 
-inline constexpr int kCauseCount = 7;
+inline constexpr int kCauseCount = 9;
 
 /// Stable wire name ("link.deficit", "fault.injected", ...).
 const char* to_string(Cause cause);

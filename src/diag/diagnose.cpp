@@ -93,6 +93,29 @@ EvidenceIndex build_index(const core::SessionResult& result,
                format("%s fired at %.1fs", event.name, event.sim_time)});
         }
         break;
+      case obs::Category::kOrigin:
+        // Origin-tier clues carry their own service time in wait_s: the
+        // evidence span covers the wait the request actually experienced
+        // (floored so a zero-wait clue still explains its own instant).
+        if (event.kind == obs::EventKind::kInstant) {
+          const Seconds wait =
+              std::max(obs::field_num(event, "wait_s"), 0.05);
+          if (is_name(event, "origin.retry") ||
+              is_name(event, "origin.failover")) {
+            index.spans.push_back(
+                {event.sim_time, event.sim_time + wait,
+                 Cause::kOriginFailover, 0.9,
+                 format("%s at %.1fs (%.2fs wait)", event.name,
+                        event.sim_time, wait)});
+          } else if (is_name(event, "origin.cache_miss")) {
+            index.spans.push_back(
+                {event.sim_time, event.sim_time + wait,
+                 Cause::kOriginCacheMiss, 0.85,
+                 format("cache miss at %.1fs (%.2fs origin-side)",
+                        event.sim_time, wait)});
+          }
+        }
+        break;
       case obs::Category::kTcp: {
         if (event.kind == obs::EventKind::kInstant) {
           if (is_name(event, "tcp.idle_restart")) {

@@ -74,6 +74,25 @@ struct BlackoutFault {
   Seconds duration = 10;
 };
 
+/// Instant at which the origin tier's edge cache is wiped (deploy, restart,
+/// purge). Consumed by origin::OriginTier, not the FaultInjector; a no-op
+/// for sessions running without an origin tier.
+struct CacheFlushFault {
+  Seconds at = 0;
+};
+
+/// A window where the primary datacenter answers nothing: every origin
+/// fetch routed to it fails until the window closes. Consumed by
+/// origin::OriginTier (the failover state machine), not the FaultInjector.
+struct DcBlackoutFault {
+  Seconds start = 0;
+  Seconds duration = 10;
+
+  bool covers(Seconds now) const {
+    return now >= start && now < start + duration;
+  }
+};
+
 struct FaultPlan {
   std::string name = "none";
   std::uint64_t seed = 1;
@@ -82,10 +101,13 @@ struct FaultPlan {
   std::vector<ResetFault> resets;
   std::vector<RejectFault> rejects;
   std::vector<BlackoutFault> blackouts;
+  std::vector<CacheFlushFault> cache_flushes;
+  std::vector<DcBlackoutFault> dc_blackouts;
 
   bool empty() const {
     return latency.empty() && errors.empty() && resets.empty() &&
-           rejects.empty() && blackouts.empty();
+           rejects.empty() && blackouts.empty() && cache_flushes.empty() &&
+           dc_blackouts.empty();
   }
 };
 

@@ -29,6 +29,7 @@ enum class Category : std::uint32_t {
   kAbr = 1u << 5,      ///< adaptation decisions with their inputs
   kSession = 1u << 6,  ///< session milestones, truth-vs-inference divergence
   kFault = 1u << 7,    ///< injected faults (rejects, errors, resets, latency)
+  kOrigin = 1u << 8,   ///< origin tier (cache misses, retries, DC failover)
 };
 
 constexpr std::uint32_t kAllCategories = 0xffffffffu;

@@ -16,6 +16,7 @@ const char* to_string(Category category) {
     case Category::kAbr: return "abr";
     case Category::kSession: return "session";
     case Category::kFault: return "fault";
+    case Category::kOrigin: return "origin";
   }
   return "?";
 }

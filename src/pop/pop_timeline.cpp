@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "common/strings.h"
+#include "diag/cause.h"
 #include "pop/population.h"
 
 namespace vodx::pop {
@@ -17,9 +18,12 @@ constexpr const char* kRungNames[kRungBuckets] = {
 
 // diag::Cause order (cause.h); blame columns exist only on diagnosed runs.
 constexpr const char* kBlameNames[] = {
-    "blame_fault", "blame_restart", "blame_origin", "blame_deficit",
-    "blame_abr",   "blame_pacing",  "blame_unknown",
+    "blame_fault",   "blame_restart", "blame_failover",
+    "blame_cache_miss", "blame_origin",  "blame_deficit",
+    "blame_abr",     "blame_pacing",  "blame_unknown",
 };
+static_assert(std::size(kBlameNames) == diag::kCauseCount,
+              "one blame column per diag::Cause, in enum order");
 
 }  // namespace
 

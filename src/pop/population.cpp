@@ -29,6 +29,8 @@ constexpr std::uint64_t kTraceTag = 0x746F7765ULL;    // "towe"
 constexpr std::uint64_t kSlotTag = 0x736C6F74ULL;     // "slot"
 constexpr std::uint64_t kFlashTag = 0x666C6173ULL;    // "flas"
 constexpr std::uint64_t kContentTag = 0x636F6E74ULL;  // "cont"
+constexpr std::uint64_t kOriginTag = 0x6F726967ULL;   // "orig"
+constexpr std::uint64_t kFaultTag = 0x6661756CULL;    // "faul"
 
 /// Knuth's product-of-uniforms Poisson draw; fine for the per-second rates
 /// a cell sees (lambda well under ~30).
@@ -161,6 +163,16 @@ TowerReport run_tower(const PopulationConfig& config, int tower_index,
   factory.content_duration = config.content_duration;
   factory.sim_core = config.sim_core;
 
+  // One origin state per tower: every session the tower hosts shares this
+  // edge cache and breaker (the tower's simulator is single-threaded, so
+  // the sharing is race-free by construction). shared_content collapses the
+  // tower onto one title so the cache sees real cross-session hits.
+  const bool with_origin = config.origin.mode != origin::Mode::kNone;
+  std::shared_ptr<origin::OriginState> origin_state;
+  if (with_origin) origin_state = std::make_shared<origin::OriginState>();
+  const std::uint64_t tower_content_seed = batch::derive_seed(
+      config.seed, kContentTag, static_cast<std::uint64_t>(tower_index));
+
   struct Hosted {
     std::unique_ptr<core::HostedSession> session;
     Seconds departure = 0;  ///< min(arrival + watch, horizon)
@@ -188,14 +200,31 @@ TowerReport run_tower(const PopulationConfig& config, int tower_index,
       core::SessionConfig session_config = factory.config(
           pool[static_cast<std::size_t>(arr.service_index)],
           net::BandwidthTrace());  // the shared link already embodies it
-      session_config.content_seed = arr.content_seed;
+      session_config.content_seed =
+          config.shared_content ? tower_content_seed : arr.content_seed;
       session_config.tick = config.tick;
       session_config.rtt = config.rtt;
+      if (with_origin) {
+        session_config.origin = config.origin;
+        // Per-session jitter stream, keyed like every other pop draw.
+        session_config.origin.seed = batch::derive_seed(
+            config.seed, kOriginTag, static_cast<std::uint64_t>(tower_index),
+            static_cast<std::uint64_t>(i));
+        session_config.origin_state = origin_state;
+      }
+      if (!config.fault_plan.empty()) {
+        faults::FaultPlan plan = config.fault_plan;
+        plan.seed = batch::derive_seed(config.seed, kFaultTag,
+                                       static_cast<std::uint64_t>(tower_index),
+                                       static_cast<std::uint64_t>(i));
+        session_config.fault_plan = std::move(plan);
+      }
       if (diagnosed_ordinal(i)) {
         observers[i] = std::make_unique<obs::Observer>(std::size_t{1} << 15);
-        observers[i]->trace.set_category_mask(obs::bit(obs::Category::kTcp) |
-                                              obs::bit(obs::Category::kFault) |
-                                              obs::bit(obs::Category::kLink));
+        observers[i]->trace.set_category_mask(
+            obs::bit(obs::Category::kTcp) | obs::bit(obs::Category::kFault) |
+            obs::bit(obs::Category::kLink) |
+            obs::bit(obs::Category::kOrigin));
         observers[i]->trace.set_clock([&sim] { return sim.now(); });
         session_config.observer = observers[i].get();
       }
@@ -312,6 +341,7 @@ TowerReport run_tower(const PopulationConfig& config, int tower_index,
     }
   }
   report.timeline = std::move(timeline);
+  if (with_origin) report.origin_totals = origin_state->totals;
 
   // Sessions must be destroyed before sim + link leave scope; explicit for
   // clarity (the vector would go out of scope in the right order anyway).
@@ -356,10 +386,12 @@ PopulationReport run_population(const PopulationConfig& config) {
   };
   std::vector<PerService> per_service(pool.size());
   report.diagnosed = config.diagnose;
+  report.origin_enabled = config.origin.mode != origin::Mode::kNone;
   for (const TowerReport& tower : report.towers) {
     report.total_sessions += tower.sessions;
     report.timeline.merge_from(tower.timeline);
     report.diag.merge_from(tower.diag);
+    report.origin_totals.merge_from(tower.origin_totals);
     for (const SessionOutcome& outcome : tower.outcomes) {
       if (outcome.startup_delay >= 0) {
         startups.push_back(outcome.startup_delay);
@@ -450,6 +482,34 @@ std::string population_text(const PopulationReport& report) {
           "warning: %llu trace event(s) dropped across diagnosed sessions; "
           "evidence may be incomplete\n",
           static_cast<unsigned long long>(d.trace_dropped));
+    }
+  }
+  if (report.origin_enabled) {
+    const origin::OriginState::Totals& o = report.origin_totals;
+    const std::int64_t lookups = o.hits + o.misses;
+    const double hit_rate =
+        lookups > 0 ? static_cast<double>(o.hits) / lookups : 0.0;
+    out += format(
+        "origin: %lld hit(s) / %lld miss(es) (%.1f%% hit rate), "
+        "%lld expired, %lld coalesced, %lld duplicate fill(s), "
+        "%lld flush(es)\n",
+        static_cast<long long>(o.hits), static_cast<long long>(o.misses),
+        hit_rate * 100.0, static_cast<long long>(o.expired),
+        static_cast<long long>(o.coalesced),
+        static_cast<long long>(o.dup_fills),
+        static_cast<long long>(o.flushes));
+    out += format(
+        "origin failover: %lld retry(ies), %lld breaker trip(s), "
+        "%lld probe(s), %lld served by secondary, %lld error(s)\n",
+        static_cast<long long>(o.retries), static_cast<long long>(o.trips),
+        static_cast<long long>(o.probes),
+        static_cast<long long>(o.secondary),
+        static_cast<long long>(o.errors));
+    if (o.consistency_failures > 0) {
+      out += format(
+          "warning: %lld cache-consistency failure(s) — cached bytes "
+          "diverged from the origin copy\n",
+          static_cast<long long>(o.consistency_failures));
     }
   }
   return out;

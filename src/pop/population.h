@@ -23,8 +23,10 @@
 
 #include "common/stats.h"
 #include "common/units.h"
+#include "faults/fault_plan.h"
 #include "net/simulator.h"
 #include "obs/timeline.h"
+#include "origin/origin.h"
 #include "pop/pop_diag.h"
 
 namespace vodx::pop {
@@ -85,6 +87,25 @@ struct PopulationConfig {
   /// Per-tower cap on diagnosed sessions, first-arrival order (diagnosis
   /// needs a per-session trace + the full finish() analysis); 0 = all.
   int diag_session_budget = 64;
+
+  // --- Origin tier (DESIGN.md §16) ---------------------------------------
+  /// Origin/CDN tier every session runs behind (mode kNone = disabled, the
+  /// historical path). When enabled, each tower owns ONE shared OriginState:
+  /// its edge cache and breaker are shared by every session the tower hosts
+  /// (the tower's simulator is single-threaded, so this is determinism- and
+  /// TSan-safe).
+  origin::OriginOptions origin;
+  /// Flash-crowd content model: all of a tower's sessions stream the same
+  /// title (one shared content seed per tower), so the tower's edge cache
+  /// sees real cross-session hits. Off by default — per-session titles keep
+  /// the historical outputs byte-identical.
+  bool shared_content = false;
+  /// Fault plan applied to every session. Windows are in tower-sim time
+  /// (interceptors see sim.now()), so a dc_blackout at t=28s darkens the
+  /// primary for every session of the tower, whenever each one arrived. The
+  /// per-session injector seed derives from (seed, tower, ordinal); the
+  /// default empty plan adds no interceptor at all.
+  faults::FaultPlan fault_plan;
 };
 
 /// One generated viewer: when they arrive, how long they intend to watch,
@@ -140,6 +161,8 @@ struct TowerReport {
   obs::Timeline timeline;
   /// Attribution rollup (zero unless diagnose).
   TowerDiag diag;
+  /// The tower's shared origin-tier totals (zero unless origin enabled).
+  origin::OriginState::Totals origin_totals;
 };
 
 /// The population axis of the paper's per-service tables: Table 2's issue
@@ -165,6 +188,10 @@ struct PopulationReport {
   /// Per-tower attribution rollups folded in tower order.
   TowerDiag diag;
   bool diagnosed = false;  ///< whether the diag rollup was populated
+  /// Origin-tier totals folded across towers; printed only when enabled, so
+  /// origin-free reports stay byte-identical to the historical output.
+  origin::OriginState::Totals origin_totals;
+  bool origin_enabled = false;
 };
 
 /// Runs every tower (parallel across towers, deterministic at any jobs

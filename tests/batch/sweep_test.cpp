@@ -88,10 +88,10 @@ TEST(SweepEngine, CsvHasCoordinateColumnsAndSkipsFailedCells) {
   const std::string csv = sweep_csv(result);
   const std::vector<std::string> lines = split_lines(csv);
   ASSERT_GE(lines.size(), 3u);
-  EXPECT_TRUE(
-      starts_with(lines[0], "service,profile,seed,fault,startup_delay_s"));
-  EXPECT_TRUE(starts_with(lines[1], "TH,1,0,none,"));
-  EXPECT_TRUE(starts_with(lines[2], "TD,1,0,none,"));
+  EXPECT_TRUE(starts_with(lines[0],
+                          "service,profile,seed,fault,origin,startup_delay_s"));
+  EXPECT_TRUE(starts_with(lines[1], "TH,1,0,none,none,"));
+  EXPECT_TRUE(starts_with(lines[2], "TD,1,0,none,none,"));
   EXPECT_EQ(csv.find(",99,"), std::string::npos);  // failed cells excluded
 }
 

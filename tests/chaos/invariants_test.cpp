@@ -16,9 +16,10 @@ namespace {
 TEST(Invariants, CatalogNamesAreStable) {
   const std::vector<InvariantInfo>& catalog = invariant_catalog();
   const char* expected[] = {
-      "time.monotone",    "span.balanced",      "buffer.bounds",
-      "transfer.order",   "bytes.conservation", "retry.bounds",
-      "qoe.finite",       "stall.well_formed",  "session.completes",
+      "time.monotone",     "span.balanced",        "buffer.bounds",
+      "transfer.order",    "bytes.conservation",   "retry.bounds",
+      "qoe.finite",        "stall.well_formed",    "session.completes",
+      "cache.consistency", "coalesce.no_dup_fetch", "failover.bounded",
   };
   ASSERT_EQ(catalog.size(), std::size(expected));
   for (std::size_t i = 0; i < catalog.size(); ++i) {

@@ -1,0 +1,123 @@
+// Session-level origin tests: the tier wired through run_session /
+// HostedSession, its composition with faults::FaultPlan (the injector's
+// errors register as primary-DC failures the hardened origin absorbs), and
+// run-to-run determinism of the whole stack.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/session.h"
+#include "faults/fault_plan.h"
+#include "origin/origin.h"
+#include "services/service_catalog.h"
+#include "trace/cellular_profiles.h"
+
+namespace vodx::core {
+namespace {
+
+SessionConfig base_config() {
+  SessionConfig config;
+  config.spec = services::service("H1");
+  config.trace = trace::cellular_profile(7, 2017);
+  config.session_duration = 60;
+  config.content_duration = 120;
+  return config;
+}
+
+TEST(OriginSession, HardenedTierServesTheSessionAndFillsTheCache) {
+  SessionConfig config = base_config();
+  config.origin = origin::hardened_origin();
+  config.origin_state = std::make_shared<origin::OriginState>();
+  const SessionResult result = run_session(config);
+  EXPECT_GE(result.ground_truth.startup_delay, 0);
+  EXPECT_GT(result.ground_truth.total_bytes, 0);
+  const origin::OriginState::Totals& totals = config.origin_state->totals;
+  // A single session never refetches a key it already pulled, so hits come
+  // only from manifest refreshes — but every fetch goes through the tier.
+  EXPECT_GT(totals.misses, 0);
+  EXPECT_EQ(totals.errors, 0);
+  EXPECT_EQ(totals.consistency_failures, 0);
+}
+
+TEST(OriginSession, RunSessionIsDeterministicWithTheTierEnabled) {
+  auto run = [] {
+    SessionConfig config = base_config();
+    config.origin = origin::hardened_origin();
+    config.origin_state = std::make_shared<origin::OriginState>();
+    const SessionResult result = run_session(config);
+    return std::make_pair(result, config.origin_state->totals);
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_DOUBLE_EQ(first.first.ground_truth.startup_delay,
+                   second.first.ground_truth.startup_delay);
+  EXPECT_DOUBLE_EQ(first.first.ground_truth.total_stall,
+                   second.first.ground_truth.total_stall);
+  EXPECT_EQ(first.first.ground_truth.total_bytes,
+            second.first.ground_truth.total_bytes);
+  EXPECT_EQ(first.second.hits, second.second.hits);
+  EXPECT_EQ(first.second.misses, second.second.misses);
+  EXPECT_EQ(first.second.retries, second.second.retries);
+}
+
+TEST(OriginSession, HardenedOriginAbsorbsInjectedOriginErrors) {
+  // An ErrorFault that 503s every segment in a window. Registered after the
+  // tier, so the tier's failover sees the injected failures: the hardened
+  // origin's first retry clears each transient error; the naive origin
+  // propagates every one to the player.
+  faults::FaultPlan plan;
+  plan.name = "segment-errors";
+  faults::ErrorFault fault;
+  fault.match.url_contains = "seg";
+  fault.match.start = 10;
+  fault.match.end = 25;
+  fault.probability = 1.0;
+  plan.errors.push_back(fault);
+
+  SessionConfig naive = base_config();
+  naive.fault_plan = plan;
+  naive.origin = origin::naive_origin();
+  naive.origin_state = std::make_shared<origin::OriginState>();
+  run_session(naive);
+  EXPECT_GT(naive.origin_state->totals.errors, 0);
+
+  SessionConfig hardened = base_config();
+  hardened.fault_plan = plan;
+  hardened.origin = origin::hardened_origin();
+  hardened.origin_state = std::make_shared<origin::OriginState>();
+  run_session(hardened);
+  EXPECT_EQ(hardened.origin_state->totals.errors, 0);
+  EXPECT_GT(hardened.origin_state->totals.retries, 0);
+}
+
+TEST(OriginSession, FaultPlanCacheFlushReachesTheTier) {
+  faults::FaultPlan plan;
+  plan.name = "flush";
+  plan.cache_flushes.push_back(faults::CacheFlushFault{20});
+
+  SessionConfig config = base_config();
+  config.fault_plan = plan;
+  config.origin = origin::hardened_origin();
+  config.origin_state = std::make_shared<origin::OriginState>();
+  run_session(config);
+  EXPECT_EQ(config.origin_state->totals.flushes, 1);
+}
+
+TEST(OriginSession, DcBlackoutFailsOverInsteadOfFailingTheSession) {
+  faults::FaultPlan plan;
+  plan.name = "dc-blackout";
+  plan.dc_blackouts.push_back(faults::DcBlackoutFault{5, 30});
+
+  SessionConfig config = base_config();
+  config.fault_plan = plan;
+  config.origin = origin::hardened_origin();
+  config.origin_state = std::make_shared<origin::OriginState>();
+  const SessionResult result = run_session(config);
+  const origin::OriginState::Totals& totals = config.origin_state->totals;
+  EXPECT_GT(totals.trips + totals.secondary, 0);
+  EXPECT_GE(result.ground_truth.startup_delay, 0);
+  EXPECT_GT(result.ground_truth.total_bytes, 0);
+}
+
+}  // namespace
+}  // namespace vodx::core

@@ -19,6 +19,11 @@
 //                                    startup delay (single session, grid
 //                                    rollups, or the precision/recall
 //                                    validation harness)
+//   vodx pop [...]                 — population-scale multi-session runs on
+//                                    shared cells
+//   vodx origin [...]              — flash-crowd failover drill: naive vs
+//                                    hardened origin tier under a primary-DC
+//                                    blackout
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -44,6 +49,7 @@
 #include "diag/validate.h"
 #include "faults/fault_plan.h"
 #include "obs/observer.h"
+#include "origin/origin.h"
 #include "pop/pop_timeline.h"
 #include "pop/population.h"
 #include "trace/cellular_profiles.h"
@@ -67,6 +73,7 @@ int usage() {
       "  vodx energy <service> [profile=7]\n"
       "  vodx sweep [--services all|H1,D2,...] [--profiles all|1-14|2,5]\n"
       "             [--seeds 0|0-4|1,7] [--faults none|all|resets,...]\n"
+      "             [--origin none|naive,hardened,...]\n"
       "             [--jobs N] [--duration secs]\n"
       "             [--csv out.csv] [--jsonl out.jsonl]\n"
       "             [--metrics-out report.jsonl] [--progress]\n"
@@ -75,6 +82,7 @@ int usage() {
       "        one worker per hardware thread, CSV on stdout.\n"
       "  vodx faults [--list] [--services all|H1,...] [--scenarios all|...]\n"
       "              [--profiles 7|...] [--seeds 0|...] [--hardened]\n"
+      "              [--origin none|naive,hardened,...]\n"
       "              [--jobs N] [--duration secs]\n"
       "              [--csv out.csv] [--jsonl out.jsonl]\n"
       "              [--metrics-out report.jsonl] [--progress]\n"
@@ -115,6 +123,7 @@ int usage() {
       "           [--tower-csv towers.csv] [--timeline-out tl.csv|tl.jsonl]\n"
       "           [--timeline-bin secs] [--html dashboard.html]\n"
       "           [--diag] [--diag-budget N]\n"
+      "           [--origin none|naive|hardened] [--shared-content]\n"
       "        population run: each tower's simulator hosts every viewer\n"
       "        arriving on that cell (Poisson + diurnal + flash crowds);\n"
       "        concurrent sessions share the link max-min fairly. Prints\n"
@@ -126,17 +135,41 @@ int usage() {
       "        per-tower sparkline dashboard; --diag additionally runs\n"
       "        root-cause attribution over up to --diag-budget sessions per\n"
       "        tower (0 = all) and folds blame rollups per tower and bin.\n"
+      "        --origin runs every session behind the origin/CDN tier (one\n"
+      "        shared edge cache + breaker per tower); --shared-content\n"
+      "        collapses each tower onto one title so the cache sees real\n"
+      "        cross-session hits.\n"
+      "  vodx origin [--mode both|naive|hardened] [--services all|H1,...]\n"
+      "              [--towers 7|3,7] [--seed N] [--horizon secs]\n"
+      "              [--rate arrivals/min] [--flash-at secs]\n"
+      "              [--flash-window secs] [--flash-arrivals N]\n"
+      "              [--blackout-at secs] [--blackout-duration secs]\n"
+      "              [--flush-at secs] [--cache-ttl secs]\n"
+      "              [--cache-capacity N] [--retries N]\n"
+      "              [--retry-backoff secs] [--breaker-threshold N]\n"
+      "              [--cooldown secs] [--no-coalesce] [--jobs N]\n"
+      "              [--out report.txt]\n"
+      "        flash-crowd failover drill: a population run where every\n"
+      "        viewer on a tower streams the same title through the tower's\n"
+      "        shared edge cache while the primary datacenter goes dark\n"
+      "        mid-crowd. --mode both (the default) runs the naive and the\n"
+      "        hardened origin back to back and prints the completion and\n"
+      "        QoE delta the hardened tier buys back; byte-identical for\n"
+      "        every --jobs value.\n"
       "  vodx chaos [--seeds 0..63] [--services H1,...] [--profiles 1-14]\n"
       "             [--duration secs] [--jobs N] [--budget secs]\n"
       "             [--minimize|--no-minimize] [--artifacts dir]\n"
       "             [--out report.txt] [--repro file.json] [--invariants]\n"
-      "             [--core event|fixed]\n"
+      "             [--core event|fixed] [--origin naive|hardened]\n"
       "        fuzzes seeded fault plans through invariant-checked sessions\n"
       "        under watchdogs; violations are shrunk to minimal repro\n"
       "        artifacts. --budget is the per-session wall-clock budget\n"
       "        (-1 = unlimited); --repro replays a saved artifact. The\n"
       "        report is byte-identical for every --jobs value. Exit 0 =\n"
-      "        clean, 1 = violations/watchdogs.\n");
+      "        clean, 1 = violations/watchdogs. --origin runs every fuzzed\n"
+      "        session behind that origin tier and widens the generator to\n"
+      "        draw cache-flush and DC-blackout windows, so the failover\n"
+      "        paths are fuzzed against the full invariant catalog.\n");
   return 2;
 }
 
@@ -307,6 +340,39 @@ void write_file(const std::string& path, const std::string& content) {
   std::fprintf(stderr, "wrote %s\n", path.c_str());
 }
 
+/// Numeric knobs that make a run degenerate rather than fail loudly (a 0 s
+/// timeline bin never advances; a 0 s TTL caches nothing; a 0-retry "retry
+/// budget" silently disables failover) are rejected here, by flag name.
+double parse_positive(const char* v, const char* flag) {
+  const double value = parse_double(v);
+  if (!(value > 0)) {
+    throw Error(format("%s must be positive (got %s)", flag, v));
+  }
+  return value;
+}
+
+int parse_positive_int(const char* v, const char* flag) {
+  const int value = std::atoi(v);
+  if (value <= 0) {
+    throw Error(format("%s must be positive (got %s)", flag, v));
+  }
+  return value;
+}
+
+/// Parses a comma-separated origin-mode list for the sweep/faults grids;
+/// unknown modes throw ConfigError here, once, before any cell runs.
+std::vector<std::string> parse_origin_modes(const char* v) {
+  std::vector<std::string> modes;
+  for (const std::string& token : split(v, ',')) {
+    const std::string name(trim(token));
+    if (name.empty()) continue;
+    origin::parse_mode(name);
+    modes.push_back(name);
+  }
+  if (modes.empty()) modes.push_back("none");
+  return modes;
+}
+
 /// The grid flags `sweep` and `faults` share; parse() consumes one of them
 /// per call and returns false when the cursor points at something else.
 struct GridFlags {
@@ -331,10 +397,12 @@ struct GridFlags {
       for (std::int64_t seed : tools::parse_int_list(v, 0, 0, "seed")) {
         config.seeds.push_back(static_cast<std::uint64_t>(seed));
       }
+    } else if (const char* v = args.value("--origin")) {
+      config.origin_modes = parse_origin_modes(v);
     } else if (const char* v = args.value("--jobs")) {
       config.jobs = std::atoi(v);
     } else if (const char* v = args.value("--duration")) {
-      config.session_duration = parse_double(v);
+      config.session_duration = parse_positive(v, "--duration");
     } else if (const char* v = args.value("--cell-budget")) {
       // Per-cell wall-clock budget in seconds; <= 0 (e.g. "-1") = unlimited.
       const double budget = parse_double(v);
@@ -710,7 +778,7 @@ int cmd_pop(Args& args) {
     } else if (const char* v = args.value("--seed")) {
       config.seed = static_cast<std::uint64_t>(std::atoll(v));
     } else if (const char* v = args.value("--horizon")) {
-      config.horizon = parse_double(v);
+      config.horizon = parse_positive(v, "--horizon");
     } else if (const char* v = args.value("--rate")) {
       config.arrivals.rate_per_min = parse_double(v);
     } else if (const char* v = args.value("--diurnal")) {
@@ -724,7 +792,7 @@ int cmd_pop(Args& args) {
     } else if (const char* v = args.value("--flash-arrivals")) {
       config.arrivals.flash_arrivals = std::atoi(v);
     } else if (const char* v = args.value("--watch-time")) {
-      config.watch_time = parse_double(v);
+      config.watch_time = parse_positive(v, "--watch-time");
     } else if (const char* v = args.value("--watch-sigma")) {
       config.watch_sigma = parse_double(v);
     } else if (const char* v = args.value("--max-sessions")) {
@@ -752,7 +820,7 @@ int cmd_pop(Args& args) {
       timeline_path = v;
       config.collect_timeline = true;
     } else if (const char* v = args.value("--timeline-bin")) {
-      config.timeline_bin = parse_double(v);
+      config.timeline_bin = parse_positive(v, "--timeline-bin");
     } else if (const char* v = args.value("--html")) {
       html_path = v;
       config.collect_timeline = true;
@@ -760,12 +828,17 @@ int cmd_pop(Args& args) {
       config.diagnose = true;
     } else if (const char* v = args.value("--diag-budget")) {
       config.diag_session_budget = std::atoi(v);
+    } else if (const char* v = args.value("--origin")) {
+      config.origin = origin::preset(origin::parse_mode(v));
+    } else if (args.flag("--shared-content")) {
+      config.shared_content = true;
     } else {
       args.unknown();
     }
   }
   if (args.failed()) return usage();
   if (config.towers.empty()) config.towers = {7};
+  if (config.origin.mode != origin::Mode::kNone) config.origin.validate();
 
   const pop::PopulationReport report = pop::run_population(config);
   const std::string text = pop::population_text(report);
@@ -791,6 +864,186 @@ int cmd_pop(Args& args) {
   }
   if (!html_path.empty()) {
     write_file(html_path, pop::population_timeline_html(report));
+  }
+  return 0;
+}
+
+/// Fraction of a population run's sessions that started playback and were
+/// healthy at the end — playing, or ended after their watch time. A session
+/// stuck rebuffering at the horizon (its fetch pipeline died) counts as not
+/// completed even though it never reached kFailed.
+double completed_fraction(const pop::PopulationReport& report, int* completed,
+                          int* total) {
+  const std::string playing = player::to_string(player::PlayerState::kPlaying);
+  const std::string ended = player::to_string(player::PlayerState::kEnded);
+  *completed = 0;
+  *total = 0;
+  for (const pop::TowerReport& tower : report.towers) {
+    for (const pop::SessionOutcome& s : tower.outcomes) {
+      ++*total;
+      if (s.startup_delay >= 0 &&
+          (s.final_state == playing || s.final_state == ended)) {
+        ++*completed;
+      }
+    }
+  }
+  return *total > 0 ? static_cast<double>(*completed) / *total : 0.0;
+}
+
+int cmd_origin(Args& args) {
+  // Flash-crowd failover drill. Defaults: a 24-viewer crowd lands on the
+  // fastest tower (profile 14 — the crowd must fit the radio link, so the
+  // pathology separating the legs is origin-side) at t=25 s, the primary DC
+  // goes dark at t=28 s for 30 s, and every viewer streams the same title
+  // through the tower's shared edge cache.
+  pop::PopulationConfig config;
+  config.jobs = 0;
+  config.horizon = 120;
+  config.content_duration = 180;
+  config.watch_time = 90;
+  config.arrivals.rate_per_min = 2;
+  config.arrivals.flash_at = 25;
+  config.arrivals.flash_window = 15;
+  config.arrivals.flash_arrivals = 24;
+  config.shared_content = true;
+  config.towers.clear();
+
+  // Knob overrides are tracked separately so they layer onto *both* presets
+  // when --mode both runs the naive and hardened legs.
+  double cache_ttl = -1, retry_backoff = -1, cooldown = -1;
+  int cache_capacity = -1, retries = -1, breaker_threshold = -1;
+  bool no_coalesce = false;
+  double blackout_at = 28, blackout_duration = 30, flush_at = -1;
+  std::string mode = "both";
+  std::string out_path;
+  while (!args.done()) {
+    if (const char* v = args.value("--mode")) {
+      mode = v;
+    } else if (const char* v = args.value("--services")) {
+      std::vector<std::string> all;
+      for (const services::ServiceSpec& s : services::catalog()) {
+        all.push_back(s.name);
+      }
+      config.services = tools::parse_name_list(v, all);
+    } else if (const char* v = args.value("--towers")) {
+      for (std::int64_t id :
+           tools::parse_int_list(v, 1, trace::kProfileCount, "profile")) {
+        config.towers.push_back(static_cast<int>(id));
+      }
+    } else if (const char* v = args.value("--seed")) {
+      config.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (const char* v = args.value("--horizon")) {
+      config.horizon = parse_positive(v, "--horizon");
+    } else if (const char* v = args.value("--rate")) {
+      config.arrivals.rate_per_min = parse_double(v);
+    } else if (const char* v = args.value("--flash-at")) {
+      config.arrivals.flash_at = parse_double(v);
+    } else if (const char* v = args.value("--flash-window")) {
+      config.arrivals.flash_window = parse_positive(v, "--flash-window");
+    } else if (const char* v = args.value("--flash-arrivals")) {
+      config.arrivals.flash_arrivals = std::atoi(v);
+    } else if (const char* v = args.value("--blackout-at")) {
+      blackout_at = parse_double(v);  // < 0 disables the blackout
+    } else if (const char* v = args.value("--blackout-duration")) {
+      blackout_duration = parse_positive(v, "--blackout-duration");
+    } else if (const char* v = args.value("--flush-at")) {
+      flush_at = parse_positive(v, "--flush-at");
+    } else if (const char* v = args.value("--cache-ttl")) {
+      cache_ttl = parse_positive(v, "--cache-ttl");
+    } else if (const char* v = args.value("--cache-capacity")) {
+      cache_capacity = parse_positive_int(v, "--cache-capacity");
+    } else if (const char* v = args.value("--retries")) {
+      retries = parse_positive_int(v, "--retries");
+    } else if (const char* v = args.value("--retry-backoff")) {
+      retry_backoff = parse_positive(v, "--retry-backoff");
+    } else if (const char* v = args.value("--breaker-threshold")) {
+      breaker_threshold = parse_positive_int(v, "--breaker-threshold");
+    } else if (const char* v = args.value("--cooldown")) {
+      cooldown = parse_positive(v, "--cooldown");
+    } else if (args.flag("--no-coalesce")) {
+      no_coalesce = true;
+    } else if (const char* v = args.value("--jobs")) {
+      config.jobs = std::atoi(v);
+    } else if (const char* v = args.value("--out")) {
+      out_path = v;
+    } else {
+      args.unknown();
+    }
+  }
+  if (args.failed()) return usage();
+  if (config.towers.empty()) config.towers = {14};
+
+  std::vector<origin::Mode> legs;
+  if (mode == "both") {
+    legs = {origin::Mode::kNaive, origin::Mode::kHardened};
+  } else {
+    const origin::Mode parsed = origin::parse_mode(mode);
+    if (parsed == origin::Mode::kNone) {
+      throw Error("--mode none defeats the drill; use naive|hardened|both");
+    }
+    legs = {parsed};
+  }
+
+  if (blackout_at >= 0 && blackout_duration > 0) {
+    config.fault_plan.dc_blackouts.push_back(
+        faults::DcBlackoutFault{blackout_at, blackout_duration});
+  }
+  if (flush_at >= 0) {
+    config.fault_plan.cache_flushes.push_back(faults::CacheFlushFault{flush_at});
+  }
+
+  std::string text = format(
+      "origin drill: flash crowd of %d over %.0f s at t=%.0f s "
+      "(+%.1f/min background), %zu tower(s), horizon %.0f s\n",
+      config.arrivals.flash_arrivals, config.arrivals.flash_window,
+      config.arrivals.flash_at, config.arrivals.rate_per_min,
+      config.towers.size(), config.horizon);
+  if (blackout_at >= 0 && blackout_duration > 0) {
+    text += format("primary DC dark %.1f-%.1f s\n", blackout_at,
+                   blackout_at + blackout_duration);
+  }
+  if (flush_at >= 0) text += format("edge cache flushed at %.1f s\n", flush_at);
+
+  std::vector<double> completion;
+  std::vector<pop::PopulationReport> reports;
+  for (origin::Mode leg : legs) {
+    pop::PopulationConfig leg_config = config;
+    leg_config.origin = origin::preset(leg);
+    if (cache_ttl > 0) leg_config.origin.cache_ttl_s = cache_ttl;
+    if (cache_capacity > 0) leg_config.origin.cache_capacity = cache_capacity;
+    if (retries > 0) leg_config.origin.retry_budget = retries;
+    if (retry_backoff > 0) leg_config.origin.backoff_base_s = retry_backoff;
+    if (breaker_threshold > 0) {
+      leg_config.origin.breaker_threshold = breaker_threshold;
+    }
+    if (cooldown > 0) leg_config.origin.breaker_cooldown_s = cooldown;
+    if (no_coalesce) leg_config.origin.coalesce = false;
+    leg_config.origin.validate();
+
+    const pop::PopulationReport report = pop::run_population(leg_config);
+    int completed = 0, total = 0;
+    const double fraction = completed_fraction(report, &completed, &total);
+    completion.push_back(fraction);
+    text += format("\n--- %s origin ---\n", origin::to_string(leg));
+    text += pop::population_text(report);
+    text += format("completed: %d/%d session(s) (%.1f%%)\n", completed, total,
+                   fraction * 100.0);
+    reports.push_back(report);
+  }
+  if (legs.size() == 2) {
+    const pop::PopulationReport& naive = reports[0];
+    const pop::PopulationReport& hardened = reports[1];
+    text += format(
+        "\nhardened origin buys back: %+.1f pts completion, "
+        "startup p95 %.2f -> %.2f s, stall p95 %.2f -> %.2f s\n",
+        (completion[1] - completion[0]) * 100.0, naive.startup.p95,
+        hardened.startup.p95, naive.stall.p95, hardened.stall.p95);
+  }
+
+  if (out_path.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    write_file(out_path, text);
   }
   return 0;
 }
@@ -837,6 +1090,12 @@ int cmd_chaos(Args& args) {
       config.minimize = true;
     } else if (args.flag("--no-minimize")) {
       config.minimize = false;
+    } else if (const char* v = args.value("--origin")) {
+      // Origin mode implies origin-targeted fault generation: the wider
+      // kind die only engages on opt-in, so default campaigns keep their
+      // historical plans seed for seed.
+      config.origin = origin::parse_mode(v);
+      config.gen.origin_faults = config.origin != origin::Mode::kNone;
     } else if (const char* v = args.value("--repro")) {
       repro_path = v;
     } else if (const char* v = args.value("--artifacts")) {
@@ -951,6 +1210,10 @@ int main(int argc, char** argv) {
     if (command == "pop") {
       Args args(argc - 2, argv + 2);
       return cmd_pop(args);
+    }
+    if (command == "origin") {
+      Args args(argc - 2, argv + 2);
+      return cmd_origin(args);
     }
     if (command == "chaos") {
       Args args(argc - 2, argv + 2);
